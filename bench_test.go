@@ -1,0 +1,154 @@
+// Benchmarks regenerating every experiment of DESIGN.md §2 (the paper's
+// Table 1 and theorem-predicted scalings), plus micro-benchmarks of the
+// substrate. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The experiment benchmarks execute one full experiment per iteration at
+// Quick quality and additionally report the headline measured quantity as
+// a custom metric; cmd/lmebench prints the Full-quality tables that
+// EXPERIMENTS.md records.
+package lme_test
+
+import (
+	"testing"
+	"time"
+
+	"lme"
+	"lme/internal/coloring"
+	"lme/internal/core"
+	"lme/internal/graph"
+	"lme/internal/harness"
+)
+
+// benchExperiment runs one DESIGN.md experiment per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	var exp harness.Experiment
+	for _, e := range harness.Experiments() {
+		if e.ID == id {
+			exp = e
+		}
+	}
+	if exp.Run == nil {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tbl, err := exp.Run(harness.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tbl.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B)            { benchExperiment(b, "E1") }  // E1: Table 1
+func BenchmarkFailureLocality(b *testing.B)   { benchExperiment(b, "E2") }  // E2: blocked radius
+func BenchmarkStaticChain(b *testing.B)       { benchExperiment(b, "E3") }  // E3: Thm 26
+func BenchmarkMobileAlg2(b *testing.B)        { benchExperiment(b, "E4") }  // E4: Thm 25
+func BenchmarkAlg1Degree(b *testing.B)        { benchExperiment(b, "E5") }  // E5: Thms 17/23
+func BenchmarkColoring(b *testing.B)          { benchExperiment(b, "E6") }  // E6: Lemmas 15/21
+func BenchmarkDoorway(b *testing.B)           { benchExperiment(b, "E7") }  // E7: Lemmas 1–2
+func BenchmarkFig6(b *testing.B)              { benchExperiment(b, "E8") }  // E8: Figure 6
+func BenchmarkSafetySweep(b *testing.B)       { benchExperiment(b, "E9") }  // E9: safety
+func BenchmarkMessageComplexity(b *testing.B) { benchExperiment(b, "E10") } // E10: msgs/CS
+func BenchmarkLocalityDividend(b *testing.B)  { benchExperiment(b, "E11") } // E11: local vs global
+func BenchmarkFIFOAblation(b *testing.B)      { benchExperiment(b, "E12") } // E12: FIFO ablation
+
+// BenchmarkSimulationThroughput measures simulated events per second for
+// each algorithm on a common contended topology — the cost of the
+// algorithms themselves on the discrete-event substrate.
+func BenchmarkSimulationThroughput(b *testing.B) {
+	topo, err := lme.Geometric(32, 0.3, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, alg := range lme.Algorithms() {
+		alg := alg
+		b.Run(string(alg), func(b *testing.B) {
+			b.ReportAllocs()
+			meals := 0
+			for i := 0; i < b.N; i++ {
+				sim, err := lme.NewSimulation(lme.Config{
+					Algorithm: alg,
+					Topology:  topo,
+					Seed:      uint64(i + 1),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := sim.RunFor(500 * time.Millisecond); err != nil {
+					b.Fatal(err)
+				}
+				meals += sim.Results().TotalMeals
+			}
+			b.ReportMetric(float64(meals)/float64(b.N), "meals/run")
+		})
+	}
+}
+
+// BenchmarkResponseTimeByAlgorithm reports the mean static response time
+// per algorithm — the directly comparable Table 1 quantity.
+func BenchmarkResponseTimeByAlgorithm(b *testing.B) {
+	topo, err := lme.Geometric(32, 0.3, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, alg := range lme.Algorithms() {
+		alg := alg
+		b.Run(string(alg), func(b *testing.B) {
+			var mean time.Duration
+			for i := 0; i < b.N; i++ {
+				sim, err := lme.NewSimulation(lme.Config{
+					Algorithm: alg,
+					Topology:  topo,
+					Seed:      42,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := sim.RunFor(2 * time.Second); err != nil {
+					b.Fatal(err)
+				}
+				mean = sim.Results().ResponseMean
+			}
+			b.ReportMetric(float64(mean.Microseconds()), "µs-mean-response")
+		})
+	}
+}
+
+// BenchmarkCoverFreeFamily measures the Linial palette machinery.
+func BenchmarkCoverFreeFamily(b *testing.B) {
+	fam, err := coloring.NewFamily(4096, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	others := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fam.PickFree(i%4096, others); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGreedyColor measures the deterministic conflict-graph
+// colouring step of Algorithm 4.
+func BenchmarkGreedyColor(b *testing.B) {
+	g := graph.Ring(64)
+	set := coloring.NewEdgeSet()
+	for _, e := range g.Edges() {
+		set.Add(core.NodeID(e[0]), core.NodeID(e[1]))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c := coloring.GreedyColor(set, core.NodeID(i%64)); c < 0 {
+			b.Fatal("node missing")
+		}
+	}
+}

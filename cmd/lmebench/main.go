@@ -1,0 +1,65 @@
+// Command lmebench regenerates every experiment table of DESIGN.md §2 —
+// the measured counterpart of the paper's Table 1 and of the theorems'
+// predicted scaling — and prints them in the format recorded in
+// EXPERIMENTS.md.
+//
+// Examples:
+//
+//	lmebench              # all experiments at full quality
+//	lmebench -exp e3,e6   # a subset
+//	lmebench -quick       # fast pass (the configuration unit tests use)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"lme/internal/harness"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "lmebench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		expFlag = flag.String("exp", "", "comma-separated experiment IDs (e.g. e1,e3); empty = all")
+		quick   = flag.Bool("quick", false, "reduced sweep sizes and horizons")
+	)
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *expFlag != "" {
+		for _, id := range strings.Split(*expFlag, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+	quality := harness.Full
+	if *quick {
+		quality = harness.Quick
+	}
+	ran := 0
+	for _, exp := range harness.Experiments() {
+		if len(want) > 0 && !want[exp.ID] {
+			continue
+		}
+		start := time.Now()
+		tbl, err := exp.Run(quality)
+		if err != nil {
+			return fmt.Errorf("%s: %w", exp.ID, err)
+		}
+		fmt.Println(tbl.String())
+		fmt.Printf("(%s completed in %v)\n\n", exp.ID, time.Since(start).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		return fmt.Errorf("no experiment matched %q", *expFlag)
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+// Live runtime demo: the same Algorithm 2 state machines that the
+// deterministic simulator measures, executed on one goroutine per node
+// with channel-based FIFO links in real time — the deployment-shaped face
+// of the library. We run a ring of nodes for a second of wall-clock time,
+// crash one node halfway, and verify that mutual exclusion held and that
+// the crash's damage stayed local.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"lme/internal/core"
+	"lme/internal/graph"
+	"lme/internal/livenet"
+	"lme/internal/lme2"
+)
+
+const (
+	nodes   = 9
+	crashed = core.NodeID(4)
+	runFor  = time.Second
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "livedemo:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	g := graph.Ring(nodes)
+	protos := make([]core.Protocol, nodes)
+	for i := range protos {
+		protos[i] = lme2.New()
+	}
+	cluster, err := livenet.New(livenet.Config{Seed: 42}, g, protos)
+	if err != nil {
+		return err
+	}
+	cluster.CrashAfter(crashed, runFor/2)
+
+	fmt.Printf("running %d goroutine nodes on a ring for %v (node %d crashes at %v)…\n",
+		nodes, runFor, crashed, runFor/2)
+	if err := cluster.Run(runFor); err != nil {
+		return err // non-nil also when mutual exclusion was violated
+	}
+
+	meals := cluster.Meals()
+	for i := core.NodeID(0); i < nodes; i++ {
+		marker := ""
+		if i == crashed {
+			marker = "  ← crashed"
+		}
+		fmt.Printf("  node %d: meals=%d%s\n", i, meals[i], marker)
+	}
+	if v := cluster.Violations(); len(v) != 0 {
+		return fmt.Errorf("mutual exclusion violated: %v", v)
+	}
+	// Failure locality 2: the ring nodes at distance ≥ 3 from the crash
+	// must have kept eating in the second half.
+	dist := g.Distances(int(crashed))
+	for i := core.NodeID(0); i < nodes; i++ {
+		if i != crashed && dist[i] >= 3 && meals[i] == 0 {
+			return fmt.Errorf("node %d at distance %d starved", i, dist[i])
+		}
+	}
+	fmt.Println("mutual exclusion held under real concurrency; distant nodes unaffected by the crash ✓")
+	return nil
+}

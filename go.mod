@@ -1,0 +1,3 @@
+module lme
+
+go 1.24

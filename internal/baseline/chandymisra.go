@@ -1,0 +1,213 @@
+// Package baseline implements the comparison algorithms of the paper's
+// Table 1: the hygienic dining-philosophers algorithm of Chandy and Misra
+// (failure locality n), a Choy–Singh-style doubly-doored fork-collection
+// algorithm for static networks with a fixed colouring (failure locality
+// 4), and the NoNotify ablation of Algorithm 2 (Tsay–Bagrodia-like
+// dynamics, quadratic static response time).
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"lme/internal/core"
+)
+
+// cmReq is a Chandy–Misra request token.
+type cmReq struct{}
+
+// cmFork transfers a fork (always cleaned in transit).
+type cmFork struct{}
+
+// ChandyMisra is one node of the hygienic dining philosophers algorithm
+// [Chandy & Misra 1984]: forks are clean or dirty; a hungry node yields a
+// fork only if it is dirty; eating dirties all forks. The initial
+// orientation (smaller ID holds a dirty fork) is acyclic, which gives
+// progress; a single crash can stall a chain across the whole system —
+// failure locality n, the paper's point of comparison.
+//
+// MANET adaptation (DESIGN.md §1 S10): a link creation places a dirty fork
+// at the static endpoint and the request token at the mover; link failure
+// destroys both; an eating node that gains a link while moving demotes
+// itself to hungry, the same safety rule the paper's algorithms use.
+type ChandyMisra struct {
+	env core.Env
+
+	state core.State
+
+	// fork[j] — holds the fork shared with j; dirty[j] — that fork is
+	// dirty; reqToken[j] — holds the request token for that fork. The
+	// key set of fork is the neighbour set.
+	fork, dirty, reqToken map[core.NodeID]bool
+}
+
+var _ core.Protocol = (*ChandyMisra)(nil)
+
+// NewChandyMisra creates a node.
+func NewChandyMisra() *ChandyMisra {
+	return &ChandyMisra{
+		state:    core.Thinking,
+		fork:     make(map[core.NodeID]bool),
+		dirty:    make(map[core.NodeID]bool),
+		reqToken: make(map[core.NodeID]bool),
+	}
+}
+
+// Init implements core.Protocol.
+func (n *ChandyMisra) Init(env core.Env) {
+	n.env = env
+	me := env.ID()
+	for _, j := range env.Neighbors() {
+		holds := me < j
+		n.fork[j] = holds
+		n.dirty[j] = holds // all forks start dirty
+		n.reqToken[j] = !holds
+	}
+}
+
+// State implements core.Protocol.
+func (n *ChandyMisra) State() core.State { return n.state }
+
+// HasFork reports fork possession for neighbour j (for tests).
+func (n *ChandyMisra) HasFork(j core.NodeID) bool { return n.fork[j] }
+
+// BecomeHungry implements core.Protocol.
+func (n *ChandyMisra) BecomeHungry() {
+	if n.state != core.Thinking {
+		return
+	}
+	n.setState(core.Hungry)
+	n.requestMissing()
+	n.maybeEat()
+}
+
+// ExitCS implements core.Protocol: dirty every fork and satisfy deferred
+// requests.
+func (n *ChandyMisra) ExitCS() {
+	if n.state != core.Eating {
+		return
+	}
+	n.setState(core.Thinking)
+	for _, j := range n.sorted(n.fork) {
+		n.dirty[j] = true
+	}
+	n.serveDeferred()
+}
+
+// OnMessage implements core.Protocol.
+func (n *ChandyMisra) OnMessage(from core.NodeID, msg core.Message) {
+	if _, ok := n.fork[from]; !ok {
+		return
+	}
+	switch msg.(type) {
+	case cmReq:
+		n.reqToken[from] = true
+		n.maybeYield(from)
+	case cmFork:
+		n.fork[from] = true
+		n.dirty[from] = false
+		n.maybeEat()
+	}
+}
+
+// OnLinkUp implements core.Protocol (MANET adaptation).
+func (n *ChandyMisra) OnLinkUp(peer core.NodeID, iAmMoving bool) {
+	if iAmMoving {
+		n.fork[peer] = false
+		n.dirty[peer] = false
+		n.reqToken[peer] = true
+		if n.state == core.Eating {
+			n.setState(core.Hungry)
+		}
+		if n.state == core.Hungry {
+			n.requestMissing()
+		}
+		return
+	}
+	n.fork[peer] = true
+	n.dirty[peer] = true
+	n.reqToken[peer] = false
+}
+
+// OnLinkDown implements core.Protocol.
+func (n *ChandyMisra) OnLinkDown(j core.NodeID) {
+	delete(n.fork, j)
+	delete(n.dirty, j)
+	delete(n.reqToken, j)
+	n.maybeEat()
+}
+
+// requestMissing sends the request token for every missing fork.
+func (n *ChandyMisra) requestMissing() {
+	for _, j := range n.sorted(n.fork) {
+		if !n.fork[j] && n.reqToken[j] {
+			n.reqToken[j] = false
+			n.env.Send(j, cmReq{})
+		}
+	}
+}
+
+// maybeYield applies the hygienic rule to a pending request from j.
+func (n *ChandyMisra) maybeYield(j core.NodeID) {
+	if !n.fork[j] || !n.reqToken[j] {
+		return
+	}
+	switch n.state {
+	case core.Eating:
+		return // defer until exit
+	case core.Hungry:
+		if !n.dirty[j] {
+			return // clean fork is kept while hungry
+		}
+	case core.Thinking:
+		// always yield
+	}
+	n.fork[j] = false
+	n.dirty[j] = false
+	n.env.Send(j, cmFork{})
+	// A hungry node that yielded a dirty fork immediately wants it
+	// back.
+	if n.state == core.Hungry {
+		n.reqToken[j] = false
+		n.env.Send(j, cmReq{})
+	}
+}
+
+// serveDeferred yields every dirty requested fork (after eating).
+func (n *ChandyMisra) serveDeferred() {
+	for _, j := range n.sorted(n.fork) {
+		n.maybeYield(j)
+	}
+}
+
+func (n *ChandyMisra) maybeEat() {
+	if n.state != core.Hungry {
+		return
+	}
+	for _, have := range n.fork {
+		if !have {
+			return
+		}
+	}
+	n.setState(core.Eating)
+}
+
+func (n *ChandyMisra) setState(s core.State) {
+	if n.state == s {
+		return
+	}
+	n.state = s
+	n.env.SetState(s)
+}
+
+func (n *ChandyMisra) sorted(m map[core.NodeID]bool) []core.NodeID {
+	out := make([]core.NodeID, 0, len(m))
+	for j := range m {
+		out = append(out, j)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// String identifies the algorithm in tables.
+func (n *ChandyMisra) String() string { return fmt.Sprintf("chandy-misra[%d]", n.env.ID()) }

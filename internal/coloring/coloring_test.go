@@ -1,0 +1,400 @@
+package coloring
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"lme/internal/core"
+	"lme/internal/graph"
+)
+
+func TestEdgeSetBasics(t *testing.T) {
+	s := NewEdgeSet()
+	if !s.Add(2, 1) {
+		t.Fatal("first Add reported no change")
+	}
+	if s.Add(1, 2) {
+		t.Fatal("duplicate (canonicalised) edge reported change")
+	}
+	if s.Add(3, 3) {
+		t.Fatal("self-loop accepted")
+	}
+	edges := s.Edges()
+	if len(edges) != 1 || edges[0] != (Edge{A: 1, B: 2}) {
+		t.Fatalf("edges = %v", edges)
+	}
+}
+
+func TestEdgeSetUnionCloneEqual(t *testing.T) {
+	a, b := NewEdgeSet(), NewEdgeSet()
+	a.Add(1, 2)
+	b.Add(2, 3)
+	if !a.Union(b) {
+		t.Fatal("union reported no change")
+	}
+	if a.Union(b) {
+		t.Fatal("second union reported change")
+	}
+	c := a.Clone()
+	if !c.Equal(a) {
+		t.Fatal("clone not equal")
+	}
+	c.Add(4, 5)
+	if c.Equal(a) {
+		t.Fatal("clone aliases original")
+	}
+	if a.Equal(b) {
+		t.Fatal("unequal sets reported equal")
+	}
+}
+
+func TestGreedyColorLegalAndDeterministic(t *testing.T) {
+	s := NewEdgeSet()
+	// A 5-cycle plus a chord.
+	for _, e := range [][2]core.NodeID{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}, {1, 3}} {
+		s.Add(e[0], e[1])
+	}
+	colors := make(map[core.NodeID]int)
+	for _, v := range []core.NodeID{0, 1, 2, 3, 4} {
+		colors[v] = GreedyColor(s, v)
+	}
+	for e := range s {
+		if colors[e.A] == colors[e.B] {
+			t.Fatalf("edge %v monochromatic: %v", e, colors)
+		}
+	}
+	for v, c := range colors {
+		if c < 0 || c > 3 { // max conflict degree is 3
+			t.Fatalf("colour of %d out of range: %d", v, c)
+		}
+		// Recomputation from an equal set is identical.
+		if got := GreedyColor(s.Clone(), v); got != c {
+			t.Fatalf("nondeterministic colour for %d: %d vs %d", v, got, c)
+		}
+	}
+}
+
+func TestGreedyColorAbsentNode(t *testing.T) {
+	s := NewEdgeSet()
+	s.Add(1, 2)
+	if got := GreedyColor(s, 7); got != -1 {
+		t.Fatalf("absent node coloured %d", got)
+	}
+	if got := GreedyColor(NewEdgeSet(), 7); got != -1 {
+		t.Fatalf("empty graph coloured %d", got)
+	}
+}
+
+// TestGreedyColorPropertyRandom checks legality and determinism on random
+// conflict graphs.
+func TestGreedyColorPropertyRandom(t *testing.T) {
+	prop := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 3))
+		n := rng.IntN(15) + 2
+		s := NewEdgeSet()
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.4 {
+					s.Add(core.NodeID(i), core.NodeID(j))
+				}
+			}
+		}
+		colors := make(map[core.NodeID]int)
+		for i := 0; i < n; i++ {
+			colors[core.NodeID(i)] = GreedyColor(s, core.NodeID(i))
+		}
+		for e := range s {
+			if colors[e.A] == colors[e.B] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewFamilyParameters(t *testing.T) {
+	f, err := NewFamily(100, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Q < f.D*4+1 {
+		t.Fatalf("q=%d too small for d=%d δ=4", f.Q, f.D)
+	}
+	if pow(f.Q, f.D+1) < 100 {
+		t.Fatalf("family cannot address 100 colours: q=%d d=%d", f.Q, f.D)
+	}
+	if f.M != f.Q*f.Q {
+		t.Fatalf("M=%d, want q²=%d", f.M, f.Q*f.Q)
+	}
+	if _, err := NewFamily(0, 4); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestFamilySetShape(t *testing.T) {
+	f, err := NewFamily(50, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 50; c++ {
+		set := f.Set(c)
+		if len(set) != f.Q {
+			t.Fatalf("set %d has %d elements, want %d", c, len(set), f.Q)
+		}
+		for i, e := range set {
+			if e < 0 || e >= f.M {
+				t.Fatalf("set %d element %d out of range", c, e)
+			}
+			if i > 0 && set[i] <= set[i-1] {
+				t.Fatalf("set %d not ascending", c)
+			}
+		}
+	}
+	// Distinct colours give distinct sets.
+	a, b := f.Set(1), f.Set(2)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("sets of colours 1 and 2 identical")
+	}
+}
+
+// TestCoverFreeProperty is the Theorem 18 property: no set is covered by
+// the union of δ others. Checked exhaustively-ish with random picks.
+func TestCoverFreeProperty(t *testing.T) {
+	prop := func(seed uint64, kRaw, dRaw uint8) bool {
+		k := int(kRaw)%200 + 2
+		delta := int(dRaw)%6 + 1
+		f, err := NewFamily(k, delta)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewPCG(seed, 11))
+		mine := rng.IntN(k)
+		others := make([]int, 0, delta)
+		for len(others) < delta {
+			o := rng.IntN(k)
+			if o != mine {
+				others = append(others, o)
+			}
+		}
+		_, err = f.PickFree(mine, others)
+		return err == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPickFreeDistinctness: two nodes with distinct current colours that
+// each pick against the other's set choose distinct new colours — the
+// legality step of Algorithm 5 (Lemma 19).
+func TestPickFreeDistinctness(t *testing.T) {
+	f, err := NewFamily(64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < 20; a++ {
+		for b := a + 1; b < 20; b++ {
+			ca, err := f.PickFree(a, []int{b})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cb, err := f.PickFree(b, []int{a})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ca == cb {
+				t.Fatalf("colours %d,%d both picked %d", a, b, ca)
+			}
+		}
+	}
+}
+
+func TestScheduleShrinksToDeltaSquared(t *testing.T) {
+	tests := []struct {
+		n, delta int
+	}{
+		{16, 3}, {256, 4}, {10_000, 5}, {1_000_000, 8},
+	}
+	for _, tt := range tests {
+		sched, err := Schedule(tt.n, tt.delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		final, err := FinalPalette(tt.n, tt.delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Final palette must be O(δ²): q_f is the smallest prime
+		// ≥ δ+1, and small primes are < 2δ+2, so q_f² < (2δ+2)².
+		bound := (2*tt.delta + 2) * (2*tt.delta + 2)
+		if final > bound && final > tt.n {
+			t.Fatalf("n=%d δ=%d: final palette %d exceeds bound %d", tt.n, tt.delta, final, bound)
+		}
+		// Round count is O(log* n) + small constant.
+		if limit := graph.LogStar(tt.n) + 3; len(sched) > limit {
+			t.Fatalf("n=%d δ=%d: %d rounds exceeds log*-ish bound %d", tt.n, tt.delta, len(sched), limit)
+		}
+		// Chained palettes must be consistent.
+		k := max(tt.n, 2)
+		for i, f := range sched {
+			if f.K != k {
+				t.Fatalf("round %d K=%d, want %d", i, f.K, k)
+			}
+			if f.M >= k {
+				t.Fatalf("round %d does not shrink: %d → %d", i, k, f.M)
+			}
+			k = f.M
+		}
+	}
+}
+
+func TestScheduleTinySystem(t *testing.T) {
+	// With n small relative to δ² there may be nothing to shrink.
+	sched, err := Schedule(4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched) != 0 {
+		t.Fatalf("tiny system produced %d rounds", len(sched))
+	}
+	final, err := FinalPalette(4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final != 4 {
+		t.Fatalf("final palette = %d, want 4 (IDs unchanged)", final)
+	}
+}
+
+func TestPrimesAndRoots(t *testing.T) {
+	primes := []struct{ in, want int }{{0, 2}, {2, 2}, {3, 3}, {4, 5}, {14, 17}, {25, 29}}
+	for _, tt := range primes {
+		if got := nextPrime(tt.in); got != tt.want {
+			t.Errorf("nextPrime(%d) = %d, want %d", tt.in, got, tt.want)
+		}
+	}
+	roots := []struct{ k, r, want int }{{1, 2, 1}, {4, 2, 2}, {5, 2, 3}, {27, 3, 3}, {28, 3, 4}}
+	for _, tt := range roots {
+		if got := ceilRoot(tt.k, tt.r); got != tt.want {
+			t.Errorf("ceilRoot(%d,%d) = %d, want %d", tt.k, tt.r, got, tt.want)
+		}
+	}
+	if isPrime(1) || !isPrime(2) || isPrime(9) || !isPrime(97) {
+		t.Error("isPrime wrong")
+	}
+}
+
+// TestLinialSimulated runs the full reduction on a random graph, locally
+// simulating the synchronous rounds: every node's colour stays legal and
+// ends in the final palette.
+func TestLinialSimulated(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 1))
+	g, _ := graph.RandomGeometric(40, 0.25, rng)
+	delta := max(g.MaxDegree(), 1)
+	sched, err := Schedule(g.N(), delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	colors := make([]int, g.N())
+	for i := range colors {
+		colors[i] = i // IDs
+	}
+	for _, f := range sched {
+		next := make([]int, g.N())
+		for v := 0; v < g.N(); v++ {
+			var others []int
+			for _, u := range g.Neighbors(v) {
+				others = append(others, colors[u])
+			}
+			c, err := f.PickFree(colors[v], others)
+			if err != nil {
+				t.Fatalf("round failed at node %d: %v", v, err)
+			}
+			next[v] = c
+		}
+		colors = next
+		if err := g.LegalColoring(colors); err != nil {
+			t.Fatalf("illegal after round: %v", err)
+		}
+	}
+	final, err := FinalPalette(g.N(), delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, c := range colors {
+		if c < 0 || c >= final {
+			t.Fatalf("node %d colour %d outside final palette %d", v, c, final)
+		}
+	}
+}
+
+func TestReductionRounds(t *testing.T) {
+	tests := []struct{ k, delta, want int }{
+		{25, 2, 22}, {4, 3, 0}, {10, 9, 0}, {121, 4, 116}, {5, 4, 0},
+	}
+	for _, tt := range tests {
+		if got := ReductionRounds(tt.k, tt.delta); got != tt.want {
+			t.Errorf("ReductionRounds(%d,%d) = %d, want %d", tt.k, tt.delta, got, tt.want)
+		}
+	}
+}
+
+func TestReduceStep(t *testing.T) {
+	// Non-holders keep their colour.
+	if got := ReduceStep(3, 7, []int{0, 1}); got != 3 {
+		t.Fatalf("non-holder recoloured to %d", got)
+	}
+	// Holders pick the smallest free colour.
+	if got := ReduceStep(7, 7, []int{0, 1, 3}); got != 2 {
+		t.Fatalf("holder picked %d, want 2", got)
+	}
+	if got := ReduceStep(7, 7, nil); got != 0 {
+		t.Fatalf("isolated holder picked %d, want 0", got)
+	}
+}
+
+// TestReductionConvergesOnGraph drives the full reduction over a random
+// legal colouring and checks the final palette is δ+1 with legality kept
+// at every round.
+func TestReductionConvergesOnGraph(t *testing.T) {
+	rng := rand.New(rand.NewPCG(13, 1))
+	g, _ := graph.RandomGeometric(30, 0.3, rng)
+	delta := max(g.MaxDegree(), 1)
+	// Start from the (legal) identity colouring with palette n.
+	colors := make([]int, g.N())
+	for i := range colors {
+		colors[i] = i
+	}
+	k := g.N()
+	for r := 0; r < ReductionRounds(k, delta); r++ {
+		top := k - 1 - r
+		next := make([]int, g.N())
+		for v := 0; v < g.N(); v++ {
+			var nbr []int
+			for _, u := range g.Neighbors(v) {
+				nbr = append(nbr, colors[u])
+			}
+			next[v] = ReduceStep(colors[v], top, nbr)
+		}
+		colors = next
+		if err := g.LegalColoring(colors); err != nil {
+			t.Fatalf("illegal after round %d: %v", r, err)
+		}
+	}
+	for v, c := range colors {
+		if c > delta {
+			t.Fatalf("node %d colour %d > δ=%d after reduction", v, c, delta)
+		}
+	}
+}

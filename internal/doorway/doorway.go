@@ -1,0 +1,220 @@
+// Package doorway implements the doorway synchronisation construct of
+// Chapter 4 of the paper (originally due to Lamport, elaborated by Choy and
+// Singh): a code region with entry and exit fragments such that if node p_i
+// crosses the doorway before a neighbour p_j begins executing the entry
+// code, then p_j does not cross until p_i exits.
+//
+// Two kinds exist (Figure 2). In a synchronous doorway a node crosses when
+// it observes all neighbours outside simultaneously (in one atomic
+// evaluation of its local state); in an asynchronous doorway it crosses
+// once it has observed each neighbour outside at least once since starting
+// the entry code. Algorithm 1 of the paper composes them into double
+// doorways (Figures 3–5); that composition lives in internal/lme1, which
+// embeds four Doorway instances per node.
+//
+// A Doorway is a passive component: its owner feeds it observations
+// (cross/exit messages from neighbours, link changes) and it reports back
+// through the cross callback when the entry condition is met. All methods
+// are single-threaded, driven by the owner's event handlers.
+package doorway
+
+import (
+	"fmt"
+
+	"lme/internal/core"
+)
+
+// Kind distinguishes the two doorway flavours of Figure 2.
+type Kind int
+
+// The doorway kinds.
+const (
+	Synchronous Kind = iota + 1
+	Asynchronous
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Synchronous:
+		return "sync"
+	case Asynchronous:
+		return "async"
+	default:
+		return "invalid"
+	}
+}
+
+// Pos is a node's logical position relative to a doorway.
+type Pos int
+
+// A node is Outside until it crosses (completes the entry code), then
+// Behind until it completes the exit code.
+const (
+	Outside Pos = iota + 1
+	Behind
+)
+
+// String names the position.
+func (p Pos) String() string {
+	switch p {
+	case Outside:
+		return "outside"
+	case Behind:
+		return "behind"
+	default:
+		return "invalid"
+	}
+}
+
+// Doorway is one node's view of one doorway instance.
+type Doorway struct {
+	kind     Kind
+	pos      Pos
+	entering bool
+
+	// l is the paper's L[] array restricted to this doorway: the last
+	// observed position of each current neighbour.
+	l map[core.NodeID]Pos
+
+	// seen marks neighbours observed outside at least once since entry
+	// began (asynchronous doorways only).
+	seen map[core.NodeID]bool
+
+	// announce broadcasts this node's own position change (true = cross
+	// message, false = exit message). Provided by the owner so doorway
+	// traffic rides the owner's message types.
+	announce func(cross bool)
+
+	// onCross runs immediately after the node crosses.
+	onCross func()
+}
+
+// New creates a doorway of the given kind with the initial neighbour set
+// (all considered outside, per Figure 2's initialisation).
+func New(kind Kind, neighbors []core.NodeID, announce func(cross bool), onCross func()) *Doorway {
+	d := &Doorway{
+		kind:     kind,
+		pos:      Outside,
+		l:        make(map[core.NodeID]Pos, len(neighbors)),
+		seen:     make(map[core.NodeID]bool, len(neighbors)),
+		announce: announce,
+		onCross:  onCross,
+	}
+	for _, j := range neighbors {
+		d.l[j] = Outside
+	}
+	return d
+}
+
+// Behind reports whether this node is behind the doorway.
+func (d *Doorway) Behind() bool { return d.pos == Behind }
+
+// Entering reports whether the entry code is in progress.
+func (d *Doorway) Entering() bool { return d.entering }
+
+// ObservedPos returns the last observed position of neighbour j (Outside
+// if never observed).
+func (d *Doorway) ObservedPos(j core.NodeID) Pos {
+	if p, ok := d.l[j]; ok {
+		return p
+	}
+	return Outside
+}
+
+// BeginEntry starts executing the entry code. For an asynchronous doorway
+// the "seen outside" bookkeeping restarts from the current observations.
+// Crossing may happen immediately (within this call) if the condition
+// already holds.
+func (d *Doorway) BeginEntry() {
+	if d.pos == Behind {
+		panic(fmt.Sprintf("doorway: BeginEntry while behind %v doorway", d.kind))
+	}
+	d.entering = true
+	if d.kind == Asynchronous {
+		clear(d.seen)
+		for j, p := range d.l {
+			if p == Outside {
+				d.seen[j] = true
+			}
+		}
+	}
+	d.tryCross()
+}
+
+// Exit runs the exit code: announce the exit and become outside. No-op if
+// already outside (the mover's "exit any doorway" calls this
+// unconditionally).
+func (d *Doorway) Exit() {
+	d.entering = false
+	if d.pos != Behind {
+		return
+	}
+	d.pos = Outside
+	d.announce(false)
+}
+
+// Abort cancels an entry in progress without announcing anything (the node
+// never crossed, so neighbours already consider it outside).
+func (d *Doorway) Abort() {
+	d.entering = false
+}
+
+// Observe records that neighbour j reported the given position (a cross or
+// exit message, or a position carried by a status message to a newly
+// arrived node), then re-evaluates the entry condition.
+func (d *Doorway) Observe(j core.NodeID, p Pos) {
+	d.l[j] = p
+	if p == Outside {
+		d.seen[j] = true
+	}
+	d.tryCross()
+}
+
+// AddNeighbor installs a new neighbour with a known position (Outside for
+// the paper's "a new neighboring node is considered to be outside").
+func (d *Doorway) AddNeighbor(j core.NodeID, p Pos) {
+	d.l[j] = p
+	if p == Outside {
+		d.seen[j] = true
+	}
+	// No tryCross here: a *new* neighbour can only weaken the entry
+	// condition if it is behind, never satisfy it; and whether a node in
+	// the middle of an entry may cross upon a topology change is the
+	// owner's decision (the paper's movers restart their entry).
+}
+
+// Forget drops a departed neighbour and re-evaluates the entry condition
+// (losing a behind-the-doorway neighbour can enable crossing).
+func (d *Doorway) Forget(j core.NodeID) {
+	delete(d.l, j)
+	delete(d.seen, j)
+	d.tryCross()
+}
+
+// tryCross crosses the doorway if the entry condition of Figure 2 holds.
+func (d *Doorway) tryCross() {
+	if !d.entering || d.pos == Behind {
+		return
+	}
+	switch d.kind {
+	case Synchronous:
+		// All neighbours observed outside simultaneously.
+		for _, p := range d.l {
+			if p != Outside {
+				return
+			}
+		}
+	case Asynchronous:
+		// Each neighbour observed outside at least once since entry.
+		for j := range d.l {
+			if !d.seen[j] {
+				return
+			}
+		}
+	}
+	d.entering = false
+	d.pos = Behind
+	d.announce(true)
+	d.onCross()
+}

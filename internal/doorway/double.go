@@ -1,0 +1,96 @@
+package doorway
+
+import "lme/internal/core"
+
+// Double is the double doorway of Figure 3: a synchronous doorway nested
+// inside an asynchronous one. Its entry code runs the asynchronous entry
+// followed by the synchronous entry; its exit code reverses the order.
+// Lemma 1 bounds its traversal by O(δT) when the module behind it takes T;
+// Lemma 2 covers the return-path variant (ReturnToInner), used by the
+// fork-collection module when a low neighbour departs with a shared fork.
+//
+// Like Doorway, Double is a passive single-threaded component: the owner
+// routes observations to the inner and outer doorways through Observe and
+// the link-change methods, and learns about full entry through onEnter.
+type Double struct {
+	outer *Doorway // asynchronous
+	inner *Doorway // synchronous
+}
+
+// NewDouble builds a double doorway over the given neighbour set. announce
+// reports this node's own position changes per sub-doorway (inner=true for
+// the synchronous one); onEnter fires when the synchronous doorway is
+// crossed, i.e. the node is fully behind the double doorway.
+func NewDouble(neighbors []core.NodeID, announce func(inner, cross bool), onEnter func()) *Double {
+	d := &Double{}
+	d.inner = New(Synchronous, neighbors,
+		func(cross bool) { announce(true, cross) },
+		onEnter)
+	d.outer = New(Asynchronous, neighbors,
+		func(cross bool) { announce(false, cross) },
+		func() { d.inner.BeginEntry() })
+	return d
+}
+
+// BeginEntry starts the composite entry code.
+func (d *Double) BeginEntry() { d.outer.BeginEntry() }
+
+// Exit runs the composite exit code: inner first, then outer (Figure 3).
+func (d *Double) Exit() {
+	d.inner.Exit()
+	d.outer.Exit()
+}
+
+// ReturnToInner is the return path of Figure 4: exit the synchronous
+// doorway and immediately re-enter it, staying behind the asynchronous
+// one. Only valid while fully behind the double doorway.
+func (d *Double) ReturnToInner() {
+	d.inner.Exit()
+	d.inner.BeginEntry()
+}
+
+// Abort cancels any entry in progress without announcements and exits
+// whatever was crossed.
+func (d *Double) Abort() {
+	if d.inner.Behind() {
+		d.inner.Exit()
+	} else {
+		d.inner.Abort()
+	}
+	if d.outer.Behind() {
+		d.outer.Exit()
+	} else {
+		d.outer.Abort()
+	}
+}
+
+// Behind reports whether the node is fully behind the double doorway.
+func (d *Double) Behind() bool { return d.inner.Behind() }
+
+// BehindOuter reports whether the asynchronous doorway has been crossed.
+func (d *Double) BehindOuter() bool { return d.outer.Behind() }
+
+// Entering reports whether any entry code is in progress.
+func (d *Double) Entering() bool { return d.outer.Entering() || d.inner.Entering() }
+
+// Observe records a neighbour's position announcement for the selected
+// sub-doorway.
+func (d *Double) Observe(j core.NodeID, inner bool, p Pos) {
+	if inner {
+		d.inner.Observe(j, p)
+	} else {
+		d.outer.Observe(j, p)
+	}
+}
+
+// AddNeighbor installs a new neighbour in both sub-doorways.
+func (d *Double) AddNeighbor(j core.NodeID, innerPos, outerPos Pos) {
+	d.inner.AddNeighbor(j, innerPos)
+	d.outer.AddNeighbor(j, outerPos)
+}
+
+// Forget drops a departed neighbour from both sub-doorways.
+func (d *Double) Forget(j core.NodeID) {
+	d.inner.Forget(j)
+	d.outer.Forget(j)
+}

@@ -1,0 +1,322 @@
+// Package graph provides the small amount of graph machinery the
+// reproduction needs: undirected adjacency structures over node IDs,
+// breadth-first distances (the paper's m-neighbourhoods), degree and
+// colouring utilities, and generators for the topologies the experiments
+// use (lines, rings, grids, stars, cliques and random geometric graphs).
+package graph
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+)
+
+// Graph is an undirected graph over dense integer node IDs 0..N-1.
+type Graph struct {
+	n   int
+	adj []map[int]bool
+}
+
+// New returns an empty graph on n nodes.
+func New(n int) *Graph {
+	g := &Graph{n: n, adj: make([]map[int]bool, n)}
+	for i := range g.adj {
+		g.adj[i] = make(map[int]bool)
+	}
+	return g
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// AddEdge inserts the undirected edge (u, v). Self-loops are ignored.
+func (g *Graph) AddEdge(u, v int) {
+	if u == v {
+		return
+	}
+	g.adj[u][v] = true
+	g.adj[v][u] = true
+}
+
+// RemoveEdge deletes the undirected edge (u, v) if present.
+func (g *Graph) RemoveEdge(u, v int) {
+	delete(g.adj[u], v)
+	delete(g.adj[v], u)
+}
+
+// HasEdge reports whether (u, v) is an edge.
+func (g *Graph) HasEdge(u, v int) bool { return g.adj[u][v] }
+
+// Neighbors returns the sorted neighbour list of u.
+func (g *Graph) Neighbors(u int) []int {
+	out := make([]int, 0, len(g.adj[u]))
+	for v := range g.adj[u] {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Degree returns the degree of u.
+func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+
+// MaxDegree returns δ, the maximum degree of any node.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for u := 0; u < g.n; u++ {
+		if d := len(g.adj[u]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Edges returns every edge once, with u < v, in sorted order.
+func (g *Graph) Edges() [][2]int {
+	var out [][2]int
+	for u := 0; u < g.n; u++ {
+		for v := range g.adj[u] {
+			if u < v {
+				out = append(out, [2]int{u, v})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// Distances returns the BFS distance from src to every node; unreachable
+// nodes get -1. This realises the paper's notion of distance in the
+// communication graph (§3.2).
+func (g *Graph) Distances(src int) []int {
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for v := range g.adj[u] {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// Diameter returns the largest finite BFS distance between any two nodes
+// (0 for empty or edgeless graphs; unreachable pairs are ignored).
+func (g *Graph) Diameter() int {
+	max := 0
+	for v := 0; v < g.n; v++ {
+		for _, d := range g.Distances(v) {
+			if d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+// Connected reports whether the graph is connected (vacuously true for
+// n ≤ 1).
+func (g *Graph) Connected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	seen := 0
+	for _, d := range g.Distances(0) {
+		if d >= 0 {
+			seen++
+		}
+	}
+	return seen == g.n
+}
+
+// LegalColoring reports whether colors assigns distinct values to every
+// pair of adjacent nodes. colors must have length N.
+func (g *Graph) LegalColoring(colors []int) error {
+	if len(colors) != g.n {
+		return fmt.Errorf("graph: colouring has %d entries for %d nodes", len(colors), g.n)
+	}
+	for _, e := range g.Edges() {
+		if colors[e[0]] == colors[e[1]] {
+			return fmt.Errorf("graph: edge (%d,%d) monochromatic with colour %d", e[0], e[1], colors[e[0]])
+		}
+	}
+	return nil
+}
+
+// GreedyColoring colours the nodes greedily in the given order (node IDs
+// ascending if order is nil) and returns the colour array. The palette size
+// is at most MaxDegree()+1.
+func (g *Graph) GreedyColoring(order []int) []int {
+	if order == nil {
+		order = make([]int, g.n)
+		for i := range order {
+			order[i] = i
+		}
+	}
+	colors := make([]int, g.n)
+	for i := range colors {
+		colors[i] = -1
+	}
+	used := make(map[int]bool)
+	for _, u := range order {
+		clear(used)
+		for v := range g.adj[u] {
+			if colors[v] >= 0 {
+				used[colors[v]] = true
+			}
+		}
+		c := 0
+		for used[c] {
+			c++
+		}
+		colors[u] = c
+	}
+	return colors
+}
+
+// Line returns the path topology 0—1—…—n-1.
+func Line(n int) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+// Ring returns the cycle topology on n nodes.
+func Ring(n int) *Graph {
+	g := Line(n)
+	if n > 2 {
+		g.AddEdge(n-1, 0)
+	}
+	return g
+}
+
+// Star returns the star with centre 0 and n-1 leaves.
+func Star(n int) *Graph {
+	g := New(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(0, i)
+	}
+	return g
+}
+
+// Clique returns the complete graph on n nodes.
+func Clique(n int) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	return g
+}
+
+// Grid returns the rows×cols grid graph; node (r, c) has ID r*cols+c.
+func Grid(rows, cols int) *Graph {
+	g := New(rows * cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			id := r*cols + c
+			if c+1 < cols {
+				g.AddEdge(id, id+1)
+			}
+			if r+1 < rows {
+				g.AddEdge(id, id+cols)
+			}
+		}
+	}
+	return g
+}
+
+// Point is a position on the unit square used by geometric generators.
+type Point struct {
+	X, Y float64
+}
+
+// Dist2 returns the squared Euclidean distance between p and q.
+func (p Point) Dist2(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+// RandomGeometric places n nodes uniformly on the unit square and connects
+// every pair within the given radio range. It returns the graph and the
+// positions. The same seed yields the same layout.
+func RandomGeometric(n int, radius float64, rng *rand.Rand) (*Graph, []Point) {
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{X: rng.Float64(), Y: rng.Float64()}
+	}
+	return UnitDisk(pts, radius), pts
+}
+
+// ConnectedGeometric retries RandomGeometric until the graph is connected
+// (up to a bounded number of attempts), which the sweep experiments need so
+// that blocked-radius measurements are meaningful.
+func ConnectedGeometric(n int, radius float64, rng *rand.Rand) (*Graph, []Point, error) {
+	for attempt := 0; attempt < 200; attempt++ {
+		g, pts := RandomGeometric(n, radius, rng)
+		if g.Connected() {
+			return g, pts, nil
+		}
+	}
+	return nil, nil, fmt.Errorf("graph: no connected geometric graph with n=%d r=%.3f after 200 attempts", n, radius)
+}
+
+// UnitDisk builds the unit-disk graph of the given positions and radius.
+func UnitDisk(pts []Point, radius float64) *Graph {
+	g := New(len(pts))
+	r2 := radius * radius
+	for i := range pts {
+		for j := i + 1; j < len(pts); j++ {
+			if pts[i].Dist2(pts[j]) <= r2 {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	return g
+}
+
+// LogStar returns log* n: the number of times log2 must be iterated,
+// starting from n, before the value drops to at most 1. It bounds the
+// Linial colouring round count.
+func LogStar(n int) int {
+	count := 0
+	x := float64(n)
+	for x > 1 {
+		count++
+		x = log2(x)
+		if count > 64 {
+			break
+		}
+	}
+	return count
+}
+
+func log2(x float64) float64 {
+	// Iterated halving of the exponent; avoids importing math for one
+	// function and stays exact enough for LogStar's integer output.
+	n := 0.0
+	for x >= 2 {
+		x /= 2
+		n++
+	}
+	if x > 1 {
+		n += x - 1 // linear interpolation below 2; fine for log*.
+	}
+	return n
+}

@@ -1,0 +1,241 @@
+package graph
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddRemoveEdge(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0) // duplicate
+	g.AddEdge(2, 2) // self-loop ignored
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Fatal("edge (0,1) missing")
+	}
+	if g.HasEdge(2, 2) {
+		t.Fatal("self-loop stored")
+	}
+	if g.Degree(0) != 1 || g.Degree(1) != 1 {
+		t.Fatalf("degrees = %d,%d", g.Degree(0), g.Degree(1))
+	}
+	g.RemoveEdge(0, 1)
+	if g.HasEdge(0, 1) {
+		t.Fatal("edge survived removal")
+	}
+	g.RemoveEdge(0, 3) // absent; must not panic
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	g := New(5)
+	g.AddEdge(2, 4)
+	g.AddEdge(2, 0)
+	g.AddEdge(2, 3)
+	got := g.Neighbors(2)
+	want := []int{0, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("Neighbors = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Neighbors = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTopologies(t *testing.T) {
+	tests := []struct {
+		name      string
+		g         *Graph
+		wantEdges int
+		wantMaxD  int
+		connected bool
+	}{
+		{name: "line5", g: Line(5), wantEdges: 4, wantMaxD: 2, connected: true},
+		{name: "ring5", g: Ring(5), wantEdges: 5, wantMaxD: 2, connected: true},
+		{name: "ring2", g: Ring(2), wantEdges: 1, wantMaxD: 1, connected: true},
+		{name: "star6", g: Star(6), wantEdges: 5, wantMaxD: 5, connected: true},
+		{name: "clique4", g: Clique(4), wantEdges: 6, wantMaxD: 3, connected: true},
+		{name: "grid3x3", g: Grid(3, 3), wantEdges: 12, wantMaxD: 4, connected: true},
+		{name: "empty3", g: New(3), wantEdges: 0, wantMaxD: 0, connected: false},
+		{name: "single", g: New(1), wantEdges: 0, wantMaxD: 0, connected: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := len(tt.g.Edges()); got != tt.wantEdges {
+				t.Errorf("edges = %d, want %d", got, tt.wantEdges)
+			}
+			if got := tt.g.MaxDegree(); got != tt.wantMaxD {
+				t.Errorf("max degree = %d, want %d", got, tt.wantMaxD)
+			}
+			if got := tt.g.Connected(); got != tt.connected {
+				t.Errorf("connected = %v, want %v", got, tt.connected)
+			}
+		})
+	}
+}
+
+func TestDistancesLine(t *testing.T) {
+	g := Line(6)
+	d := g.Distances(0)
+	for i := 0; i < 6; i++ {
+		if d[i] != i {
+			t.Fatalf("dist(0,%d) = %d, want %d", i, d[i], i)
+		}
+	}
+}
+
+func TestDistancesUnreachable(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	d := g.Distances(0)
+	if d[2] != -1 {
+		t.Fatalf("dist to unreachable = %d, want -1", d[2])
+	}
+}
+
+func TestGreedyColoringLegal(t *testing.T) {
+	for _, g := range []*Graph{Line(10), Ring(11), Grid(4, 5), Clique(6), Star(8)} {
+		colors := g.GreedyColoring(nil)
+		if err := g.LegalColoring(colors); err != nil {
+			t.Fatalf("greedy colouring illegal: %v", err)
+		}
+		maxC := 0
+		for _, c := range colors {
+			if c > maxC {
+				maxC = c
+			}
+		}
+		if maxC > g.MaxDegree() {
+			t.Fatalf("greedy used colour %d > δ=%d", maxC, g.MaxDegree())
+		}
+	}
+}
+
+func TestLegalColoringRejects(t *testing.T) {
+	g := Line(3)
+	if err := g.LegalColoring([]int{1, 1, 2}); err == nil {
+		t.Fatal("monochromatic edge accepted")
+	}
+	if err := g.LegalColoring([]int{1, 2}); err == nil {
+		t.Fatal("wrong-length colouring accepted")
+	}
+	if err := g.LegalColoring([]int{1, 2, 1}); err != nil {
+		t.Fatalf("legal colouring rejected: %v", err)
+	}
+}
+
+func TestRandomGeometricDeterministic(t *testing.T) {
+	g1, p1 := RandomGeometric(20, 0.3, rand.New(rand.NewPCG(5, 5)))
+	g2, p2 := RandomGeometric(20, 0.3, rand.New(rand.NewPCG(5, 5)))
+	if len(g1.Edges()) != len(g2.Edges()) {
+		t.Fatal("same seed, different graphs")
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("same seed, different positions")
+		}
+	}
+}
+
+func TestConnectedGeometric(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 9))
+	g, pts, err := ConnectedGeometric(30, 0.35, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Connected() {
+		t.Fatal("ConnectedGeometric returned disconnected graph")
+	}
+	if len(pts) != 30 {
+		t.Fatalf("got %d points", len(pts))
+	}
+}
+
+func TestConnectedGeometricImpossible(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 9))
+	if _, _, err := ConnectedGeometric(50, 0.001, rng); err == nil {
+		t.Fatal("expected failure for tiny radius")
+	}
+}
+
+func TestUnitDiskRadius(t *testing.T) {
+	pts := []Point{{0, 0}, {0.5, 0}, {1.0, 0}}
+	g := UnitDisk(pts, 0.5)
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 2) || g.HasEdge(0, 2) {
+		t.Fatalf("unit disk edges wrong: %v", g.Edges())
+	}
+}
+
+func TestLogStar(t *testing.T) {
+	tests := []struct{ n, want int }{
+		{1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {16, 3}, {17, 4}, {65536, 4}, {65537, 5}, {1 << 20, 5},
+	}
+	for _, tt := range tests {
+		if got := LogStar(tt.n); got != tt.want {
+			t.Errorf("LogStar(%d) = %d, want %d", tt.n, got, tt.want)
+		}
+	}
+}
+
+// TestGreedyColoringProperty checks legality on random graphs via quick.
+func TestGreedyColoringProperty(t *testing.T) {
+	prop := func(seed uint64, nRaw uint8, p uint8) bool {
+		n := int(nRaw%30) + 2
+		rng := rand.New(rand.NewPCG(seed, seed))
+		g := New(n)
+		prob := float64(p%100) / 100
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < prob {
+					g.AddEdge(i, j)
+				}
+			}
+		}
+		colors := g.GreedyColoring(nil)
+		return g.LegalColoring(colors) == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistancesSymmetricProperty(t *testing.T) {
+	prop := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 1))
+		g, _ := RandomGeometric(15, 0.4, rng)
+		for u := 0; u < g.N(); u++ {
+			du := g.Distances(u)
+			for v := 0; v < g.N(); v++ {
+				if g.Distances(v)[u] != du[v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *Graph
+		want int
+	}{
+		{name: "line6", g: Line(6), want: 5},
+		{name: "ring8", g: Ring(8), want: 4},
+		{name: "clique5", g: Clique(5), want: 1},
+		{name: "grid3x4", g: Grid(3, 4), want: 5},
+		{name: "single", g: New(1), want: 0},
+		{name: "edgeless", g: New(3), want: 0},
+	}
+	for _, tt := range tests {
+		if got := tt.g.Diameter(); got != tt.want {
+			t.Errorf("%s: diameter = %d, want %d", tt.name, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package harness
+
+import (
+	"lme/internal/core"
+	"lme/internal/doorway"
+	"lme/internal/manet"
+	"lme/internal/metrics"
+	"lme/internal/sim"
+)
+
+// probeMsg announces a doorway position change for the probe protocol.
+type probeMsg struct {
+	Sync  bool
+	Cross bool
+}
+
+// probeProto exercises a bare double doorway (an asynchronous doorway
+// enclosing a synchronous one, Figure 3) with no module behind it —
+// experiment E7's instrument for Lemma 1's O(δT) traversal bound.
+type probeProto struct {
+	env core.Env
+	ad  *doorway.Doorway
+	sd  *doorway.Doorway
+
+	entryAt sim.Time
+	waiting bool
+	samples []sim.Time
+	crossed func() // notifies the external driver
+}
+
+var _ core.Protocol = (*probeProto)(nil)
+
+func (p *probeProto) Init(env core.Env) {
+	p.env = env
+	p.ad = doorway.New(doorway.Asynchronous, env.Neighbors(),
+		func(cross bool) { env.Broadcast(probeMsg{Sync: false, Cross: cross}) },
+		func() { p.sd.BeginEntry() })
+	p.sd = doorway.New(doorway.Synchronous, env.Neighbors(),
+		func(cross bool) { env.Broadcast(probeMsg{Sync: true, Cross: cross}) },
+		func() {
+			if p.waiting {
+				p.waiting = false
+				p.samples = append(p.samples, p.env.Now()-p.entryAt)
+			}
+			if p.crossed != nil {
+				p.crossed()
+			}
+		})
+}
+
+// enter starts the double-doorway entry code.
+func (p *probeProto) enter() {
+	p.entryAt = p.env.Now()
+	p.waiting = true
+	p.ad.BeginEntry()
+}
+
+// leave runs the double-doorway exit code.
+func (p *probeProto) leave() {
+	p.sd.Exit()
+	p.ad.Exit()
+}
+
+func (p *probeProto) OnMessage(from core.NodeID, msg core.Message) {
+	m, ok := msg.(probeMsg)
+	if !ok {
+		return
+	}
+	pos := doorway.Outside
+	if m.Cross {
+		pos = doorway.Behind
+	}
+	if m.Sync {
+		p.sd.Observe(from, pos)
+	} else {
+		p.ad.Observe(from, pos)
+	}
+}
+
+func (p *probeProto) OnLinkUp(peer core.NodeID, iAmMoving bool) {
+	p.ad.AddNeighbor(peer, doorway.Outside)
+	p.sd.AddNeighbor(peer, doorway.Outside)
+}
+
+func (p *probeProto) OnLinkDown(peer core.NodeID) {
+	p.ad.Forget(peer)
+	p.sd.Forget(peer)
+}
+
+func (p *probeProto) BecomeHungry()     {}
+func (p *probeProto) ExitCS()           {}
+func (p *probeProto) State() core.State { return core.Thinking }
+
+// doorwayProbe runs n mutually-adjacent probes that repeatedly enter the
+// double doorway, hold it for hold time units, and exit; it returns the
+// traversal latency statistics.
+func doorwayProbe(n int, hold, horizon sim.Time) (metrics.Stats, error) {
+	cfg := manet.DefaultConfig()
+	cfg.Seed = uint64(n)
+	cfg.Radius = 1.0
+	w := manet.NewWorld(cfg)
+	probes := make([]*probeProto, n)
+	for i := 0; i < n; i++ {
+		probes[i] = &probeProto{}
+		w.SetProtocol(w.AddNode(CliquePoints(n)[i]), probes[i])
+	}
+	if err := w.Start(); err != nil {
+		return metrics.Stats{}, err
+	}
+	sched := w.Scheduler()
+	for i, p := range probes {
+		p := p
+		// On crossing, hold then exit then re-enter after a short gap.
+		p.crossed = func() {
+			sched.After(hold, func() {
+				p.leave()
+				sched.After(2_000, p.enter)
+			})
+		}
+		sched.At(sim.Time(i)*500, p.enter)
+	}
+	if err := sched.RunUntil(horizon, 0); err != nil {
+		return metrics.Stats{}, err
+	}
+	var all []sim.Time
+	for _, p := range probes {
+		all = append(all, p.samples...)
+	}
+	return metrics.Summarize(all), nil
+}

@@ -1,0 +1,997 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"lme/internal/baseline"
+	"lme/internal/coloring"
+	"lme/internal/core"
+	"lme/internal/graph"
+	"lme/internal/lme1"
+	"lme/internal/lme2"
+	"lme/internal/manet"
+	"lme/internal/metrics"
+	"lme/internal/sim"
+	"lme/internal/workload"
+)
+
+// Quality scales an experiment's sweep sizes and horizons.
+type Quality int
+
+// Quick is sized for unit tests and testing.B iterations; Full is the
+// configuration whose output EXPERIMENTS.md records.
+const (
+	Quick Quality = iota + 1
+	Full
+)
+
+// Experiment is one reproducible unit of the paper's evaluation (see the
+// per-experiment index in DESIGN.md §2).
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(q Quality) (*Table, error)
+}
+
+// Experiments lists every experiment in DESIGN.md order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{ID: "E1", Title: "Table 1: comparison of algorithms (measured)", Run: Table1},
+		{ID: "E2", Title: "Empirical failure locality after a crash", Run: FailureLocality},
+		{ID: "E3", Title: "Static chain response time vs n (Theorem 26)", Run: StaticChain},
+		{ID: "E4", Title: "Algorithm 2 under mobility vs n (Theorem 25)", Run: MobileAlg2},
+		{ID: "E5", Title: "Algorithm 1 response time vs δ and n (Theorems 17/23)", Run: Alg1Scaling},
+		{ID: "E6", Title: "Recolouring rounds and palette (Lemmas 15/21)", Run: ColoringScaling},
+		{ID: "E7", Title: "Double doorway traversal vs δ (Lemmas 1–2)", Run: DoorwayLatency},
+		{ID: "E8", Title: "Figure 6 scenario: crash, blocking, recovery by movement", Run: Figure6},
+		{ID: "E9", Title: "Safety sweep: violations across algorithms and conditions", Run: SafetySweep},
+		{ID: "E10", Title: "Message complexity per critical section (paper's future work, Ch. 7)", Run: MessageComplexity},
+		{ID: "E11", Title: "Locality dividend: local vs global mutual exclusion throughput (Ch. 1)", Run: LocalityDividend},
+		{ID: "E12", Title: "FIFO-link assumption ablation (Ch. 7 open question)", Run: FIFOAblation},
+	}
+}
+
+// algName identifies an algorithm row in the tables.
+type algName string
+
+const (
+	algCM       algName = "chandy-misra"
+	algCS       algName = "choy-singh"
+	algA1Greedy algName = "alg1-greedy"
+	algA1Linial algName = "alg1-linial"
+	algA1Reduce algName = "alg1-linial-reduce"
+	algA2       algName = "alg2"
+	algA2NoNtf  algName = "alg2-nonotify"
+	algGlobal   algName = "global-token"
+)
+
+// paperFL and paperRT are the claimed bounds from Table 1 of the paper.
+var (
+	paperFL = map[algName]string{
+		algCM:       "n",
+		algCS:       "4",
+		algA1Greedy: "n",
+		algA1Linial: "max(log*n,4)+2",
+		algA1Reduce: "max(log*n,4)+2",
+		algA2:       "2",
+		algA2NoNtf:  "2",
+	}
+	paperRT = map[algName]string{
+		algCM:       "O(n)",
+		algCS:       "O(δ²)",
+		algA1Greedy: "O((n+δ³)δ)",
+		algA1Linial: "O((log*n+δ⁴)δ)",
+		algA1Reduce: "O((log*n+δ²+δ³)δ)",
+		algA2:       "O(n²);O(n) static",
+		algA2NoNtf:  "O(n²)",
+	}
+)
+
+// factoryFor builds the protocol factory of an algorithm for the given
+// layout (some algorithms need n, δ or the static graph).
+func factoryFor(a algName, pts []graph.Point, radius float64) func(core.NodeID) core.Protocol {
+	g := graph.UnitDisk(pts, radius)
+	n := len(pts)
+	delta := max(g.MaxDegree(), 1)
+	switch a {
+	case algCM:
+		return func(core.NodeID) core.Protocol { return baseline.NewChandyMisra() }
+	case algCS:
+		return baseline.NewChoySingh(g)
+	case algA1Greedy:
+		return func(core.NodeID) core.Protocol {
+			return lme1.New(lme1.Config{Variant: lme1.VariantGreedy})
+		}
+	case algA1Linial:
+		return func(core.NodeID) core.Protocol {
+			return lme1.New(lme1.Config{Variant: lme1.VariantLinial, N: n, Delta: delta})
+		}
+	case algA1Reduce:
+		return func(core.NodeID) core.Protocol {
+			return lme1.New(lme1.Config{Variant: lme1.VariantLinialReduce, N: n, Delta: delta})
+		}
+	case algA2:
+		return func(core.NodeID) core.Protocol { return lme2.New() }
+	case algA2NoNtf:
+		return func(core.NodeID) core.Protocol { return baseline.NewNoNotify() }
+	case algGlobal:
+		return baseline.NewGlobalToken(g)
+	default:
+		panic(fmt.Sprintf("harness: unknown algorithm %q", a))
+	}
+}
+
+// ms renders a sim.Time with sub-millisecond precision.
+func ms(t sim.Time) string {
+	return fmt.Sprintf("%.2fms", float64(t)/1000)
+}
+
+// runStatic builds and runs a static workload and returns the run.
+func runStatic(a algName, pts []graph.Point, radius float64, seed uint64, horizon sim.Time, wl workload.Config) (*Run, error) {
+	r, err := Build(Spec{
+		Seed:        seed,
+		Points:      pts,
+		Radius:      radius,
+		NewProtocol: factoryFor(a, pts, radius),
+		Workload:    wl,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := r.RunFor(horizon); err != nil {
+		return nil, fmt.Errorf("%s: %w", a, err)
+	}
+	return r, nil
+}
+
+// Table1 measures every algorithm on one common random geometric topology:
+// static response time, response time under mobility, empirical blocked
+// radius around a crash, and safety violations — the measured counterpart
+// of the paper's Table 1.
+func Table1(q Quality) (*Table, error) {
+	n, horizon := 48, sim.Time(6_000_000)
+	if q == Quick {
+		n, horizon = 24, 2_000_000
+	}
+	radius := ConnectedRadius(n)
+	pts, err := GeometricPoints(n, radius, 11)
+	if err != nil {
+		return nil, err
+	}
+	wl := workload.Config{EatTime: 5_000, ThinkMax: 10_000, InitialStagger: 5_000}
+	t := &Table{
+		ID:    "E1",
+		Title: fmt.Sprintf("Table 1 measured on a connected geometric graph (n=%d, δ=%d)", n, graph.UnitDisk(pts, radius).MaxDegree()),
+		Header: []string{"algorithm", "FL (paper)", "FL (measured)", "RT (paper)",
+			"RT static mean", "RT static p95", "RT mobile mean", "violations"},
+	}
+	algs := []algName{algCM, algCS, algA1Greedy, algA1Linial, algA2}
+	for _, a := range algs {
+		// Static run.
+		rs, err := runStatic(a, pts, radius, 21, horizon, wl)
+		if err != nil {
+			return nil, err
+		}
+		stStatic := rs.Recorder.Stats()
+		violations := len(rs.Checker.Violations())
+
+		// Mobile run (Choy–Singh is a static-only baseline).
+		mobileMean := "n/a"
+		if a != algCS {
+			rm, err := Build(Spec{
+				Seed: 22, Points: pts, Radius: radius,
+				NewProtocol: factoryFor(a, pts, radius),
+				Workload:    wl,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if err := rm.Start(); err != nil {
+				return nil, err
+			}
+			movers := []core.NodeID{1, 7, 13, 19}
+			manet.Waypoint{Speed: 0.3, PauseMin: 100_000, PauseMax: 400_000, Until: horizon * 3 / 4}.
+				Attach(rm.World, movers)
+			if err := rm.RunFor(horizon); err != nil {
+				return nil, fmt.Errorf("%s mobile: %w", a, err)
+			}
+			mobileMean = ms(rm.Recorder.Stats().Mean)
+			violations += len(rm.Checker.Violations())
+		}
+
+		// Crash run: fail the highest-degree node mid-run and measure
+		// the blocked radius.
+		radiusMeasured, err := blockedRadius(a, pts, radius, 23, horizon)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(string(a), paperFL[a], radiusMeasured, paperRT[a],
+			ms(stStatic.Mean), ms(stStatic.P95), mobileMean, violations)
+	}
+	t.AddNote("FL (measured) = max graph distance from the crashed node to a node blocked for the rest of the run; saturated workload")
+	t.AddNote("absolute times depend on the simulator's ν=10ms, τ=5ms; orderings and growth are the comparable quantities")
+	return t, nil
+}
+
+// blockedRadius crashes the max-degree node of the layout under a
+// saturated workload and reports the empirical failure locality.
+func blockedRadius(a algName, pts []graph.Point, radius float64, seed uint64, horizon sim.Time) (int, error) {
+	g := graph.UnitDisk(pts, radius)
+	victim := 0
+	for v := 1; v < g.N(); v++ {
+		if g.Degree(v) > g.Degree(victim) {
+			victim = v
+		}
+	}
+	r, err := Build(Spec{
+		Seed: seed, Points: pts, Radius: radius,
+		NewProtocol: factoryFor(a, pts, radius),
+		Workload:    workload.Config{EatTime: 4_000}, // saturated
+	})
+	if err != nil {
+		return 0, err
+	}
+	crashAt := horizon / 4
+	r.World.CrashAt(core.NodeID(victim), crashAt)
+	if err := r.RunFor(horizon); err != nil {
+		return 0, fmt.Errorf("%s crash run: %w", a, err)
+	}
+	blocked := r.Prober.StarvedSince(crashAt + (horizon-crashAt)/3)
+	return metrics.BlockedRadius(r.World.CommGraph(), core.NodeID(victim), blocked), nil
+}
+
+// FailureLocality measures the blocked radius on lines and geometric
+// graphs for the algorithms with contrasting failure localities.
+func FailureLocality(q Quality) (*Table, error) {
+	lineN, horizon := 32, sim.Time(8_000_000)
+	seeds := []uint64{31, 32, 33}
+	if q == Quick {
+		lineN, horizon = 16, 3_000_000
+		seeds = seeds[:1]
+	}
+	t := &Table{
+		ID:     "E2",
+		Title:  "Empirical failure locality: blocked radius after one crash (saturated workload)",
+		Header: []string{"algorithm", "FL (paper)", "line radius", "geometric radius"},
+	}
+	geoPts, err := GeometricPoints(lineN, ConnectedRadius(lineN), 17)
+	if err != nil {
+		return nil, err
+	}
+	for _, a := range []algName{algCM, algA1Greedy, algA1Linial, algA2} {
+		lineMax, geoMax := 0, 0
+		for _, seed := range seeds {
+			lr, err := blockedRadius(a, LinePoints(lineN, 0.1), 0.11, seed, horizon)
+			if err != nil {
+				return nil, err
+			}
+			gr, err := blockedRadius(a, geoPts, ConnectedRadius(lineN), seed, horizon)
+			if err != nil {
+				return nil, err
+			}
+			lineMax = max(lineMax, lr)
+			geoMax = max(geoMax, gr)
+		}
+		t.AddRow(string(a), paperFL[a], lineMax, geoMax)
+	}
+	t.AddNote("radius is the worst case over %d seeds; n=%d; the paper predicts alg2 ≤ 2 and large radii for chandy-misra/alg1-greedy", len(seeds), lineN)
+	return t, nil
+}
+
+// StaticChain measures two things on static lines. Part one sweeps the
+// line length under saturation: Theorem 26 predicts Algorithm 2's worst
+// response grows linearly in n, and Chandy–Misra's convoy effect grows
+// faster. Part two is the scripted interference scenario that isolates
+// what the notification mechanism buys (the Theorem 26 discussion): a
+// hungry node whose thinking higher-priority neighbour becomes hungry
+// mid-collection loses its shared fork to a priority steal without
+// notifications, and does not with them.
+func StaticChain(q Quality) (*Table, error) {
+	ns := []int{8, 16, 32, 64}
+	horizon := sim.Time(20_000_000)
+	if q == Quick {
+		ns = []int{8, 16}
+		horizon = 6_000_000
+	}
+	t := &Table{
+		ID:     "E3",
+		Title:  "Static line: saturated sweep (top) and scripted priority-steal scenario (bottom)",
+		Header: []string{"measurement", "n", "alg2", "alg2-nonotify", "chandy-misra"},
+	}
+	wl := workload.Config{EatTime: 4_000}
+	for _, n := range ns {
+		row := []any{"max RT, saturated", n}
+		for _, a := range []algName{algA2, algA2NoNtf, algCM} {
+			r, err := runStatic(a, LinePoints(n, 0.1), 0.11, 41, horizon, wl)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, ms(r.Recorder.Stats().Max))
+		}
+		t.AddRow(row...)
+	}
+	for _, n := range ns {
+		row := []any{"victim RT, steal scenario", n}
+		for _, a := range []algName{algA2, algA2NoNtf} {
+			resp, err := stealScenario(a, n)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, ms(resp))
+		}
+		row = append(row, "n/a")
+		t.AddRow(row...)
+	}
+	t.AddNote("steal scenario: node 0 eats; node 1 becomes hungry and waits; nodes 2..n-1 become hungry staggered — without notifications node 2 (thinking, higher priority) steals node 1's shared fork and delays it by ~τ")
+	t.AddNote("the O(n) vs O(n²) separation of Theorem 26 is an adversarial worst-case bound: uniform random schedules do not realise it, because each priority steal reverses the stolen edge (self-stabilisation); the steal scenario shows the mechanism itself")
+	return t, nil
+}
+
+// stealScenario runs the scripted interference chain and returns the
+// victim's (node 1) response time.
+func stealScenario(a algName, n int) (sim.Time, error) {
+	pts := LinePoints(n, 0.1)
+	r, err := Build(Spec{
+		Seed: 1, Points: pts, Radius: 0.11,
+		NewProtocol: factoryFor(a, pts, 0.11),
+		Workload:    workload.Config{Participants: []core.NodeID{}}, // scripted
+		MinDelay:    1_000, MaxDelay: 1_000,
+	})
+	if err != nil {
+		return 0, err
+	}
+	if err := r.Start(); err != nil {
+		return 0, err
+	}
+	w := r.World
+	sched := w.Scheduler()
+	const (
+		eat      = sim.Time(10_000)
+		hungryAt = sim.Time(1_000)
+	)
+	// One-shot dining: every eater leaves the CS after eat time and
+	// never becomes hungry again.
+	w.AddStateListener(core.ListenerFunc(func(id core.NodeID, old, new core.State, at sim.Time) {
+		if new == core.Eating {
+			p := w.Protocol(id)
+			sched.After(eat, func() {
+				if p.State() == core.Eating {
+					p.ExitCS()
+				}
+			})
+		}
+	}))
+	resp := sim.Time(-1)
+	w.AddStateListener(core.ListenerFunc(func(id core.NodeID, old, new core.State, at sim.Time) {
+		if id == 1 && new == core.Eating && resp < 0 {
+			resp = at - hungryAt
+		}
+	}))
+	sched.At(0, func() { w.Protocol(0).BecomeHungry() })
+	sched.At(hungryAt, func() { w.Protocol(1).BecomeHungry() })
+	for i := 2; i < n; i++ {
+		i := i
+		sched.At(hungryAt+sim.Time(i-1)*5_000, func() { w.Protocol(core.NodeID(i)).BecomeHungry() })
+	}
+	if err := r.RunFor(sim.Time(n)*60_000 + 2_000_000); err != nil {
+		return 0, err
+	}
+	if resp < 0 {
+		return 0, fmt.Errorf("%s steal scenario: victim never ate", a)
+	}
+	return resp, nil
+}
+
+// MobileAlg2 sweeps system size for Algorithm 2 under waypoint mobility.
+func MobileAlg2(q Quality) (*Table, error) {
+	ns := []int{16, 32, 64}
+	horizon := sim.Time(10_000_000)
+	if q == Quick {
+		ns = []int{16, 32}
+		horizon = 4_000_000
+	}
+	t := &Table{
+		ID:     "E4",
+		Title:  "Algorithm 2 under waypoint mobility vs n",
+		Header: []string{"n", "δ", "RT mean", "RT p95", "RT max", "meals", "violations"},
+	}
+	for i, n := range ns {
+		radius := ConnectedRadius(n)
+		pts, err := GeometricPoints(n, radius, 51+uint64(i))
+		if err != nil {
+			return nil, err
+		}
+		r, err := Build(Spec{
+			Seed: 52, Points: pts, Radius: radius,
+			NewProtocol: factoryFor(algA2, pts, radius),
+			Workload:    workload.Config{EatTime: 5_000, ThinkMax: 10_000, InitialStagger: 5_000},
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := r.Start(); err != nil {
+			return nil, err
+		}
+		var movers []core.NodeID
+		for m := 0; m < n; m += 4 {
+			movers = append(movers, core.NodeID(m))
+		}
+		manet.Waypoint{Speed: 0.3, PauseMin: 100_000, PauseMax: 400_000, Until: horizon * 3 / 4}.
+			Attach(r.World, movers)
+		if err := r.RunFor(horizon); err != nil {
+			return nil, err
+		}
+		st := r.Recorder.Stats()
+		meals := 0
+		for v := 0; v < n; v++ {
+			meals += r.Recorder.EatCount(core.NodeID(v))
+		}
+		t.AddRow(n, graph.UnitDisk(pts, radius).MaxDegree(), ms(st.Mean), ms(st.P95), ms(st.Max),
+			meals, len(r.Checker.Violations()))
+	}
+	t.AddNote("Theorem 25: response stays bounded (O(n²)) and safety holds (violations must be 0) despite movement")
+	return t, nil
+}
+
+// Alg1Scaling measures Algorithm 1's static response time against δ (at
+// fixed n) and against n (at roughly fixed δ).
+func Alg1Scaling(q Quality) (*Table, error) {
+	horizon := sim.Time(8_000_000)
+	radii := []float64{0.24, 0.3, 0.38}
+	ns := []int{16, 32, 64}
+	if q == Quick {
+		horizon = 3_000_000
+		radii = radii[:2]
+		ns = ns[:2]
+	}
+	t := &Table{
+		ID:     "E5",
+		Title:  "Algorithm 1 static response time vs δ (n=36) and vs n (δ≈5)",
+		Header: []string{"sweep", "n", "δ", "greedy mean", "greedy p95", "linial mean", "linial p95"},
+	}
+	wl := workload.Config{EatTime: 5_000, ThinkMax: 10_000, InitialStagger: 5_000}
+	for _, radius := range radii {
+		pts, err := GeometricPoints(36, radius, 61)
+		if err != nil {
+			return nil, err
+		}
+		row := []any{"δ", 36, graph.UnitDisk(pts, radius).MaxDegree()}
+		for _, a := range []algName{algA1Greedy, algA1Linial} {
+			r, err := runStatic(a, pts, radius, 62, horizon, wl)
+			if err != nil {
+				return nil, err
+			}
+			st := r.Recorder.Stats()
+			row = append(row, ms(st.Mean), ms(st.P95))
+		}
+		t.AddRow(row...)
+	}
+	for _, n := range ns {
+		// Keep expected degree roughly constant: r ~ sqrt(c/n),
+		// floored at the connectivity threshold.
+		radius := math.Max(0.22*math.Sqrt(32.0/float64(n)), ConnectedRadius(n))
+		pts, err := GeometricPoints(n, radius, 63)
+		if err != nil {
+			return nil, err
+		}
+		row := []any{"n", n, graph.UnitDisk(pts, radius).MaxDegree()}
+		for _, a := range []algName{algA1Greedy, algA1Linial} {
+			r, err := runStatic(a, pts, radius, 64, horizon, wl)
+			if err != nil {
+				return nil, err
+			}
+			st := r.Recorder.Stats()
+			row = append(row, ms(st.Mean), ms(st.P95))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("Theorems 17/23: static response is polynomial in δ with only weak n dependence (colours collapse to [0,δ] after first meals)")
+	return t, nil
+}
+
+// ColoringScaling compares the two recolouring procedures when all nodes
+// start concurrently: rounds to terminate and palette size (Lemma 15 vs
+// Lemma 21). Pure computation — no network needed.
+func ColoringScaling(q Quality) (*Table, error) {
+	ns := []int{16, 64, 256}
+	if q == Quick {
+		ns = []int{16, 64}
+	}
+	t := &Table{
+		ID:     "E6",
+		Title:  "Recolouring with all nodes concurrent: rounds and palette size",
+		Header: []string{"graph", "n", "δ", "diam", "log*n", "greedy rounds", "greedy palette", "linial rounds", "linial palette"},
+	}
+	for _, n := range ns {
+		ringRow, err := coloringRow("ring", graph.Ring(n))
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(ringRow...)
+		side := 1
+		for side*side < n {
+			side++
+		}
+		gridRow, err := coloringRow("grid", graph.Grid(side, side))
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(gridRow...)
+		rng := sim.NewScheduler(uint64(n)).Rand()
+		g, _, err := graph.ConnectedGeometric(n, ConnectedRadius(n), rng)
+		if err != nil {
+			return nil, err
+		}
+		geoRow, err := coloringRow("geometric", g)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(geoRow...)
+	}
+	// Very large bounded-degree systems are where the Linial variant's
+	// O(log* n) rounds shine; the greedy flood is too expensive to
+	// simulate there, which is itself Lemma 15's point.
+	for _, n := range []int{1 << 12, 1 << 16, 1 << 20} {
+		for _, delta := range []int{2, 4} {
+			sched, err := coloring.Schedule(n, delta)
+			if err != nil {
+				return nil, err
+			}
+			final, err := coloring.FinalPalette(n, delta)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(fmt.Sprintf("bounded-degree δ=%d", delta), n, delta, "-", graph.LogStar(n),
+				"≈diameter", "≤δ+1", len(sched), final)
+		}
+	}
+	t.AddNote("Lemma 15: greedy needs Θ(diameter)=O(n) rounds, palette ≤ δ+1; Lemma 21: Linial needs O(log* n) rounds, palette O(δ²)")
+	t.AddNote("for dense geometric rows δ² approaches n, so the Linial reduction has little to do — its regime is large sparse systems (bottom rows)")
+	return t, nil
+}
+
+func coloringRow(name string, g *graph.Graph) ([]any, error) {
+	delta := max(g.MaxDegree(), 1)
+	gRounds, gPalette := greedyFloodRounds(g)
+	sched, err := coloring.Schedule(g.N(), delta)
+	if err != nil {
+		return nil, err
+	}
+	final, err := coloring.FinalPalette(g.N(), delta)
+	if err != nil {
+		return nil, err
+	}
+	return []any{name, g.N(), delta, g.Diameter(), graph.LogStar(g.N()), gRounds, gPalette, len(sched), final}, nil
+}
+
+// greedyFloodRounds simulates Algorithm 4 with every node starting
+// concurrently in synchronous rounds: each round every node merges its
+// neighbours' conflict graphs; the procedure ends when no graph changes.
+// Returns the round count and the palette size of the final greedy
+// colouring.
+func greedyFloodRounds(g *graph.Graph) (rounds, palette int) {
+	sets := make([]coloring.EdgeSet, g.N())
+	for v := range sets {
+		sets[v] = coloring.NewEdgeSet()
+		for _, u := range g.Neighbors(v) {
+			sets[v].Add(core.NodeID(v), core.NodeID(u))
+		}
+	}
+	for {
+		rounds++
+		next := make([]coloring.EdgeSet, g.N())
+		changed := false
+		for v := range sets {
+			next[v] = sets[v].Clone()
+			for _, u := range g.Neighbors(v) {
+				if next[v].Union(sets[u]) {
+					changed = true
+				}
+			}
+		}
+		sets = next
+		if !changed {
+			break
+		}
+	}
+	maxColor := 0
+	for v := 0; v < g.N(); v++ {
+		if c := coloring.GreedyColor(sets[v], core.NodeID(v)); c > maxColor {
+			maxColor = c
+		}
+	}
+	return rounds, maxColor + 1
+}
+
+// MobilitySpec appears in Figure6's table rows.
+// Figure6 runs the §5.1 scenario and reports the phase outcomes.
+func Figure6(q Quality) (*Table, error) {
+	colors := map[core.NodeID]int{0: 3, 1: 2, 3: 1, 2: 4}
+	pts := []graph.Point{{X: 0}, {X: 0.1}, {X: 0.3}, {X: 0.2}}
+	r, err := Build(Spec{
+		Seed:   71,
+		Points: pts,
+		Radius: 0.11,
+		NewProtocol: func(id core.NodeID) core.Protocol {
+			return lme1.New(lme1.Config{
+				Variant:      lme1.VariantGreedy,
+				InitialColor: func(id core.NodeID) int { return colors[id] },
+			})
+		},
+		Workload: workload.Config{
+			EatTime: 5_000, ThinkMin: 5_000, ThinkMax: 5_000,
+			Participants: []core.NodeID{0, 1, 3},
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.World.CrashAt(2, 0) // p4 dies holding the p3–p4 fork
+	const phase1 = sim.Time(3_000_000)
+	if err := r.RunFor(phase1); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "E8",
+		Title:  "Figure 6 scenario: p1—p2—p3—p4 (colours 3,2,1,4), p4 crashed holding p3's fork",
+		Header: []string{"phase", "p1 meals", "p2 meals", "p3 meals"},
+	}
+	meals := func() (int, int, int) {
+		return r.Recorder.EatCount(0), r.Recorder.EatCount(1), r.Recorder.EatCount(3)
+	}
+	m1, m2, m3 := meals()
+	t.AddRow("after crash (3s)", m1, m2, m3)
+	// p3 moves away; p2 recovers through the return path.
+	r.World.JumpAt(3, graph.Point{X: 0.9, Y: 0.9}, 20_000, phase1+100_000)
+	if err := r.RunFor(3_000_000); err != nil {
+		return nil, err
+	}
+	n1, n2, n3 := meals()
+	t.AddRow("after p3 moves (6s)", n1, n2, n3)
+	t.AddNote("expected shape: phase 1 blocks p2 and p3 (within failure locality), p1 progresses; phase 2 frees p2 via the doorway return path and p3 eats alone")
+	if q == Full && (m2 != 0 || m3 != 0 || n2 == 0 || n3 == 0) {
+		t.AddNote("WARNING: observed counts deviate from the expected shape")
+	}
+	return t, nil
+}
+
+// SafetySweep runs every algorithm under static, mobile and crashy
+// conditions and reports violations (which must all be zero) and
+// starvation counts.
+func SafetySweep(q Quality) (*Table, error) {
+	n, horizon := 20, sim.Time(4_000_000)
+	seeds := []uint64{81, 82, 83}
+	if q == Quick {
+		seeds = seeds[:1]
+		horizon = 2_000_000
+	}
+	t := &Table{
+		ID:     "E9",
+		Title:  "Safety sweep: mutual exclusion violations (must be 0)",
+		Header: []string{"algorithm", "static viol", "mobile viol", "crashy viol", "runs"},
+	}
+	radius := ConnectedRadius(n)
+	for _, a := range []algName{algCM, algCS, algA1Greedy, algA1Linial, algA1Reduce, algA2, algA2NoNtf} {
+		staticV, mobileV, crashV, runs := 0, 0, 0, 0
+		for _, seed := range seeds {
+			pts, err := GeometricPoints(n, radius, seed)
+			if err != nil {
+				return nil, err
+			}
+			// Static.
+			r, err := runStatic(a, pts, radius, seed, horizon, workload.Config{EatTime: 4_000, ThinkMax: 6_000})
+			if err != nil {
+				return nil, err
+			}
+			staticV += len(r.Checker.Violations())
+			runs++
+			if a == algCS {
+				continue // static-only baseline
+			}
+			// Mobile.
+			rm, err := Build(Spec{
+				Seed: seed, Points: pts, Radius: radius,
+				NewProtocol: factoryFor(a, pts, radius),
+				Workload:    workload.Config{EatTime: 4_000, ThinkMax: 6_000},
+			})
+			if err != nil {
+				return nil, err
+			}
+			if err := rm.Start(); err != nil {
+				return nil, err
+			}
+			manet.Waypoint{Speed: 0.4, PauseMin: 50_000, PauseMax: 200_000, Until: horizon * 2 / 3}.
+				Attach(rm.World, []core.NodeID{1, 6, 11, 16})
+			if err := rm.RunFor(horizon); err != nil {
+				return nil, err
+			}
+			mobileV += len(rm.Checker.Violations())
+			runs++
+			// Crashy + mobile.
+			rc, err := Build(Spec{
+				Seed: seed + 100, Points: pts, Radius: radius,
+				NewProtocol: factoryFor(a, pts, radius),
+				Workload:    workload.Config{EatTime: 4_000, ThinkMax: 6_000},
+			})
+			if err != nil {
+				return nil, err
+			}
+			if err := rc.Start(); err != nil {
+				return nil, err
+			}
+			rc.World.CrashAt(3, horizon/3)
+			rc.World.CrashAt(12, horizon/2)
+			manet.Waypoint{Speed: 0.4, PauseMin: 50_000, PauseMax: 200_000, Until: horizon * 2 / 3}.
+				Attach(rc.World, []core.NodeID{1, 6})
+			if err := rc.RunFor(horizon); err != nil {
+				return nil, err
+			}
+			crashV += len(rc.Checker.Violations())
+			runs++
+		}
+		t.AddRow(string(a), staticV, mobileV, crashV, runs)
+	}
+	return t, nil
+}
+
+// MessageComplexity measures protocol messages per completed critical
+// section — the performance measure the paper's Discussion chapter leaves
+// for future work. Doorway traffic makes Algorithm 1 heavier per meal
+// than the doorway-free Algorithm 2; mobility adds recolouring traffic.
+func MessageComplexity(q Quality) (*Table, error) {
+	n, horizon := 32, sim.Time(6_000_000)
+	if q == Quick {
+		n, horizon = 16, 2_000_000
+	}
+	radius := ConnectedRadius(n)
+	pts, err := GeometricPoints(n, radius, 91)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "E10",
+		Title:  fmt.Sprintf("Messages per critical section (n=%d, δ=%d)", n, graph.UnitDisk(pts, radius).MaxDegree()),
+		Header: []string{"algorithm", "static msg/meal", "static meals", "mobile msg/meal", "mobile meals", "static breakdown"},
+	}
+	wl := workload.Config{EatTime: 5_000, ThinkMax: 10_000, InitialStagger: 5_000}
+	for _, a := range []algName{algCM, algCS, algA1Greedy, algA1Linial, algA2} {
+		r, err := Build(Spec{
+			Seed: 92, Points: pts, Radius: radius,
+			NewProtocol: factoryFor(a, pts, radius),
+			Workload:    wl,
+		})
+		if err != nil {
+			return nil, err
+		}
+		byType := make(map[string]uint64)
+		r.World.SetMessageInspector(func(from, to core.NodeID, msg core.Message) {
+			byType[typeName(msg)]++
+		})
+		if err := r.RunFor(horizon); err != nil {
+			return nil, fmt.Errorf("%s: %w", a, err)
+		}
+		sMsgs, sMeals := r.World.MessagesSent(), totalMeals(r)
+		mobileCell, mobileMeals := "n/a", "n/a"
+		if a != algCS {
+			rm, err := Build(Spec{
+				Seed: 93, Points: pts, Radius: radius,
+				NewProtocol: factoryFor(a, pts, radius),
+				Workload:    wl,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if err := rm.Start(); err != nil {
+				return nil, err
+			}
+			var movers []core.NodeID
+			for m := 1; m < n; m += max(n/4, 1) {
+				movers = append(movers, core.NodeID(m))
+			}
+			manet.Waypoint{Speed: 0.3, PauseMin: 100_000, PauseMax: 400_000, Until: horizon * 3 / 4}.
+				Attach(rm.World, movers)
+			if err := rm.RunFor(horizon); err != nil {
+				return nil, err
+			}
+			meals := totalMeals(rm)
+			mobileCell = perMeal(rm.World.MessagesSent(), meals)
+			mobileMeals = fmt.Sprint(meals)
+		}
+		t.AddRow(string(a), perMeal(sMsgs, sMeals), sMeals, mobileCell, mobileMeals, breakdown(byType, sMsgs))
+	}
+	t.AddNote("msg/meal = protocol messages handed to the transport divided by completed critical sections")
+	t.AddNote("Algorithm 1 pays for doorway cross/exit broadcasts and (under mobility) recolouring rounds; Algorithm 2's notification adds O(δ) per hunger but needs no doorways")
+	return t, nil
+}
+
+func totalMeals(r *Run) int {
+	total := 0
+	for i := 0; i < r.World.N(); i++ {
+		total += r.Recorder.EatCount(core.NodeID(i))
+	}
+	return total
+}
+
+func perMeal(msgs uint64, meals int) string {
+	if meals == 0 {
+		return "∞"
+	}
+	return fmt.Sprintf("%.1f", float64(msgs)/float64(meals))
+}
+
+// typeName strips the package path and "msg" prefix from a message type.
+func typeName(m core.Message) string {
+	name := fmt.Sprintf("%T", m)
+	if i := strings.LastIndexByte(name, '.'); i >= 0 {
+		name = name[i+1:]
+	}
+	name = strings.TrimPrefix(name, "msg")
+	name = strings.TrimPrefix(name, "cm")
+	return strings.ToLower(name)
+}
+
+// breakdown renders the top message types by share of total traffic.
+func breakdown(byType map[string]uint64, total uint64) string {
+	if total == 0 {
+		return ""
+	}
+	type kv struct {
+		name  string
+		count uint64
+	}
+	var all []kv
+	for k, v := range byType {
+		all = append(all, kv{name: k, count: v})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].count != all[j].count {
+			return all[i].count > all[j].count
+		}
+		return all[i].name < all[j].name
+	})
+	var parts []string
+	for i, e := range all {
+		if i >= 3 {
+			break
+		}
+		parts = append(parts, fmt.Sprintf("%s %.0f%%", e.name, 100*float64(e.count)/float64(total)))
+	}
+	return strings.Join(parts, " ")
+}
+
+// FIFOAblation probes the Ch. 7 open question "is the FIFO link
+// assumption necessary?" empirically: the same contended runs with FIFO
+// delivery disabled. The algorithms' proofs lean on FIFO in several
+// places (doorway interleaving, colour-before-request ordering, the
+// request-after-fork invariant); this experiment reports what actually
+// breaks — safety violations and starvation counts — across seeds.
+func FIFOAblation(q Quality) (*Table, error) {
+	n, horizon := 20, sim.Time(5_000_000)
+	seeds := []uint64{101, 102, 103, 104}
+	if q == Quick {
+		seeds = seeds[:2]
+		horizon = 2_000_000
+	}
+	radius := ConnectedRadius(n)
+	t := &Table{
+		ID:     "E12",
+		Title:  fmt.Sprintf("Links without FIFO order (n=%d, %d seeds): what breaks", n, len(seeds)),
+		Header: []string{"algorithm", "FIFO viol", "FIFO starved", "non-FIFO viol", "non-FIFO starved"},
+	}
+	for _, a := range []algName{algCM, algA1Greedy, algA1Linial, algA2} {
+		var fifoV, fifoS, looseV, looseS int
+		for _, seed := range seeds {
+			pts, err := GeometricPoints(n, radius, seed)
+			if err != nil {
+				return nil, err
+			}
+			for _, nonFIFO := range []bool{false, true} {
+				r, err := Build(Spec{
+					Seed: seed, Points: pts, Radius: radius,
+					NewProtocol: factoryFor(a, pts, radius),
+					Workload:    workload.Config{EatTime: 4_000, ThinkMax: 6_000},
+					NonFIFO:     nonFIFO,
+				})
+				if err != nil {
+					return nil, err
+				}
+				// Deliberately not using RunFor: violations are
+				// the measurement here, not an error.
+				if err := r.Start(); err != nil {
+					return nil, err
+				}
+				sched := r.World.Scheduler()
+				if err := sched.RunUntil(horizon, uint64(n)*uint64(horizon/50+1_000_000)); err != nil {
+					return nil, err
+				}
+				viol := len(r.Checker.Violations())
+				starved := len(r.Prober.Blocked(horizon, horizon/3))
+				if nonFIFO {
+					looseV += viol
+					looseS += starved
+				} else {
+					fifoV += viol
+					fifoS += starved
+				}
+			}
+		}
+		t.AddRow(string(a), fifoV, fifoS, looseV, looseS)
+	}
+	t.AddNote("starved = nodes continuously hungry for the final third of the run; the FIFO columns are the control and must be 0/0")
+	t.AddNote("Ch. 7 leaves relaxing the FIFO assumption to self-stabilising variants; nonzero non-FIFO cells measure how much the published algorithms rely on it")
+	return t, nil
+}
+
+// LocalityDividend compares aggregate critical-section throughput of a
+// LOCAL mutual exclusion algorithm (Alg 2) against a GLOBAL one
+// (Raymond's tree token) on growing grids — quantifying the paper's
+// introductory argument for the local problem: exclusion is only needed
+// among radio neighbours, so distant nodes should proceed concurrently.
+func LocalityDividend(q Quality) (*Table, error) {
+	sides := []int{3, 4, 6, 8}
+	horizon := sim.Time(5_000_000)
+	if q == Quick {
+		sides = []int{3, 4}
+		horizon = 2_000_000
+	}
+	t := &Table{
+		ID:     "E11",
+		Title:  "Aggregate throughput on a grid, saturated: local (alg2) vs global (Raymond token)",
+		Header: []string{"grid", "n", "local meals", "global meals", "dividend", "serial ceiling"},
+	}
+	const eat = sim.Time(4_000)
+	for _, side := range sides {
+		pts := GridPoints(side, side, 0.1)
+		local, err := runStatic(algA2, pts, 0.11, 71, horizon, workload.Config{EatTime: eat})
+		if err != nil {
+			return nil, err
+		}
+		global, err := runStatic(algGlobal, pts, 0.11, 71, horizon, workload.Config{EatTime: eat})
+		if err != nil {
+			return nil, err
+		}
+		lm, gm := totalMeals(local), totalMeals(global)
+		dividend := "n/a"
+		if gm > 0 {
+			dividend = fmt.Sprintf("%.1fx", float64(lm)/float64(gm))
+		}
+		t.AddRow(fmt.Sprintf("%dx%d", side, side), side*side, lm, gm, dividend, int(horizon/eat))
+	}
+	t.AddNote("the global token serialises the whole system (meals ≤ horizon/τ and below, due to token travel); local mutual exclusion scales with the grid's independent sets")
+	return t, nil
+}
+
+// DoorwayLatency measures the double-doorway traversal latency against
+// the number of contenders via a dedicated probe protocol (no forks), the
+// quantity Lemmas 1–2 bound by O(δT).
+func DoorwayLatency(q Quality) (*Table, error) {
+	sizes := []int{2, 4, 8, 16}
+	if q == Quick {
+		sizes = []int{2, 4, 8}
+	}
+	t := &Table{
+		ID:     "E7",
+		Title:  "Double doorway traversal latency on a clique of contenders",
+		Header: []string{"contenders (δ+1)", "entries", "mean latency", "p95 latency", "max latency"},
+	}
+	for _, n := range sizes {
+		st, err := doorwayProbe(n, sim.Time(20_000) /* hold */, sim.Time(4_000_000))
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(n, st.Count, ms(st.Mean), ms(st.P95), ms(st.Max))
+	}
+	t.AddNote("Lemma 1: traversal is O(δT) where T is the time spent behind the doorway (hold=20ms here)")
+	return t, nil
+}
+
+// ConnectedRadius returns a radio range slightly above the connectivity
+// threshold of a random geometric graph on n nodes (sqrt(ln n/(π n)) plus
+// margin), giving expected degree ln n + 2 — the standard "sparse but
+// connected" operating point of the experiments.
+func ConnectedRadius(n int) float64 {
+	return math.Sqrt((math.Log(float64(n)) + 2) / (math.Pi * float64(n)))
+}

@@ -1,0 +1,193 @@
+// Package harness assembles complete simulation runs: world + protocol
+// instances + dining workload + safety checker + metrics, from a single
+// declarative Spec. It is algorithm-agnostic — algorithms are injected as
+// a protocol factory — and is used by the unit tests of every algorithm,
+// by the experiment suite (experiments.go) and by the benchmarks.
+package harness
+
+import (
+	"fmt"
+
+	"lme/internal/core"
+	"lme/internal/graph"
+	"lme/internal/manet"
+	"lme/internal/metrics"
+	"lme/internal/sim"
+	"lme/internal/workload"
+)
+
+// Spec declares a run.
+type Spec struct {
+	// Seed drives every random choice of the run.
+	Seed uint64
+
+	// Points are the node positions; Radius is the radio range.
+	Points []graph.Point
+	Radius float64
+
+	// NewProtocol builds the algorithm instance for each node.
+	NewProtocol func(id core.NodeID) core.Protocol
+
+	// Workload configures the dining cycle; the zero value selects
+	// workload.DefaultConfig.
+	Workload workload.Config
+
+	// MinDelay/MaxDelay override the message delay bounds when nonzero.
+	MinDelay, MaxDelay sim.Time
+
+	// NonFIFO disables FIFO link delivery (assumption ablation).
+	NonFIFO bool
+
+	// Trace, if set, receives world-level trace lines.
+	Trace func(at sim.Time, format string, args ...any)
+}
+
+// Run is an assembled simulation.
+type Run struct {
+	World    *manet.World
+	Driver   *workload.Driver
+	Checker  *metrics.SafetyChecker
+	Recorder *metrics.ResponseRecorder
+	Prober   *metrics.Prober
+	Timeline *metrics.Timeline
+
+	started bool
+}
+
+// Build assembles a run; call Start (or RunFor, which starts implicitly)
+// to execute it.
+func Build(spec Spec) (*Run, error) {
+	if len(spec.Points) == 0 {
+		return nil, fmt.Errorf("harness: no nodes")
+	}
+	if spec.NewProtocol == nil {
+		return nil, fmt.Errorf("harness: no protocol factory")
+	}
+	cfg := manet.DefaultConfig()
+	cfg.Seed = spec.Seed
+	if spec.Radius > 0 {
+		cfg.Radius = spec.Radius
+	}
+	if spec.MinDelay > 0 {
+		cfg.MinDelay = spec.MinDelay
+	}
+	if spec.MaxDelay > 0 {
+		cfg.MaxDelay = spec.MaxDelay
+	}
+	cfg.NonFIFO = spec.NonFIFO
+	w := manet.NewWorld(cfg)
+	if spec.Trace != nil {
+		w.SetTracer(spec.Trace)
+	}
+	for _, p := range spec.Points {
+		id := w.AddNode(p)
+		w.SetProtocol(id, spec.NewProtocol(id))
+	}
+
+	wcfg := spec.Workload
+	if wcfg.EatTime == 0 && wcfg.ThinkMin == 0 && wcfg.ThinkMax == 0 {
+		defaults := workload.DefaultConfig()
+		defaults.Participants = wcfg.Participants
+		wcfg = defaults
+	}
+	r := &Run{
+		World:    w,
+		Driver:   workload.New(w, wcfg),
+		Checker:  metrics.NewSafetyChecker(w),
+		Recorder: metrics.NewResponseRecorder(),
+		Prober:   metrics.NewProber(),
+		Timeline: metrics.NewTimeline(),
+	}
+	w.AddStateListener(r.Checker)
+	w.AddStateListener(r.Recorder)
+	w.AddStateListener(r.Prober)
+	w.AddStateListener(r.Timeline)
+	w.AddStateListener(r.Driver)
+	w.AddLinkListener(r.Checker)
+	w.AddMoveListener(r.Recorder)
+	return r, nil
+}
+
+// Start initialises the protocols and schedules the workload. It is
+// idempotent.
+func (r *Run) Start() error {
+	if r.started {
+		return nil
+	}
+	r.started = true
+	if err := r.World.Start(); err != nil {
+		return err
+	}
+	r.Driver.Start()
+	return nil
+}
+
+// RunFor advances virtual time by d (from the current instant) and then
+// verifies the safety invariant, returning its violation (if any) or any
+// scheduler error. The event budget guards against livelock; it scales
+// with the horizon and node count.
+func (r *Run) RunFor(d sim.Time) error {
+	if err := r.Start(); err != nil {
+		return err
+	}
+	sched := r.World.Scheduler()
+	budget := uint64(r.World.N()+1) * uint64(d/50+1_000_000)
+	if err := sched.RunUntil(sched.Now()+d, budget); err != nil {
+		return err
+	}
+	return r.Checker.Err()
+}
+
+// EveryoneAte reports whether every participant entered the critical
+// section at least once, returning the IDs of those that did not.
+func (r *Run) EveryoneAte() (bool, []core.NodeID) {
+	var hungry []core.NodeID
+	for i := 0; i < r.World.N(); i++ {
+		id := core.NodeID(i)
+		if !r.Driver.Participates(id) || r.World.Crashed(id) {
+			continue
+		}
+		if r.Recorder.EatCount(id) == 0 {
+			hungry = append(hungry, id)
+		}
+	}
+	return len(hungry) == 0, hungry
+}
+
+// LinePoints places n nodes on a horizontal line with the given spacing
+// (neighbouring nodes adjacent iff spacing ≤ radius).
+func LinePoints(n int, spacing float64) []graph.Point {
+	pts := make([]graph.Point, n)
+	for i := range pts {
+		pts[i] = graph.Point{X: float64(i) * spacing}
+	}
+	return pts
+}
+
+// CliquePoints places n nodes close together so all are mutually
+// adjacent for any radius ≥ 0.1.
+func CliquePoints(n int) []graph.Point {
+	pts := make([]graph.Point, n)
+	for i := range pts {
+		pts[i] = graph.Point{X: float64(i) * 0.001, Y: float64(i%7) * 0.001}
+	}
+	return pts
+}
+
+// GridPoints places rows×cols nodes with the given spacing.
+func GridPoints(rows, cols int, spacing float64) []graph.Point {
+	pts := make([]graph.Point, 0, rows*cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			pts = append(pts, graph.Point{X: float64(c) * spacing, Y: float64(r) * spacing})
+		}
+	}
+	return pts
+}
+
+// GeometricPoints samples a connected random geometric layout.
+func GeometricPoints(n int, radius float64, seed uint64) ([]graph.Point, error) {
+	rng := sim.NewScheduler(seed).Rand()
+	_, pts, err := graph.ConnectedGeometric(n, radius, rng)
+	return pts, err
+}

@@ -1,0 +1,131 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"lme/internal/core"
+	"lme/internal/graph"
+	"lme/internal/lme2"
+)
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(Spec{}); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+	if _, err := Build(Spec{Points: LinePoints(2, 0.1)}); err == nil {
+		t.Fatal("spec without factory accepted")
+	}
+}
+
+func TestRunLifecycle(t *testing.T) {
+	r, err := Build(Spec{
+		Seed:        1,
+		Points:      LinePoints(4, 0.1),
+		Radius:      0.11,
+		NewProtocol: func(core.NodeID) core.Protocol { return lme2.New() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Start(); err != nil {
+		t.Fatal("Start not idempotent:", err)
+	}
+	if err := r.RunFor(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if ok, missing := r.EveryoneAte(); !ok {
+		t.Fatalf("starved: %v", missing)
+	}
+}
+
+func TestPointHelpers(t *testing.T) {
+	if got := len(LinePoints(5, 0.1)); got != 5 {
+		t.Fatalf("LinePoints: %d", got)
+	}
+	if got := len(CliquePoints(7)); got != 7 {
+		t.Fatalf("CliquePoints: %d", got)
+	}
+	if got := len(GridPoints(3, 4, 0.1)); got != 12 {
+		t.Fatalf("GridPoints: %d", got)
+	}
+	pts, err := GeometricPoints(10, 0.5, 1)
+	if err != nil || len(pts) != 10 {
+		t.Fatalf("GeometricPoints: %d, %v", len(pts), err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{ID: "T", Title: "demo", Header: []string{"a", "long-header"}}
+	tb.AddRow(1, "x")
+	tb.AddRow("wide-cell", 2)
+	tb.AddNote("footnote %d", 7)
+	s := tb.String()
+	for _, want := range []string{"T — demo", "long-header", "wide-cell", "note: footnote 7"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestExperimentsQuick executes every experiment end-to-end at Quick
+// quality: each must produce a populated table without safety violations
+// sneaking into an error.
+func TestExperimentsQuick(t *testing.T) {
+	for _, exp := range Experiments() {
+		exp := exp
+		t.Run(exp.ID, func(t *testing.T) {
+			tb, err := exp.Run(Quick)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tb.Rows) == 0 {
+				t.Fatal("empty table")
+			}
+			if tb.ID != exp.ID {
+				t.Fatalf("table ID %q != %q", tb.ID, exp.ID)
+			}
+			t.Log("\n" + tb.String())
+		})
+	}
+}
+
+func TestGreedyFloodRounds(t *testing.T) {
+	// The flood needs Θ(diameter) rounds and the palette stays ≤ δ+1.
+	ring := graph.Ring(24)
+	rounds, palette := greedyFloodRounds(ring)
+	if rounds < 6 {
+		t.Fatalf("ring flood finished in %d rounds, expected Θ(diameter)", rounds)
+	}
+	if palette > ring.MaxDegree()+1 {
+		t.Fatalf("ring palette %d > δ+1", palette)
+	}
+	clique := graph.Clique(6)
+	rounds, palette = greedyFloodRounds(clique)
+	if rounds > 3 {
+		t.Fatalf("clique flood took %d rounds", rounds)
+	}
+	if palette != 6 {
+		t.Fatalf("clique palette %d, want 6", palette)
+	}
+}
+
+func TestDoorwayProbeLatencyGrowsWithContention(t *testing.T) {
+	small, err := doorwayProbe(2, 10_000, 2_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := doorwayProbe(8, 10_000, 2_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Count == 0 || large.Count == 0 {
+		t.Fatalf("no samples: %d / %d", small.Count, large.Count)
+	}
+	if large.Mean <= small.Mean {
+		t.Fatalf("doorway latency did not grow with contention: %v → %v", small.Mean, large.Mean)
+	}
+}

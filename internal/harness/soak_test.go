@@ -1,0 +1,31 @@
+package harness
+
+import (
+	"os"
+	"testing"
+	"testing/quick"
+)
+
+// TestSoak runs the randomized safety properties at high iteration counts.
+// It is gated behind LME_SOAK=1 because it takes minutes; CI and the
+// default suite run the lighter property tests in prop_test.go instead.
+func TestSoak(t *testing.T) {
+	if os.Getenv("LME_SOAK") == "" {
+		t.Skip("set LME_SOAK=1 to run the soak fuzz")
+	}
+	t.Run("static", func(t *testing.T) {
+		if err := quick.Check(propertyStaticSafe(t), &quick.Config{MaxCount: 400}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("chaos", func(t *testing.T) {
+		if err := quick.Check(propertyChaosSafe(t), &quick.Config{MaxCount: 300}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("mobility", func(t *testing.T) {
+		if err := quick.Check(propertyMobilitySafe(t), &quick.Config{MaxCount: 200}); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

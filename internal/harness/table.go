@@ -1,0 +1,73 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a rendered experiment result: what cmd/lmebench prints and what
+// EXPERIMENTS.md records.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a row, formatting every cell with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprint(c)
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// AddNote appends an explanatory footnote.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len([]rune(h))
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len([]rune(cell)) > widths[i] {
+				widths[i] = len([]rune(cell))
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if pad := widths[i] - len([]rune(cell)); pad > 0 && i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", max(total-2, 4)))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}

@@ -1,0 +1,384 @@
+// Package livenet runs the same core.Protocol state machines that the
+// discrete-event simulator drives — unchanged — on a goroutine per node
+// with channel-based message passing in real time: the deployment-shaped
+// runtime of the library. Per-directed-link forwarder goroutines preserve
+// the FIFO delivery the paper's model requires; every protocol instance is
+// only ever touched by its node's event loop, so the package is
+// race-clean by construction (and tested with -race).
+//
+// Livenet supports static topologies: mobility experiments live in
+// internal/manet, where virtual time makes them reproducible. What livenet
+// adds is evidence that the algorithms run correctly under genuine
+// concurrency and real clocks.
+package livenet
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"time"
+
+	"lme/internal/core"
+	"lme/internal/graph"
+	"lme/internal/metrics"
+	"lme/internal/sim"
+)
+
+// Config parameterises a live cluster.
+type Config struct {
+	// MaxDelay bounds the per-message link delay (the paper's ν).
+	// Default 500µs.
+	MaxDelay time.Duration
+	// EatTime is the critical-section duration τ. Default 300µs.
+	EatTime time.Duration
+	// ThinkMax bounds the random thinking period. Default 500µs.
+	ThinkMax time.Duration
+	// Seed drives the delay/think randomness.
+	Seed uint64
+}
+
+// event is one unit of work for a node's loop.
+type event struct {
+	kind eventKind
+	from core.NodeID
+	msg  core.Message
+}
+
+type eventKind int
+
+const (
+	evMessage eventKind = iota + 1
+	evBecomeHungry
+	evExitCS
+	evCrash
+	evStop
+)
+
+// mailbox is an unbounded FIFO queue with blocking pop.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []event
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// push enqueues an event; no-op after close.
+func (m *mailbox) push(e event) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return
+	}
+	m.items = append(m.items, e)
+	m.cond.Signal()
+}
+
+// pop dequeues the next event, blocking; ok=false after close and drain.
+func (m *mailbox) pop() (event, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.items) == 0 && !m.closed {
+		m.cond.Wait()
+	}
+	if len(m.items) == 0 {
+		return event{}, false
+	}
+	e := m.items[0]
+	m.items = m.items[1:]
+	return e, true
+}
+
+// close wakes all waiters; pending events are still drained.
+func (m *mailbox) close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	m.cond.Broadcast()
+}
+
+// Cluster is a running (or runnable) set of live nodes.
+type Cluster struct {
+	cfg   Config
+	g     *graph.Graph
+	nodes []*liveNode
+	links map[[2]core.NodeID]*mailbox // directed link queues
+
+	start time.Time
+	wg    sync.WaitGroup
+
+	mu      sync.Mutex
+	eating  map[core.NodeID]bool
+	checker *metrics.SafetyChecker
+	meals   map[core.NodeID]int
+	stopped bool
+}
+
+type liveNode struct {
+	id      core.NodeID
+	proto   core.Protocol
+	inbox   *mailbox
+	cluster *Cluster
+	rng     *rand.Rand
+	rngMu   sync.Mutex // AfterFunc callbacks draw think times concurrently
+
+	// last is the previously reported state; only the node's own loop
+	// writes it (protocols report transitions synchronously from their
+	// handlers).
+	last core.State
+}
+
+// New builds a cluster over the given static communication graph.
+// protocols[i] is node i's algorithm instance.
+func New(cfg Config, g *graph.Graph, protocols []core.Protocol) (*Cluster, error) {
+	if len(protocols) != g.N() {
+		return nil, fmt.Errorf("livenet: %d protocols for %d nodes", len(protocols), g.N())
+	}
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = 500 * time.Microsecond
+	}
+	if cfg.EatTime <= 0 {
+		cfg.EatTime = 300 * time.Microsecond
+	}
+	if cfg.ThinkMax <= 0 {
+		cfg.ThinkMax = 500 * time.Microsecond
+	}
+	c := &Cluster{
+		cfg:    cfg,
+		g:      g,
+		links:  make(map[[2]core.NodeID]*mailbox),
+		eating: make(map[core.NodeID]bool),
+		meals:  make(map[core.NodeID]int),
+	}
+	c.checker = metrics.NewSafetyChecker(topoAdapter{g})
+	for i := 0; i < g.N(); i++ {
+		id := core.NodeID(i)
+		c.nodes = append(c.nodes, &liveNode{
+			id:      id,
+			proto:   protocols[i],
+			inbox:   newMailbox(),
+			cluster: c,
+			rng:     rand.New(rand.NewPCG(cfg.Seed, uint64(i)+1)),
+			last:    core.Thinking,
+		})
+	}
+	for _, e := range g.Edges() {
+		a, b := core.NodeID(e[0]), core.NodeID(e[1])
+		c.links[[2]core.NodeID{a, b}] = newMailbox()
+		c.links[[2]core.NodeID{b, a}] = newMailbox()
+	}
+	return c, nil
+}
+
+// topoAdapter exposes the static graph to the safety checker.
+type topoAdapter struct {
+	g *graph.Graph
+}
+
+func (t topoAdapter) Neighbors(id core.NodeID) []core.NodeID {
+	nbrs := t.g.Neighbors(int(id))
+	out := make([]core.NodeID, len(nbrs))
+	for i, nb := range nbrs {
+		out[i] = core.NodeID(nb)
+	}
+	return out
+}
+
+// Run drives the cluster for the given wall-clock duration: protocols are
+// initialised, every node becomes hungry (staggered), the dining cycle
+// runs, and everything is shut down and awaited before returning.
+func (c *Cluster) Run(d time.Duration) error {
+	c.start = time.Now()
+	for _, n := range c.nodes {
+		n.proto.Init(&liveEnv{node: n})
+	}
+	// Link forwarders: one goroutine per directed link keeps FIFO order
+	// while adding a random delay.
+	for key, q := range c.links {
+		key, q := key, q
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			dst := c.nodes[key[1]]
+			for {
+				e, ok := q.pop()
+				if !ok {
+					return
+				}
+				time.Sleep(c.randDelay(key[0]))
+				dst.inbox.push(e)
+			}
+		}()
+	}
+	// Node loops.
+	for _, n := range c.nodes {
+		n := n
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			n.loop()
+		}()
+	}
+	// Initial hunger.
+	for _, n := range c.nodes {
+		n.inbox.push(event{kind: evBecomeHungry})
+	}
+	time.Sleep(d)
+	c.stop()
+	c.wg.Wait()
+	return c.checker.Err()
+}
+
+func (c *Cluster) stop() {
+	c.mu.Lock()
+	c.stopped = true
+	c.mu.Unlock()
+	for _, q := range c.links {
+		q.close()
+	}
+	for _, n := range c.nodes {
+		n.inbox.push(event{kind: evStop})
+		n.inbox.close()
+	}
+}
+
+func (c *Cluster) randDelay(seed core.NodeID) time.Duration {
+	n := c.nodes[seed]
+	n.rngMu.Lock()
+	defer n.rngMu.Unlock()
+	return time.Duration(n.rng.Int64N(int64(c.cfg.MaxDelay)) + 1)
+}
+
+// Meals returns the per-node critical-section counts.
+func (c *Cluster) Meals() map[core.NodeID]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[core.NodeID]int, len(c.meals))
+	for k, v := range c.meals {
+		out[k] = v
+	}
+	return out
+}
+
+// Violations returns the mutual exclusion violations observed.
+func (c *Cluster) Violations() []metrics.Violation {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.checker.Violations()
+}
+
+// onState serialises state transitions for the checker and schedules the
+// workload follow-ups.
+func (c *Cluster) onState(n *liveNode, old, new core.State) {
+	now := sim.FromDuration(time.Since(c.start))
+	c.mu.Lock()
+	c.checker.OnStateChange(n.id, old, new, now)
+	if new == core.Eating {
+		c.meals[n.id]++
+	}
+	stopped := c.stopped
+	c.mu.Unlock()
+	if stopped {
+		return
+	}
+	switch new {
+	case core.Eating:
+		time.AfterFunc(c.cfg.EatTime, func() {
+			n.inbox.push(event{kind: evExitCS})
+		})
+	case core.Thinking:
+		n.rngMu.Lock()
+		think := time.Duration(n.rng.Int64N(int64(c.cfg.ThinkMax)) + 1)
+		n.rngMu.Unlock()
+		time.AfterFunc(think, func() {
+			n.inbox.push(event{kind: evBecomeHungry})
+		})
+	}
+}
+
+// loop is the node's single thread of control: it is the only goroutine
+// that ever calls into the protocol after Init.
+func (n *liveNode) loop() {
+	crashed := false
+	for {
+		e, ok := n.inbox.pop()
+		if !ok {
+			return
+		}
+		if crashed && e.kind != evStop {
+			continue // a crashed node silently discards everything
+		}
+		switch e.kind {
+		case evMessage:
+			n.proto.OnMessage(e.from, e.msg)
+		case evBecomeHungry:
+			if n.proto.State() == core.Thinking {
+				n.proto.BecomeHungry()
+			}
+		case evExitCS:
+			if n.proto.State() == core.Eating {
+				n.proto.ExitCS()
+			}
+		case evCrash:
+			// A node that crashed while eating keeps occupying its
+			// critical section for safety accounting — its forks
+			// are gone with it, exactly the paper's model.
+			crashed = true
+		case evStop:
+			return
+		}
+	}
+}
+
+// CrashAfter fails node id after d of wall-clock time: it stops
+// processing events, exactly the paper's silent crash model. Call before
+// or during Run.
+func (c *Cluster) CrashAfter(id core.NodeID, d time.Duration) {
+	time.AfterFunc(d, func() {
+		c.nodes[id].inbox.push(event{kind: evCrash})
+	})
+}
+
+// liveEnv adapts a node to core.Env.
+type liveEnv struct {
+	node *liveNode
+}
+
+var _ core.Env = (*liveEnv)(nil)
+
+func (e *liveEnv) ID() core.NodeID { return e.node.id }
+
+func (e *liveEnv) Now() sim.Time {
+	return sim.FromDuration(time.Since(e.node.cluster.start))
+}
+
+func (e *liveEnv) Neighbors() []core.NodeID {
+	return topoAdapter{e.node.cluster.g}.Neighbors(e.node.id)
+}
+
+func (e *liveEnv) Send(to core.NodeID, msg core.Message) {
+	q, ok := e.node.cluster.links[[2]core.NodeID{e.node.id, to}]
+	if !ok {
+		return
+	}
+	q.push(event{kind: evMessage, from: e.node.id, msg: msg})
+}
+
+func (e *liveEnv) Broadcast(msg core.Message) {
+	for _, to := range e.Neighbors() {
+		e.Send(to, msg)
+	}
+}
+
+func (e *liveEnv) Moving() bool { return false }
+
+func (e *liveEnv) SetState(s core.State) {
+	old := e.node.last
+	e.node.last = s
+	e.node.cluster.onState(e.node, old, s)
+}

@@ -1,0 +1,108 @@
+package livenet_test
+
+import (
+	"testing"
+	"time"
+
+	"lme/internal/baseline"
+	"lme/internal/core"
+	"lme/internal/graph"
+	"lme/internal/livenet"
+	"lme/internal/lme1"
+	"lme/internal/lme2"
+)
+
+// protocolsFor builds n instances with the given constructor.
+func protocolsFor(n int, build func() core.Protocol) []core.Protocol {
+	out := make([]core.Protocol, n)
+	for i := range out {
+		out[i] = build()
+	}
+	return out
+}
+
+func runCluster(t *testing.T, g *graph.Graph, protos []core.Protocol, d time.Duration) *livenet.Cluster {
+	t.Helper()
+	c, err := livenet.New(livenet.Config{Seed: 1}, g, protos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(d); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestLiveAlg2Line(t *testing.T) {
+	g := graph.Line(6)
+	c := runCluster(t, g, protocolsFor(6, func() core.Protocol { return lme2.New() }), 300*time.Millisecond)
+	meals := c.Meals()
+	for i := 0; i < 6; i++ {
+		if meals[core.NodeID(i)] == 0 {
+			t.Fatalf("node %d never ate: %v", i, meals)
+		}
+	}
+	if v := c.Violations(); len(v) != 0 {
+		t.Fatalf("violations: %v", v)
+	}
+}
+
+func TestLiveAlg2Clique(t *testing.T) {
+	g := graph.Clique(5)
+	c := runCluster(t, g, protocolsFor(5, func() core.Protocol { return lme2.New() }), 400*time.Millisecond)
+	for i := 0; i < 5; i++ {
+		if c.Meals()[core.NodeID(i)] == 0 {
+			t.Fatalf("node %d never ate under full contention", i)
+		}
+	}
+}
+
+func TestLiveAlg1Greedy(t *testing.T) {
+	g := graph.Grid(2, 3)
+	protos := protocolsFor(6, func() core.Protocol {
+		return lme1.New(lme1.Config{Variant: lme1.VariantGreedy})
+	})
+	c := runCluster(t, g, protos, 400*time.Millisecond)
+	for i := 0; i < 6; i++ {
+		if c.Meals()[core.NodeID(i)] == 0 {
+			t.Fatalf("node %d never ate", i)
+		}
+	}
+}
+
+func TestLiveChandyMisra(t *testing.T) {
+	g := graph.Ring(7)
+	protos := protocolsFor(7, func() core.Protocol { return baseline.NewChandyMisra() })
+	c := runCluster(t, g, protos, 300*time.Millisecond)
+	for i := 0; i < 7; i++ {
+		if c.Meals()[core.NodeID(i)] == 0 {
+			t.Fatalf("node %d never ate", i)
+		}
+	}
+}
+
+func TestLiveRejectsMismatchedProtocols(t *testing.T) {
+	if _, err := livenet.New(livenet.Config{}, graph.Line(3), nil); err == nil {
+		t.Fatal("mismatched protocol count accepted")
+	}
+}
+
+// TestLiveCrashStaysLocal exercises CrashAfter: a crashed node's distant
+// ring neighbours keep making progress and safety holds throughout.
+func TestLiveCrashStaysLocal(t *testing.T) {
+	g := graph.Ring(8)
+	c, err := livenet.New(livenet.Config{Seed: 2}, g, protocolsFor(8, func() core.Protocol { return lme2.New() }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.CrashAfter(3, 100*time.Millisecond)
+	if err := c.Run(400 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	dist := g.Distances(3)
+	for i := 0; i < 8; i++ {
+		if i != 3 && dist[i] >= 3 && c.Meals()[core.NodeID(i)] == 0 {
+			t.Fatalf("node %d at distance %d starved", i, dist[i])
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package lme1
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"lme/internal/doorway"
+)
+
+// DebugString renders the node's full protocol state on one line; used by
+// failing-test diagnostics and the tracing CLI.
+func (n *Node) DebugString() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "state=%v ph=%d color=%d recolor=%v via=%v", n.state, n.ph, n.myColor, n.needsRecolor, n.viaRecolor)
+	for d := dwIndex(0); d < numDoorways; d++ {
+		pos := "out"
+		if n.dws[d].Behind() {
+			pos = "BEHIND"
+		} else if n.dws[d].Entering() {
+			pos = "entering"
+		}
+		fmt.Fprintf(&b, " %v=%s", d, pos)
+	}
+	keys := n.sortedNeighbors()
+	fmt.Fprintf(&b, " at={")
+	for _, j := range keys {
+		c, ok := n.colors[j]
+		cs := "⊥"
+		if ok {
+			cs = fmt.Sprint(c)
+		}
+		fmt.Fprintf(&b, "%d(c=%s,fork=%v,L=%v) ", j, cs, n.at[j], n.dws[sdf].ObservedPos(j) == doorway.Behind)
+	}
+	fmt.Fprintf(&b, "} S=%v pend=%v recActive=%v", setKeys(n.suspended), setKeys(n.pendingStatus), n.rec.active)
+	return b.String()
+}
+
+func setKeys[K ~int](m map[K]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, int(k))
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,654 @@
+// Package lme1 implements the first local mutual exclusion algorithm of
+// the paper (Chapter 5): fork collection with colour-based priorities,
+// executed behind a double doorway with a return path, preceded — for
+// nodes that moved — by a recolouring module behind its own double
+// doorway (Figure 5). Two colouring procedures are provided, the greedy
+// one of Algorithm 4 (failure locality n, response time O((n+δ³)δ)) and
+// the Linial-based one of Algorithm 5 (failure locality max(log* n, 4)+2,
+// response time O((log* n+δ⁴)δ)).
+package lme1
+
+import (
+	"fmt"
+	"sort"
+
+	"lme/internal/core"
+	"lme/internal/doorway"
+)
+
+// Variant selects the colouring procedure of the recolouring module.
+type Variant int
+
+// The two colouring procedures of §5.4.
+const (
+	// VariantGreedy is the simple graph-flooding greedy colouring
+	// (Algorithm 4). It needs no knowledge of n or δ.
+	VariantGreedy Variant = iota + 1
+	// VariantLinial is the fast colouring based on Linial's algorithm
+	// over cover-free families (Algorithm 5); it assumes n and δ are
+	// known to all nodes.
+	VariantLinial
+	// VariantLinialReduce extends VariantLinial with the deterministic
+	// colour-reduction rounds the paper's discussion chapter mentions:
+	// after the O(log* n) Linial phases it eliminates one colour per
+	// round until the palette is δ+1, trading O(δ²) extra rounds for a
+	// smaller Δ and hence a better fork-collection rank bound.
+	VariantLinialReduce
+)
+
+// String names the variant.
+func (v Variant) String() string {
+	switch v {
+	case VariantGreedy:
+		return "greedy"
+	case VariantLinial:
+		return "linial"
+	case VariantLinialReduce:
+		return "linial-reduce"
+	default:
+		return "invalid"
+	}
+}
+
+// Config parameterises a node of Algorithm 1.
+type Config struct {
+	// Variant selects the recolouring procedure.
+	Variant Variant
+
+	// N and Delta are the system size and maximum degree, required by
+	// VariantLinial (the paper's knowledge assumption for that
+	// variant).
+	N, Delta int
+
+	// InitialColor returns the pre-computed legal colour of a node; the
+	// default colours each node with its ID, the paper's "simple way to
+	// guarantee the legal coloring". It must be a globally consistent
+	// function, since nodes derive their neighbours' initial colours
+	// from it.
+	InitialColor func(core.NodeID) int
+
+	// RecolorFirst makes every node run the recolouring module on its
+	// first hungry journey, realising the paper's "the recoloring
+	// module is also executed by each node in order to obtain an
+	// initial color" (Ch. 5) and its use as a distributed pre-colouring
+	// computation (Ch. 7). ID colours still seed the interim ordering.
+	RecolorFirst bool
+
+	// Trace, if set, receives debug lines.
+	Trace func(format string, args ...any)
+}
+
+// phase tracks where in Figure 5's pipeline the node currently is; it is
+// redundant with the doorway states and used for traces and assertions.
+type phase int
+
+const (
+	phIdle phase = iota
+	phAwaitStatus
+	phEnterADr
+	phEnterSDr
+	phRecolor
+	phEnterADf
+	phEnterSDf
+	phBehindSDf
+)
+
+// Node is one node's instance of Algorithm 1. It implements
+// core.Protocol; all methods are driven by the runtime, one event at a
+// time.
+type Node struct {
+	env core.Env
+	cfg Config
+
+	state core.State
+	ph    phase
+
+	// myColor is color[i]; colors holds the known colours of current
+	// neighbours (absence = the paper's ⊥).
+	myColor int
+	colors  map[core.NodeID]int
+
+	// at[j] — this node holds the fork shared with j. The key set of at
+	// is exactly the current neighbour set N.
+	at map[core.NodeID]bool
+
+	// suspended is S: neighbours with suspended fork requests.
+	suspended map[core.NodeID]bool
+
+	dws [numDoorways]*doorway.Doorway
+
+	// needsRecolor is set when the node moves into a new neighbourhood
+	// and cleared when a new legal colour is obtained.
+	needsRecolor bool
+
+	// viaRecolor marks a hungry journey that went through the
+	// recolouring module, so that crossing AD^f triggers the exit code
+	// of the first double doorway (Figure 5).
+	viaRecolor bool
+
+	// pendingStatus holds new neighbours whose status message (Line 46)
+	// the mover still awaits (Line 53).
+	pendingStatus map[core.NodeID]bool
+
+	rec recolorRun
+}
+
+var _ core.Protocol = (*Node)(nil)
+
+// New creates a node of Algorithm 1.
+func New(cfg Config) *Node {
+	if cfg.Variant == 0 {
+		cfg.Variant = VariantGreedy
+	}
+	if cfg.InitialColor == nil {
+		cfg.InitialColor = func(id core.NodeID) int { return int(id) }
+	}
+	return &Node{
+		cfg:           cfg,
+		state:         core.Thinking,
+		colors:        make(map[core.NodeID]int),
+		at:            make(map[core.NodeID]bool),
+		suspended:     make(map[core.NodeID]bool),
+		pendingStatus: make(map[core.NodeID]bool),
+	}
+}
+
+// Init implements core.Protocol: initial forks go to the smaller ID of
+// each link, initial colours come from the globally known InitialColor.
+func (n *Node) Init(env core.Env) {
+	n.env = env
+	me := env.ID()
+	n.myColor = n.cfg.InitialColor(me)
+	n.needsRecolor = n.cfg.RecolorFirst
+	neighbors := env.Neighbors()
+	for _, j := range neighbors {
+		n.at[j] = me < j
+		n.colors[j] = n.cfg.InitialColor(j)
+	}
+	for d := dwIndex(0); d < numDoorways; d++ {
+		d := d
+		kind := doorway.Asynchronous
+		if d == sdr || d == sdf {
+			kind = doorway.Synchronous
+		}
+		n.dws[d] = doorway.New(kind, neighbors,
+			func(cross bool) { env.Broadcast(msgDoorway{D: d, Cross: cross}) },
+			func() { n.onCross(d) })
+	}
+}
+
+// State implements core.Protocol.
+func (n *Node) State() core.State { return n.state }
+
+// Color exposes the node's current colour (for tests and traces).
+func (n *Node) Color() int { return n.myColor }
+
+// NeedsRecolor reports whether the node will recolour on its next hungry
+// journey (for tests).
+func (n *Node) NeedsRecolor() bool { return n.needsRecolor }
+
+// BecomeHungry implements core.Protocol: the application requests the
+// critical section.
+func (n *Node) BecomeHungry() {
+	if n.state != core.Thinking {
+		return
+	}
+	n.setState(core.Hungry)
+	n.startJourney()
+}
+
+// startJourney routes a hungry node into Figure 5's pipeline.
+func (n *Node) startJourney() {
+	switch {
+	case len(n.pendingStatus) > 0:
+		// Line 53: still waiting for new neighbours' status.
+		n.ph = phAwaitStatus
+	case n.needsRecolor:
+		// Line 55: moved since last legal colour — recolour first.
+		n.viaRecolor = true
+		n.ph = phEnterADr
+		n.dws[adr].BeginEntry()
+	default:
+		n.ph = phEnterADf
+		n.dws[adf].BeginEntry()
+	}
+}
+
+// onCross dispatches doorway crossings.
+func (n *Node) onCross(d dwIndex) {
+	n.tracef("crossed %v", d)
+	switch d {
+	case adr:
+		n.ph = phEnterSDr
+		n.dws[sdr].BeginEntry()
+	case sdr:
+		n.ph = phRecolor
+		n.startRecolor()
+	case adf:
+		if n.viaRecolor {
+			// Exit code of the first double doorway runs here
+			// (Figure 5): SD^r then AD^r.
+			n.viaRecolor = false
+			n.dws[sdr].Exit()
+			n.dws[adr].Exit()
+		}
+		n.ph = phEnterSDf
+		n.dws[sdf].BeginEntry()
+	case sdf:
+		n.ph = phBehindSDf
+		n.onCrossSDf()
+	}
+}
+
+// onCrossSDf is Lines 1–4: the fork collection module begins.
+func (n *Node) onCrossSDf() {
+	n.maybeEat()
+	if n.allLowForks() {
+		n.requestHighForks()
+	} else {
+		n.requestLowForks()
+	}
+}
+
+// ExitCS implements core.Protocol: Lines 5–9.
+func (n *Node) ExitCS() {
+	if n.state != core.Eating {
+		return
+	}
+	n.setState(core.Thinking)
+	// Line 6: smallest non-negative colour unused by any neighbour —
+	// legal because it is chosen in exclusion.
+	n.myColor = n.smallestFreeColor()
+	n.needsRecolor = false
+	n.env.Broadcast(msgUpdateColor{Color: n.myColor})
+	for _, j := range n.sortedSuspended() {
+		n.sendFork(j)
+	}
+	n.ph = phIdle
+	n.dws[sdf].Exit()
+	n.dws[adf].Exit()
+}
+
+// OnMessage implements core.Protocol.
+func (n *Node) OnMessage(from core.NodeID, msg core.Message) {
+	if _, isNeighbor := n.at[from]; !isNeighbor {
+		// The link vanished while the message was queued locally;
+		// treat as destroyed with the link.
+		return
+	}
+	switch m := msg.(type) {
+	case msgDoorway:
+		pos := doorway.Outside
+		if m.Cross {
+			pos = doorway.Behind
+		}
+		n.dws[m.D].Observe(from, pos)
+	case msgUpdateColor:
+		n.colors[from] = m.Color
+		n.onColorChanged(from)
+	case msgStatus:
+		n.onStatus(from, m)
+	case msgReq:
+		n.onReq(from)
+	case msgFork:
+		n.onFork(from, m.Flag)
+	case msgNACK:
+		n.rec.onNACK(n, from)
+	case msgGraph:
+		n.onRecolorMsg(from, m)
+	case msgTempColor:
+		n.onRecolorMsg(from, m)
+	default:
+		n.tracef("unknown message %T from %d", msg, from)
+	}
+}
+
+// onColorChanged re-evaluates fork requests after a neighbour announced a
+// new colour. A neighbour's exit-time recolouring (Line 6) can reclassify
+// a missing fork from high to low after this node already crossed SD^f and
+// issued its Line-4 requests; without a fresh request for the
+// newly-reclassified low fork, the node would wait forever (the paper's
+// pseudo-code leaves this re-evaluation implicit; see the erratum notes in
+// DESIGN.md). Duplicate requests are harmless: a request arriving while
+// the fork is already in transit to the requester is dropped.
+func (n *Node) onColorChanged(j core.NodeID) {
+	if n.state != core.Hungry || !n.dws[sdf].Behind() {
+		return
+	}
+	if c, ok := n.colors[j]; ok && !n.at[j] && c < n.myColor {
+		n.env.Send(j, msgReq{})
+	}
+	if n.allLowForks() {
+		// The change may also have flipped a missing low fork to
+		// high, newly satisfying all-low-forks.
+		n.requestHighForks()
+	}
+}
+
+// onStatus handles the static neighbour's reply of Line 46 at the mover.
+func (n *Node) onStatus(from core.NodeID, m msgStatus) {
+	n.colors[from] = m.Color
+	for d := dwIndex(0); d < numDoorways; d++ {
+		n.dws[d].Observe(from, m.Pos[d])
+	}
+	delete(n.pendingStatus, from)
+	n.checkStatusDrain()
+}
+
+// checkStatusDrain resumes a waiting hungry mover once every awaited
+// status message arrived (Lines 53–55).
+func (n *Node) checkStatusDrain() {
+	if len(n.pendingStatus) > 0 {
+		return
+	}
+	if n.state == core.Hungry && n.ph == phAwaitStatus {
+		n.startJourney()
+	}
+}
+
+// onReq is Lines 10–16.
+func (n *Node) onReq(j core.NodeID) {
+	if !n.at[j] {
+		// The fork is in transit to j (FIFO makes any other
+		// interleaving impossible); the request is moot.
+		return
+	}
+	cj, known := n.colors[j]
+	if !known {
+		// Cannot rank an uncoloured requester; suspend (it will be
+		// granted at the latest when this node leaves the critical
+		// section). The protocol never produces this case because a
+		// node broadcasts its colour before requesting.
+		n.suspended[j] = true
+		return
+	}
+	busy := n.collecting()
+	switch {
+	case cj > n.myColor && (!n.allLowForks() || !busy):
+		n.sendFork(j)
+	case cj < n.myColor && (!n.allForks() || !busy):
+		n.sendFork(j)
+		n.releaseHighForks()
+	default:
+		n.suspended[j] = true
+	}
+}
+
+// collecting reports whether the node is engaged in fork collection or in
+// the critical section — the paper's "behind SD^f". Eating is included
+// explicitly because Line 19 lets a node start eating while still at the
+// doorway entry (see maybeEat); an eater must suspend requests no matter
+// where it stands relative to the doorway.
+func (n *Node) collecting() bool {
+	return n.dws[sdf].Behind() || n.state == core.Eating
+}
+
+// onFork is Lines 17–23.
+func (n *Node) onFork(j core.NodeID, flag bool) {
+	n.at[j] = true
+	if n.state == core.Thinking {
+		// Stale arrival after the hungry journey ended; honour the
+		// want-back flag and keep the fork otherwise.
+		if flag {
+			n.sendFork(j)
+		}
+		return
+	}
+	n.maybeEat()
+	if n.allLowForks() {
+		if flag {
+			n.suspended[j] = true
+		}
+		n.requestHighForks()
+	} else if flag {
+		n.sendFork(j)
+	}
+}
+
+// OnLinkUp implements core.Protocol: Algorithm 3.
+func (n *Node) OnLinkUp(peer core.NodeID, iAmMoving bool) {
+	if iAmMoving {
+		n.onLinkUpMoving(peer)
+	} else {
+		n.onLinkUpStatic(peer)
+	}
+}
+
+// onLinkUpStatic is Lines 44–46.
+func (n *Node) onLinkUpStatic(j core.NodeID) {
+	n.at[j] = true
+	delete(n.colors, j) // ⊥ until the newcomer announces its colour
+	var pos [numDoorways]doorway.Pos
+	for d := dwIndex(0); d < numDoorways; d++ {
+		n.dws[d].AddNeighbor(j, doorway.Outside)
+		pos[d] = doorway.Outside
+		if n.dws[d].Behind() {
+			pos[d] = doorway.Behind
+		}
+	}
+	n.env.Send(j, msgStatus{Color: n.myColor, Pos: pos})
+}
+
+// onLinkUpMoving is Lines 47–55.
+func (n *Node) onLinkUpMoving(j core.NodeID) {
+	n.at[j] = false
+	delete(n.colors, j)
+	if n.collecting() {
+		if n.state == core.Eating {
+			// Line 50: preserve safety — the newcomer's fork is
+			// owned by the static side. (collecting() rather than
+			// the paper's "behind SD^f" because Line 19 permits
+			// eating at the doorway entry.)
+			n.setState(core.Hungry)
+		}
+		for _, k := range n.sortedSuspended() {
+			n.sendFork(k)
+		}
+	}
+	n.rec.abort(n)
+	n.exitAllDoorways()
+	n.viaRecolor = false
+	n.needsRecolor = true
+	// Until the status message arrives, the newcomer's doorway
+	// positions are unknown; assume Behind (conservative — prevents
+	// crossing past an unobserved neighbour).
+	for d := dwIndex(0); d < numDoorways; d++ {
+		n.dws[d].AddNeighbor(j, doorway.Behind)
+	}
+	n.pendingStatus[j] = true
+	if n.state == core.Hungry {
+		n.ph = phAwaitStatus
+	}
+}
+
+// OnLinkDown implements core.Protocol: Lines 56–61 plus the fork/colour
+// cleanup performed by the link-level protocol (the shared fork is
+// destroyed with the link).
+func (n *Node) OnLinkDown(j core.NodeID) {
+	hadFork := n.at[j]
+	cj, known := n.colors[j]
+	wasLow := known && cj < n.myColor
+	delete(n.at, j)
+	delete(n.colors, j)
+	delete(n.suspended, j)
+	delete(n.pendingStatus, j)
+	n.rec.onNeighborLost(n, j)
+
+	behindFork := n.dws[sdf].Behind()
+	if behindFork && !hadFork && wasLow {
+		// Lines 59–60 (the Figure 6 scenario): a low neighbour moved
+		// away holding the shared fork — leave the synchronous
+		// doorway, release the suspended requests, and return to its
+		// entry code.
+		n.tracef("return path: low neighbour %d left with our fork", j)
+		for _, k := range n.sortedSuspended() {
+			n.sendFork(k)
+		}
+		n.dws[sdf].Exit()
+		for d := dwIndex(0); d < numDoorways; d++ {
+			n.dws[d].Forget(j)
+		}
+		n.ph = phEnterSDf
+		n.dws[sdf].BeginEntry()
+		return
+	}
+	for d := dwIndex(0); d < numDoorways; d++ {
+		n.dws[d].Forget(j)
+	}
+	n.checkStatusDrain()
+	if behindFork && n.state == core.Hungry {
+		// The departed neighbour may have been the last missing
+		// fork; re-evaluate progress (§5.1's "p_i is able to proceed
+		// with fork collection").
+		n.maybeEat()
+		if n.state == core.Hungry && n.allLowForks() {
+			n.requestHighForks()
+		}
+	}
+}
+
+// maybeEat is Line 2/19: a hungry node enters the critical section the
+// moment it holds every fork. Deliberately NOT guarded by "behind SD^f":
+// safety comes from fork ownership alone, and a node parked at a doorway
+// entry while holding all forks (it can get the last one through a
+// flagged want-back grant) must eat, or the want-back in its S set never
+// flushes and the granter deadlocks behind SD^f waiting for it — a cycle
+// the property fuzzer found when this was guarded. The recolouring phases
+// are unreachable with all forks (a mover always lacks its new static
+// neighbours' forks), which the rec.active check asserts defensively.
+func (n *Node) maybeEat() {
+	if n.state != core.Hungry || !n.allForks() {
+		return
+	}
+	if n.rec.active || len(n.pendingStatus) > 0 {
+		n.tracef("all forks while recolouring/awaiting status — not eating")
+		return
+	}
+	n.setState(core.Eating)
+}
+
+// exitAllDoorways realises Line 52's "exit any doorway": broadcast exits
+// for crossed doorways and abort entries in progress.
+func (n *Node) exitAllDoorways() {
+	for _, d := range []dwIndex{sdf, adf, sdr, adr} {
+		if n.dws[d].Behind() {
+			n.dws[d].Exit()
+		} else {
+			n.dws[d].Abort()
+		}
+	}
+	n.ph = phIdle
+}
+
+// allForks is the all-forks macro.
+func (n *Node) allForks() bool {
+	for _, have := range n.at {
+		if !have {
+			return false
+		}
+	}
+	return true
+}
+
+// allLowForks is the all-low-forks macro: forks shared with lower-coloured
+// neighbours. Neighbours with unknown colour are newly arrived movers
+// whose fork this node owns by construction, so they never block it.
+func (n *Node) allLowForks() bool {
+	for j, have := range n.at {
+		if have {
+			continue
+		}
+		if c, ok := n.colors[j]; ok && c < n.myColor {
+			return false
+		}
+	}
+	return true
+}
+
+// requestLowForks is Lines 24–26.
+func (n *Node) requestLowForks() {
+	for _, j := range n.sortedNeighbors() {
+		if c, ok := n.colors[j]; ok && c < n.myColor && !n.at[j] {
+			n.env.Send(j, msgReq{})
+		}
+	}
+}
+
+// requestHighForks is Lines 27–29.
+func (n *Node) requestHighForks() {
+	for _, j := range n.sortedNeighbors() {
+		if c, ok := n.colors[j]; ok && c > n.myColor && !n.at[j] {
+			n.env.Send(j, msgReq{})
+		}
+	}
+}
+
+// sendFork is Lines 30–32.
+func (n *Node) sendFork(j core.NodeID) {
+	if !n.at[j] {
+		return
+	}
+	flag := false
+	if c, ok := n.colors[j]; ok {
+		flag = c < n.myColor && n.collecting() && n.state != core.Eating
+	}
+	n.env.Send(j, msgFork{Flag: flag})
+	n.at[j] = false
+	delete(n.suspended, j)
+}
+
+// releaseHighForks is Lines 33–35.
+func (n *Node) releaseHighForks() {
+	for _, j := range n.sortedSuspended() {
+		if c, ok := n.colors[j]; ok && c > n.myColor && n.at[j] {
+			n.sendFork(j)
+		}
+	}
+}
+
+// smallestFreeColor implements Line 6.
+func (n *Node) smallestFreeColor() int {
+	used := make(map[int]bool, len(n.colors))
+	for _, c := range n.colors {
+		used[c] = true
+	}
+	c := 0
+	for used[c] {
+		c++
+	}
+	return c
+}
+
+func (n *Node) setState(s core.State) {
+	if n.state == s {
+		return
+	}
+	n.state = s
+	n.env.SetState(s)
+}
+
+// sortedNeighbors returns the key set of at (= N) in ID order, for
+// deterministic message emission.
+func (n *Node) sortedNeighbors() []core.NodeID {
+	out := make([]core.NodeID, 0, len(n.at))
+	for j := range n.at {
+		out = append(out, j)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (n *Node) sortedSuspended() []core.NodeID {
+	out := make([]core.NodeID, 0, len(n.suspended))
+	for j := range n.suspended {
+		out = append(out, j)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (n *Node) tracef(format string, args ...any) {
+	if n.cfg.Trace != nil {
+		n.cfg.Trace(fmt.Sprintf("lme1[%d] ", n.env.ID())+format, args...)
+	}
+}

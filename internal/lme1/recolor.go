@@ -1,0 +1,327 @@
+package lme1
+
+import (
+	"fmt"
+
+	"lme/internal/coloring"
+	"lme/internal/core"
+)
+
+// recolorRun is the state of one execution of the recolouring module
+// (Algorithm 2's wrapper around the colouring procedure). It exists from
+// the moment the node crosses SD^r until a new colour is chosen; outside
+// that window every incoming colouring message draws a NACK (Lines 40–41).
+type recolorRun struct {
+	active  bool
+	variant Variant
+
+	// r is the participant set R, initially N (Line 37); NACKs and
+	// departures shrink it.
+	r map[core.NodeID]bool
+
+	// queue buffers colouring messages per sender; each iteration
+	// consumes exactly one message from every member of R, which keeps
+	// the per-pair iteration alignment the FIFO links guarantee.
+	queue map[core.NodeID][]core.Message
+
+	// Greedy procedure (Algorithm 4) state.
+	g            coloring.EdgeSet
+	finishedSeen bool
+
+	// Fast procedure (Algorithm 5) state.
+	sched     []coloring.Family
+	phIdx     int
+	tempColor int
+
+	// Colour-reduction extension (VariantLinialReduce) state.
+	reducing    bool
+	reduceRound int
+	reduceTotal int
+	palette     int // palette size entering the reduction
+}
+
+// startRecolor runs when SD^r is crossed: initialise R and launch the
+// selected colouring procedure.
+func (n *Node) startRecolor() {
+	rec := &n.rec
+	rec.active = true
+	rec.variant = n.cfg.Variant
+	rec.r = make(map[core.NodeID]bool)
+	for _, j := range n.sortedNeighbors() {
+		rec.r[j] = true
+	}
+	rec.queue = make(map[core.NodeID][]core.Message)
+	rec.finishedSeen = false
+	switch n.cfg.Variant {
+	case VariantLinial, VariantLinialReduce:
+		sched, err := coloring.Schedule(n.cfg.N, n.cfg.Delta)
+		if err != nil {
+			panic(fmt.Sprintf("lme1: Linial schedule for n=%d δ=%d: %v", n.cfg.N, n.cfg.Delta, err))
+		}
+		rec.sched = sched
+		rec.phIdx = 0
+		rec.tempColor = int(n.env.ID())
+		rec.reducing = false
+		rec.reduceRound = 0
+		rec.reduceTotal = 0
+		rec.palette = max(n.cfg.N, 2)
+		if len(rec.sched) > 0 {
+			rec.palette = rec.sched[len(rec.sched)-1].M
+		}
+		if n.cfg.Variant == VariantLinialReduce {
+			rec.reduceTotal = coloring.ReductionRounds(rec.palette, n.cfg.Delta)
+		}
+		if len(rec.sched) == 0 && rec.reduceTotal == 0 {
+			// Nothing to reduce (n already within the final
+			// palette): IDs are legal as-is.
+			n.finishRecolor(rec.tempColor)
+			return
+		}
+		if len(rec.sched) == 0 {
+			rec.reducing = true
+		}
+	default:
+		rec.g = coloring.NewEdgeSet()
+	}
+	n.beginRecolorIteration()
+}
+
+// beginRecolorIteration sends this iteration's message to every
+// participant (Algorithm 4 Line 65 / Algorithm 5 Line 65) and checks
+// whether the replies are already buffered.
+func (n *Node) beginRecolorIteration() {
+	rec := &n.rec
+	var msg core.Message
+	switch {
+	case rec.reducing:
+		msg = msgTempColor{Phase: len(rec.sched) + rec.reduceRound, Color: rec.tempColor}
+	case rec.variant == VariantLinial || rec.variant == VariantLinialReduce:
+		msg = msgTempColor{Phase: rec.phIdx, Color: rec.tempColor}
+	default:
+		msg = msgGraph{Edges: rec.g.Edges(), Finished: false}
+	}
+	for _, j := range n.sortedNeighbors() {
+		if rec.r[j] {
+			n.env.Send(j, msg)
+		}
+	}
+	n.tryCompleteIteration()
+}
+
+// onRecolorMsg handles an incoming colouring-procedure message.
+func (n *Node) onRecolorMsg(from core.NodeID, msg core.Message) {
+	rec := &n.rec
+	if !rec.active || !rec.r[from] {
+		// Not participating (Lines 40–41), or the sender is no
+		// longer a participant from this node's perspective.
+		n.env.Send(from, msgNACK{})
+		return
+	}
+	rec.queue[from] = append(rec.queue[from], msg)
+	n.tryCompleteIteration()
+}
+
+// tryCompleteIteration consumes one buffered message from every member of
+// R once all are available, then advances the procedure.
+func (n *Node) tryCompleteIteration() {
+	rec := &n.rec
+	if !rec.active {
+		return
+	}
+	if len(rec.r) == 0 {
+		// No neighbour is recolouring concurrently: both procedures
+		// return 0 immediately (Algorithm 4 Line 69 / Algorithm 5
+		// Line 71).
+		n.finishRecolor(0)
+		return
+	}
+	for j := range rec.r {
+		if len(rec.queue[j]) == 0 {
+			return
+		}
+	}
+	consumed := make(map[core.NodeID]core.Message, len(rec.r))
+	for _, j := range n.sortedNeighbors() {
+		if !rec.r[j] {
+			continue
+		}
+		consumed[j] = rec.queue[j][0]
+		rec.queue[j] = rec.queue[j][1:]
+	}
+	switch {
+	case rec.reducing:
+		n.advanceReduce(consumed)
+	case rec.variant == VariantLinial || rec.variant == VariantLinialReduce:
+		n.advanceLinial(consumed)
+	default:
+		n.advanceGreedy(consumed)
+	}
+}
+
+// advanceGreedy is the loop body of Algorithm 4 (Lines 64–68) followed by
+// the termination handling (Lines 69–72).
+func (n *Node) advanceGreedy(consumed map[core.NodeID]core.Message) {
+	rec := &n.rec
+	changed := false
+	for _, j := range n.sortedNeighbors() {
+		m, ok := consumed[j]
+		if !ok {
+			continue
+		}
+		gm, ok := m.(msgGraph)
+		if !ok {
+			n.tracef("greedy recolor got %T from %d; dropping participant", m, j)
+			delete(rec.r, j)
+			continue
+		}
+		if rec.g.Add(n.env.ID(), j) {
+			changed = true
+		}
+		for _, e := range gm.Edges {
+			if rec.g.Add(e.A, e.B) {
+				changed = true
+			}
+		}
+		if gm.Finished {
+			rec.finishedSeen = true
+		}
+	}
+	if len(rec.r) == 0 {
+		n.finishRecolor(0)
+		return
+	}
+	if !changed || rec.finishedSeen {
+		// Line 71: final transmission with finished = true, then the
+		// deterministic local colouring (Line 72).
+		final := msgGraph{Edges: rec.g.Edges(), Finished: true}
+		for _, j := range n.sortedNeighbors() {
+			if rec.r[j] {
+				n.env.Send(j, final)
+			}
+		}
+		n.finishRecolor(coloring.GreedyColor(rec.g, n.env.ID()))
+		return
+	}
+	n.beginRecolorIteration()
+}
+
+// advanceLinial is the loop body of Algorithm 5 (Lines 64–70).
+func (n *Node) advanceLinial(consumed map[core.NodeID]core.Message) {
+	rec := &n.rec
+	others := make([]int, 0, len(consumed))
+	for _, j := range n.sortedNeighbors() {
+		m, ok := consumed[j]
+		if !ok {
+			continue
+		}
+		tm, ok := m.(msgTempColor)
+		if !ok {
+			n.tracef("linial recolor got %T from %d; dropping participant", m, j)
+			delete(rec.r, j)
+			continue
+		}
+		others = append(others, tm.Color)
+	}
+	next, err := rec.sched[rec.phIdx].PickFree(rec.tempColor, others)
+	if err != nil {
+		// Violated knowledge assumption (more than δ concurrent
+		// neighbours): a configuration error, surfaced loudly.
+		panic(fmt.Sprintf("lme1: node %d phase %d: %v", n.env.ID(), rec.phIdx, err))
+	}
+	rec.tempColor = next
+	rec.phIdx++
+	if rec.phIdx >= len(rec.sched) {
+		if rec.variant == VariantLinialReduce && rec.reduceTotal > 0 {
+			if len(rec.r) == 0 {
+				n.finishRecolor(0)
+				return
+			}
+			rec.reducing = true
+			n.beginRecolorIteration()
+			return
+		}
+		n.finishRecolor(rec.tempColor)
+		return
+	}
+	if len(rec.r) == 0 {
+		n.finishRecolor(0)
+		return
+	}
+	n.beginRecolorIteration()
+}
+
+// advanceReduce runs one colour-elimination round of the
+// VariantLinialReduce extension: the holders of the current top colour —
+// an independent set among the participants, since their colouring is
+// legal — re-pick the smallest colour free among the participants'
+// colours; everyone else keeps theirs.
+func (n *Node) advanceReduce(consumed map[core.NodeID]core.Message) {
+	rec := &n.rec
+	others := make([]int, 0, len(consumed))
+	for _, j := range n.sortedNeighbors() {
+		m, ok := consumed[j]
+		if !ok {
+			continue
+		}
+		tm, ok := m.(msgTempColor)
+		if !ok {
+			n.tracef("reduce round got %T from %d; dropping participant", m, j)
+			delete(rec.r, j)
+			continue
+		}
+		others = append(others, tm.Color)
+	}
+	top := rec.palette - 1 - rec.reduceRound
+	rec.tempColor = coloring.ReduceStep(rec.tempColor, top, others)
+	rec.reduceRound++
+	if rec.reduceRound >= rec.reduceTotal {
+		n.finishRecolor(rec.tempColor)
+		return
+	}
+	if len(rec.r) == 0 {
+		n.finishRecolor(0)
+		return
+	}
+	n.beginRecolorIteration()
+}
+
+// finishRecolor is the wrapper's Lines 38–39: negate the procedure's
+// result so recoloured nodes sit below every post-critical-section colour,
+// announce it, and continue to the fork-collection doorway (Figure 5).
+func (n *Node) finishRecolor(ret int) {
+	rec := &n.rec
+	rec.active = false
+	rec.queue = nil
+	n.myColor = -ret - 1
+	n.needsRecolor = false
+	n.tracef("recoloured to %d", n.myColor)
+	n.env.Broadcast(msgUpdateColor{Color: n.myColor})
+	n.ph = phEnterADf
+	n.dws[adf].BeginEntry()
+}
+
+// abort cancels a recolouring in progress (the mover's Line 52 handling).
+func (rec *recolorRun) abort(n *Node) {
+	rec.active = false
+	rec.queue = nil
+}
+
+// onNACK removes a non-participant from R (Lines 42–43).
+func (rec *recolorRun) onNACK(n *Node, from core.NodeID) {
+	if !rec.active {
+		return
+	}
+	delete(rec.r, from)
+	delete(rec.queue, from)
+	n.tryCompleteIteration()
+}
+
+// onNeighborLost removes a departed neighbour from R (Line 61).
+func (rec *recolorRun) onNeighborLost(n *Node, j core.NodeID) {
+	if !rec.active {
+		return
+	}
+	delete(rec.r, j)
+	delete(rec.queue, j)
+	n.tryCompleteIteration()
+}

@@ -1,0 +1,106 @@
+package lme2_test
+
+import (
+	"testing"
+
+	"lme/internal/core"
+	"lme/internal/harness"
+	"lme/internal/lme2"
+	"lme/internal/workload"
+)
+
+// TestPriorityGraphAcyclic verifies Lemma 24 empirically: at any cut of
+// the execution, the priority graph G — edge directed from the
+// lower-priority endpoint to the higher-priority one, with both-true
+// higher flags (a switch in transit) treated as an undetermined edge — is
+// acyclic. Acyclicity of G is what makes the rank of Lemma 8 well-defined
+// and hence underpins the liveness proof.
+func TestPriorityGraphAcyclic(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		pts, err := harness.GeometricPoints(18, 0.3, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := harness.Build(harness.Spec{
+			Seed:        seed,
+			Points:      pts,
+			Radius:      0.3,
+			NewProtocol: newNode,
+			Workload:    workload.Config{EatTime: 3_000, ThinkMax: 5_000},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Check at several cuts of the run, not just the end.
+		for cut := 0; cut < 4; cut++ {
+			if err := r.RunFor(700_000); err != nil {
+				t.Fatal(err)
+			}
+			if cycle := priorityCycle(r); cycle != nil {
+				t.Fatalf("seed %d cut %d: priority cycle %v", seed, cut, cycle)
+			}
+		}
+	}
+}
+
+// priorityCycle returns a cycle in the determined part of the priority
+// graph, or nil.
+func priorityCycle(r *harness.Run) []int {
+	g := r.World.CommGraph()
+	n := g.N()
+	adj := make([][]int, n)
+	for _, e := range g.Edges() {
+		a, okA := r.World.Protocol(core.NodeID(e[0])).(*lme2.Node)
+		b, okB := r.World.Protocol(core.NodeID(e[1])).(*lme2.Node)
+		if !okA || !okB {
+			return []int{-1}
+		}
+		aHigher := a.Higher(core.NodeID(e[1])) // e[1] has priority over e[0]
+		bHigher := b.Higher(core.NodeID(e[0]))
+		switch {
+		case aHigher && bHigher:
+			// Switch in transit: orientation undetermined, skip.
+		case aHigher:
+			adj[e[0]] = append(adj[e[0]], e[1])
+		case bHigher:
+			adj[e[1]] = append(adj[e[1]], e[0])
+		default:
+			// Both claim priority — a protocol bug.
+			return []int{e[0], e[1]}
+		}
+	}
+	// DFS cycle detection.
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make([]int, n)
+	var stack []int
+	var visit func(v int) []int
+	visit = func(v int) []int {
+		color[v] = grey
+		stack = append(stack, v)
+		for _, u := range adj[v] {
+			if color[u] == grey {
+				return append(append([]int(nil), stack...), u)
+			}
+			if color[u] == white {
+				if c := visit(u); c != nil {
+					return c
+				}
+			}
+		}
+		color[v] = black
+		stack = stack[:len(stack)-1]
+		return nil
+	}
+	for v := 0; v < n; v++ {
+		if color[v] == white {
+			if c := visit(v); c != nil {
+				return c
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,384 @@
+// Package lme2 implements the second local mutual exclusion algorithm of
+// the paper (Chapter 6, Algorithms 6–7): fork collection with dynamic
+// priorities maintained by the link-reversal-style higher[] flags and the
+// notification/switch mechanism, with no doorways and no colours. It has
+// optimal failure locality 2 and response time O(n²) under mobility, and
+// O(n) in static networks (Theorems 25–26) — the notification mechanism is
+// what improves on the O(n²) of Tsay–Bagrodia in the static case.
+//
+// Two deviations from the printed pseudo-code, both documented in
+// DESIGN.md §4:
+//
+//   - A thinking node always grants a fork request (the analogue of
+//     Algorithm 1's "outside SD^f" disjunct); the printed guard would let
+//     a thinking node that holds all its forks suspend a hungry
+//     neighbour's request forever.
+//   - A switch message that flips higher[j] while the receiver is hungry
+//     triggers re-evaluation of the request sets (the analogue of the
+//     colour-update re-evaluation in Algorithm 1).
+package lme2
+
+import (
+	"fmt"
+	"sort"
+
+	"lme/internal/core"
+)
+
+// Config parameterises a node of Algorithm 2.
+type Config struct {
+	// Notify disables the notification/switch-on-hungry mechanism when
+	// false — the ablation used by experiment E3 to show the mechanism
+	// is what yields the linear static response time. Default true via
+	// New.
+	Notify bool
+
+	// Trace, if set, receives debug lines.
+	Trace func(format string, args ...any)
+}
+
+// msgNotification announces that the sender became hungry (Line 2).
+type msgNotification struct{}
+
+// msgSwitch lowers the sender's priority below the receiver (link
+// reversal).
+type msgSwitch struct{}
+
+// msgReq requests the shared fork.
+type msgReq struct{}
+
+// msgFork transfers the shared fork; Flag set means the sender wants it
+// back (Line 35).
+type msgFork struct {
+	Flag bool
+}
+
+// Node is one node's instance of Algorithm 2. It implements
+// core.Protocol.
+type Node struct {
+	env core.Env
+	cfg Config
+
+	state core.State
+
+	// higher[j] reports whether neighbour j currently has priority over
+	// this node. At most one of higher_i[j], higher_j[i] is false at any
+	// time; both true only while a switch message is in transit.
+	higher map[core.NodeID]bool
+
+	// at[j] — this node holds the fork shared with j. Key set = N.
+	at map[core.NodeID]bool
+
+	// suspended is S.
+	suspended map[core.NodeID]bool
+}
+
+var _ core.Protocol = (*Node)(nil)
+
+// New creates a node of Algorithm 2 with the notification mechanism
+// enabled.
+func New() *Node { return NewWithConfig(Config{Notify: true}) }
+
+// NewWithConfig creates a node with explicit configuration.
+func NewWithConfig(cfg Config) *Node {
+	return &Node{
+		cfg:       cfg,
+		state:     core.Thinking,
+		higher:    make(map[core.NodeID]bool),
+		at:        make(map[core.NodeID]bool),
+		suspended: make(map[core.NodeID]bool),
+	}
+}
+
+// Init implements core.Protocol: initially higher_i[j] holds iff
+// ID[i] < ID[j], and the smaller ID owns the fork — an acyclic initial
+// orientation.
+func (n *Node) Init(env core.Env) {
+	n.env = env
+	me := env.ID()
+	for _, j := range env.Neighbors() {
+		n.higher[j] = me < j
+		n.at[j] = me < j
+	}
+}
+
+// State implements core.Protocol.
+func (n *Node) State() core.State { return n.state }
+
+// Higher reports the current priority flag for neighbour j (for tests).
+func (n *Node) Higher(j core.NodeID) bool { return n.higher[j] }
+
+// HasFork reports fork possession for neighbour j (for tests).
+func (n *Node) HasFork(j core.NodeID) bool { return n.at[j] }
+
+// BecomeHungry implements core.Protocol: Lines 1–5.
+func (n *Node) BecomeHungry() {
+	if n.state != core.Thinking {
+		return
+	}
+	n.setState(core.Hungry)
+	if n.cfg.Notify {
+		n.env.Broadcast(msgNotification{})
+	}
+	n.maybeEat()
+	if n.state == core.Eating {
+		return
+	}
+	if n.allLowForks() {
+		n.requestHighForks()
+	} else {
+		n.requestLowForks()
+	}
+}
+
+// ExitCS implements core.Protocol: Lines 6–9 — reverse all edges (lower
+// this node below every neighbour) and release the suspended requests.
+func (n *Node) ExitCS() {
+	if n.state != core.Eating {
+		return
+	}
+	n.setState(core.Thinking)
+	for _, j := range n.sortedNeighbors() {
+		if !n.higher[j] {
+			n.env.Send(j, msgSwitch{})
+			n.higher[j] = true
+		}
+	}
+	for _, j := range n.sortedSuspended() {
+		n.sendFork(j)
+	}
+}
+
+// OnMessage implements core.Protocol.
+func (n *Node) OnMessage(from core.NodeID, msg core.Message) {
+	if _, isNeighbor := n.at[from]; !isNeighbor {
+		return
+	}
+	switch m := msg.(type) {
+	case msgReq:
+		n.onReq(from)
+	case msgFork:
+		n.onFork(from, m.Flag)
+	case msgNotification:
+		n.onNotification(from)
+	case msgSwitch:
+		n.onSwitch(from)
+	default:
+		n.tracef("unknown message %T from %d", msg, from)
+	}
+}
+
+// onReq is Lines 10–14, with the thinking-node grant (see package doc).
+func (n *Node) onReq(j core.NodeID) {
+	if !n.at[j] {
+		return // fork already in transit to j
+	}
+	thinking := n.state == core.Thinking
+	switch {
+	case !n.higher[j] && (!n.allLowForks() || thinking):
+		n.sendFork(j)
+	case n.higher[j] && (!n.allForks() || thinking):
+		n.sendFork(j)
+		n.releaseHighForks()
+	default:
+		n.suspended[j] = true
+	}
+}
+
+// onFork is Lines 15–21.
+func (n *Node) onFork(j core.NodeID, flag bool) {
+	n.at[j] = true
+	if n.state == core.Thinking {
+		if flag {
+			n.sendFork(j)
+		}
+		return
+	}
+	n.maybeEat()
+	if n.allLowForks() {
+		if flag {
+			n.suspended[j] = true
+		}
+		n.requestHighForks()
+	} else if flag {
+		n.sendFork(j)
+	}
+}
+
+// onNotification is Lines 22–25: a thinking node with priority over the
+// newly hungry neighbour reverses all its edges, so it cannot interfere
+// later. This mechanism is what yields the O(n) static response time
+// (Theorem 26).
+func (n *Node) onNotification(j core.NodeID) {
+	if n.state != core.Thinking || n.higher[j] {
+		return
+	}
+	for _, k := range n.sortedNeighbors() {
+		if !n.higher[k] {
+			n.env.Send(k, msgSwitch{})
+			n.higher[k] = true
+		}
+	}
+}
+
+// onSwitch is Lines 26–27 plus the hungry re-evaluation (see package
+// doc): j lowered itself below this node, which may newly satisfy
+// all-low-forks.
+func (n *Node) onSwitch(j core.NodeID) {
+	n.higher[j] = false
+	if n.state != core.Hungry {
+		return
+	}
+	if n.allLowForks() {
+		n.requestHighForks()
+	}
+}
+
+// OnLinkUp implements core.Protocol: Algorithm 7.
+func (n *Node) OnLinkUp(peer core.NodeID, iAmMoving bool) {
+	if iAmMoving {
+		n.onLinkUpMoving(peer)
+	} else {
+		// Lines 40–41: the static side owns the new fork and has
+		// priority over the mover.
+		n.at[peer] = true
+		n.higher[peer] = false
+	}
+}
+
+// onLinkUpMoving is Lines 42–46: the mover yields the fork, demotes
+// itself out of the critical section if necessary, and reverses all its
+// edges.
+func (n *Node) onLinkUpMoving(j core.NodeID) {
+	n.at[j] = false
+	n.higher[j] = true
+	if n.state == core.Eating {
+		n.setState(core.Hungry)
+	}
+	for _, k := range n.sortedNeighbors() {
+		if k != j && !n.higher[k] {
+			n.env.Send(k, msgSwitch{})
+			n.higher[k] = true
+		}
+	}
+	if n.state == core.Hungry {
+		// Restart collection under the new orientation: every fork
+		// is now a high fork unless a switch arrives.
+		if n.allLowForks() {
+			n.requestHighForks()
+		} else {
+			n.requestLowForks()
+		}
+	}
+}
+
+// OnLinkDown implements core.Protocol: Lines 47–48 plus fork destruction
+// and the progress re-evaluation the departure may enable.
+func (n *Node) OnLinkDown(j core.NodeID) {
+	delete(n.at, j)
+	delete(n.higher, j)
+	delete(n.suspended, j)
+	if n.state != core.Hungry {
+		return
+	}
+	n.maybeEat()
+	if n.state == core.Hungry && n.allLowForks() {
+		n.requestHighForks()
+	}
+}
+
+// maybeEat enters the critical section when hungry with every fork.
+func (n *Node) maybeEat() {
+	if n.state == core.Hungry && n.allForks() {
+		n.setState(core.Eating)
+	}
+}
+
+func (n *Node) allForks() bool {
+	for _, have := range n.at {
+		if !have {
+			return false
+		}
+	}
+	return true
+}
+
+// allLowForks checks forks shared with higher-priority neighbours.
+func (n *Node) allLowForks() bool {
+	for j, have := range n.at {
+		if !have && n.higher[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// requestLowForks is Lines 28–30.
+func (n *Node) requestLowForks() {
+	for _, j := range n.sortedNeighbors() {
+		if n.higher[j] && !n.at[j] {
+			n.env.Send(j, msgReq{})
+		}
+	}
+}
+
+// requestHighForks is Lines 31–33.
+func (n *Node) requestHighForks() {
+	for _, j := range n.sortedNeighbors() {
+		if !n.higher[j] && !n.at[j] {
+			n.env.Send(j, msgReq{})
+		}
+	}
+}
+
+// sendFork is Lines 34–36.
+func (n *Node) sendFork(j core.NodeID) {
+	if !n.at[j] {
+		return
+	}
+	flag := n.higher[j] && n.state == core.Hungry
+	n.env.Send(j, msgFork{Flag: flag})
+	n.at[j] = false
+	delete(n.suspended, j)
+}
+
+// releaseHighForks is Lines 37–39.
+func (n *Node) releaseHighForks() {
+	for _, j := range n.sortedSuspended() {
+		if !n.higher[j] && n.at[j] {
+			n.sendFork(j)
+		}
+	}
+}
+
+func (n *Node) setState(s core.State) {
+	if n.state == s {
+		return
+	}
+	n.state = s
+	n.env.SetState(s)
+}
+
+func (n *Node) sortedNeighbors() []core.NodeID {
+	out := make([]core.NodeID, 0, len(n.at))
+	for j := range n.at {
+		out = append(out, j)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (n *Node) sortedSuspended() []core.NodeID {
+	out := make([]core.NodeID, 0, len(n.suspended))
+	for j := range n.suspended {
+		out = append(out, j)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (n *Node) tracef(format string, args ...any) {
+	if n.cfg.Trace != nil {
+		n.cfg.Trace(fmt.Sprintf("lme2[%d] ", n.env.ID())+format, args...)
+	}
+}

@@ -1,0 +1,137 @@
+package manet
+
+import (
+	"math"
+
+	"lme/internal/core"
+	"lme/internal/graph"
+	"lme/internal/sim"
+)
+
+// MoveTo starts continuous movement of id toward dest at the given speed
+// (plane units per second, must be positive). The node is flagged moving
+// immediately; its links are recomputed every TickInterval as it advances
+// and once more on arrival, when it becomes static again. Starting a new
+// movement supersedes any movement in progress.
+func (w *World) MoveTo(id core.NodeID, dest graph.Point, speed float64) {
+	n := w.nodes[id]
+	if n.crashed || speed <= 0 {
+		return
+	}
+	w.setMoving(n, true)
+	n.target = dest
+	n.speed = speed
+	n.moveID++
+	w.trace("node %d starts moving to (%.3f,%.3f)", id, dest.X, dest.Y)
+	w.scheduleTick(n, n.moveID)
+}
+
+// Jump teleports id to dest: the node is flagged moving, relocated, its
+// links recomputed, and it becomes static again after settle time units
+// (minimum one tick). Jump models the scripted "node moves to a new
+// neighbourhood" steps of the paper's scenarios without path simulation.
+func (w *World) Jump(id core.NodeID, dest graph.Point, settle sim.Time) {
+	n := w.nodes[id]
+	if n.crashed {
+		return
+	}
+	if settle <= 0 {
+		settle = 1
+	}
+	w.setMoving(n, true)
+	n.moveID++
+	moveID := n.moveID
+	n.pos = dest
+	w.trace("node %d jumps to (%.3f,%.3f)", id, dest.X, dest.Y)
+	w.refreshLinks(id)
+	w.sched.After(settle, func() {
+		if n.moveID != moveID || n.crashed {
+			return
+		}
+		w.setMoving(n, false)
+		w.trace("node %d static again", id)
+	})
+}
+
+// JumpAt schedules a Jump at time t.
+func (w *World) JumpAt(id core.NodeID, dest graph.Point, settle, t sim.Time) {
+	w.sched.At(t, func() { w.Jump(id, dest, settle) })
+}
+
+func (w *World) scheduleTick(n *node, moveID uint64) {
+	w.sched.After(w.cfg.TickInterval, func() { w.moveTick(n, moveID) })
+}
+
+func (w *World) moveTick(n *node, moveID uint64) {
+	if n.moveID != moveID || n.crashed || !n.moving {
+		return
+	}
+	step := n.speed * float64(w.cfg.TickInterval) / 1e6
+	dx, dy := n.target.X-n.pos.X, n.target.Y-n.pos.Y
+	dist := math.Hypot(dx, dy)
+	if dist <= step {
+		n.pos = n.target
+		w.setMoving(n, false)
+		w.refreshLinks(n.id)
+		w.trace("node %d arrived at (%.3f,%.3f)", n.id, n.pos.X, n.pos.Y)
+		return
+	}
+	n.pos.X += dx / dist * step
+	n.pos.Y += dy / dist * step
+	w.refreshLinks(n.id)
+	w.scheduleTick(n, moveID)
+}
+
+// Waypoint drives a subset of nodes with the random-waypoint mobility
+// model: each mover repeatedly pauses, picks a uniform destination on the
+// unit square, and travels there at its speed.
+type Waypoint struct {
+	// Speed in plane units per second.
+	Speed float64
+	// PauseMin and PauseMax bound the uniform pause between trips.
+	PauseMin, PauseMax sim.Time
+	// Until stops issuing new trips after this time (0 = forever).
+	Until sim.Time
+}
+
+// Attach starts the waypoint process for each of the given nodes.
+func (wp Waypoint) Attach(w *World, ids []core.NodeID) {
+	for _, id := range ids {
+		wp.scheduleNext(w, id)
+	}
+}
+
+func (wp Waypoint) scheduleNext(w *World, id core.NodeID) {
+	pause := wp.PauseMin
+	if span := int64(wp.PauseMax - wp.PauseMin); span > 0 {
+		pause += sim.Time(w.sched.Rand().Int64N(span + 1))
+	}
+	w.sched.After(pause, func() {
+		if w.nodes[id].crashed {
+			return
+		}
+		if wp.Until > 0 && w.sched.Now() >= wp.Until {
+			return
+		}
+		dest := graph.Point{X: w.sched.Rand().Float64(), Y: w.sched.Rand().Float64()}
+		w.MoveTo(id, dest, wp.Speed)
+		wp.watchArrival(w, id)
+	})
+}
+
+// watchArrival polls for trip completion and then schedules the next trip.
+// Polling at tick granularity keeps the mobility model independent of the
+// movement engine's internals.
+func (wp Waypoint) watchArrival(w *World, id core.NodeID) {
+	w.sched.After(w.cfg.TickInterval, func() {
+		n := w.nodes[id]
+		if n.crashed {
+			return
+		}
+		if n.moving {
+			wp.watchArrival(w, id)
+			return
+		}
+		wp.scheduleNext(w, id)
+	})
+}

@@ -1,0 +1,484 @@
+// Package manet models the mobile ad hoc network of §3.1 of the paper on
+// top of the discrete-event scheduler: nodes with positions on the plane, a
+// unit-disk communication graph that changes as nodes move, reliable FIFO
+// links with bounded message delay ν, link-level LinkUp/LinkDown
+// indications with the paper's static/moving symmetry-breaking bias, crash
+// failures, and the dispatch loop that drives each node's Protocol one
+// atomic event at a time.
+package manet
+
+import (
+	"fmt"
+	"sort"
+
+	"lme/internal/core"
+	"lme/internal/graph"
+	"lme/internal/sim"
+)
+
+// Config carries the physical parameters of the world.
+type Config struct {
+	// Seed derives every random choice (delays, mobility); runs with the
+	// same seed and the same call sequence are identical.
+	Seed uint64
+
+	// Radius is the radio range: two nodes are neighbours iff their
+	// Euclidean distance is at most Radius.
+	Radius float64
+
+	// MinDelay and MaxDelay bound the end-to-end message delay; MaxDelay
+	// is the paper's ν. Delays are drawn uniformly per message, then
+	// clamped so that each directed link delivers in FIFO order.
+	MinDelay, MaxDelay sim.Time
+
+	// TickInterval is the mobility integration step for continuous
+	// movement. Zero selects a default of 20ms.
+	TickInterval sim.Time
+
+	// NonFIFO disables the per-directed-link FIFO delivery order — an
+	// ablation of the paper's §3.1 link assumption (experiment E12).
+	NonFIFO bool
+}
+
+// DefaultConfig returns the parameters used throughout the experiments:
+// ν = 10ms with a 1ms floor, 20ms mobility ticks.
+func DefaultConfig() Config {
+	return Config{
+		Seed:         1,
+		Radius:       0.25,
+		MinDelay:     sim.Time(1_000),
+		MaxDelay:     sim.Time(10_000),
+		TickInterval: sim.Time(20_000),
+	}
+}
+
+// LinkListener observes communication-graph changes (used by the safety
+// checker and by traces).
+type LinkListener interface {
+	// OnLink is called after a link between a and b appears (up=true) or
+	// disappears (up=false) and after both endpoint protocols processed
+	// their notifications.
+	OnLink(a, b core.NodeID, up bool, at sim.Time)
+}
+
+// MoveListener observes mobility status changes (used by the response-time
+// recorder, which per Definition 1 only samples nodes that stayed static
+// throughout a hungry interval).
+type MoveListener interface {
+	// OnMove is called when id starts (moving=true) or stops
+	// (moving=false) moving.
+	OnMove(id core.NodeID, moving bool, at sim.Time)
+}
+
+// node is the world-side record of a mobile node.
+type node struct {
+	id      core.NodeID
+	pos     graph.Point
+	proto   core.Protocol
+	state   core.State
+	moving  bool
+	crashed bool
+
+	neighbors map[core.NodeID]bool
+
+	// lastDelivery enforces per-directed-link FIFO delivery.
+	lastDelivery map[core.NodeID]sim.Time
+
+	// movement target; valid while moving.
+	target graph.Point
+	speed  float64 // plane units per second
+	moveID uint64  // invalidates stale movement ticks
+}
+
+// World is the simulated MANET. It is single-threaded: all mutation happens
+// inside scheduler events or before the run starts.
+type World struct {
+	cfg   Config
+	sched *sim.Scheduler
+	nodes []*node
+
+	// epoch counts link incarnations per unordered pair; a message whose
+	// link epoch changed before delivery is destroyed with the link.
+	epoch map[[2]core.NodeID]uint64
+
+	stateListeners []core.Listener
+	linkListeners  []LinkListener
+	moveListeners  []MoveListener
+
+	tracef  func(at sim.Time, format string, args ...any)
+	started bool
+
+	// msgsSent and msgsDelivered count protocol messages (the paper's
+	// future-work measure of message complexity).
+	msgsSent, msgsDelivered uint64
+
+	// inspect, if set, observes every sent message.
+	inspect func(from, to core.NodeID, msg core.Message)
+}
+
+// NewWorld creates an empty world driven by its own scheduler.
+func NewWorld(cfg Config) *World {
+	if cfg.TickInterval <= 0 {
+		cfg.TickInterval = 20_000
+	}
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = 10_000
+	}
+	if cfg.MinDelay <= 0 {
+		cfg.MinDelay = 1
+	}
+	if cfg.MinDelay > cfg.MaxDelay {
+		cfg.MinDelay = cfg.MaxDelay
+	}
+	return &World{
+		cfg:   cfg,
+		sched: sim.NewScheduler(cfg.Seed),
+		epoch: make(map[[2]core.NodeID]uint64),
+	}
+}
+
+// Scheduler exposes the world's event loop for workloads and harnesses.
+func (w *World) Scheduler() *sim.Scheduler { return w.sched }
+
+// Config returns the world's configuration.
+func (w *World) Config() Config { return w.cfg }
+
+// N returns the number of nodes.
+func (w *World) N() int { return len(w.nodes) }
+
+// AddNode places a new node at pos and returns its ID. Must be called
+// before Start.
+func (w *World) AddNode(pos graph.Point) core.NodeID {
+	if w.started {
+		panic("manet: AddNode after Start")
+	}
+	id := core.NodeID(len(w.nodes))
+	w.nodes = append(w.nodes, &node{
+		id:           id,
+		pos:          pos,
+		state:        core.Thinking,
+		neighbors:    make(map[core.NodeID]bool),
+		lastDelivery: make(map[core.NodeID]sim.Time),
+	})
+	return id
+}
+
+// SetProtocol installs the algorithm instance for a node. Must be called
+// before Start.
+func (w *World) SetProtocol(id core.NodeID, p core.Protocol) {
+	if w.started {
+		panic("manet: SetProtocol after Start")
+	}
+	w.nodes[id].proto = p
+}
+
+// AddStateListener registers a dining-state transition observer.
+func (w *World) AddStateListener(l core.Listener) {
+	w.stateListeners = append(w.stateListeners, l)
+}
+
+// AddLinkListener registers a communication-graph change observer.
+func (w *World) AddLinkListener(l LinkListener) {
+	w.linkListeners = append(w.linkListeners, l)
+}
+
+// AddMoveListener registers a mobility status observer.
+func (w *World) AddMoveListener(l MoveListener) {
+	w.moveListeners = append(w.moveListeners, l)
+}
+
+// setMoving flips a node's mobility flag and notifies observers.
+func (w *World) setMoving(n *node, moving bool) {
+	if n.moving == moving {
+		return
+	}
+	n.moving = moving
+	for _, l := range w.moveListeners {
+		l.OnMove(n.id, moving, w.sched.Now())
+	}
+}
+
+// SetTracer installs an optional debug trace sink.
+func (w *World) SetTracer(f func(at sim.Time, format string, args ...any)) {
+	w.tracef = f
+}
+
+func (w *World) trace(format string, args ...any) {
+	if w.tracef != nil {
+		w.tracef(w.sched.Now(), format, args...)
+	}
+}
+
+// Start computes the initial communication graph (silently: pre-existing
+// links generate no LinkUp indications; the paper's initial fork and colour
+// distributions are ID-based conventions each protocol applies in Init) and
+// initialises every protocol.
+func (w *World) Start() error {
+	if w.started {
+		return fmt.Errorf("manet: Start called twice")
+	}
+	for _, n := range w.nodes {
+		if n.proto == nil {
+			return fmt.Errorf("manet: node %d has no protocol", n.id)
+		}
+	}
+	w.started = true
+	r2 := w.cfg.Radius * w.cfg.Radius
+	for i := range w.nodes {
+		for j := i + 1; j < len(w.nodes); j++ {
+			if w.nodes[i].pos.Dist2(w.nodes[j].pos) <= r2 {
+				w.nodes[i].neighbors[w.nodes[j].id] = true
+				w.nodes[j].neighbors[w.nodes[i].id] = true
+			}
+		}
+	}
+	for _, n := range w.nodes {
+		n.proto.Init(&env{w: w, n: n})
+	}
+	return nil
+}
+
+// Neighbors returns the sorted neighbour IDs of id.
+func (w *World) Neighbors(id core.NodeID) []core.NodeID {
+	return sortedIDs(w.nodes[id].neighbors)
+}
+
+// Position returns the current position of id.
+func (w *World) Position(id core.NodeID) graph.Point { return w.nodes[id].pos }
+
+// Moving reports whether id is currently in motion.
+func (w *World) Moving(id core.NodeID) bool { return w.nodes[id].moving }
+
+// Crashed reports whether id has crashed.
+func (w *World) Crashed(id core.NodeID) bool { return w.nodes[id].crashed }
+
+// State returns the last dining state reported by id's protocol.
+func (w *World) State(id core.NodeID) core.State { return w.nodes[id].state }
+
+// Protocol returns the protocol instance of id (for white-box tests).
+func (w *World) Protocol(id core.NodeID) core.Protocol { return w.nodes[id].proto }
+
+// CommGraph snapshots the current communication graph.
+func (w *World) CommGraph() *graph.Graph {
+	g := graph.New(len(w.nodes))
+	for _, n := range w.nodes {
+		for peer := range n.neighbors {
+			g.AddEdge(int(n.id), int(peer))
+		}
+	}
+	return g
+}
+
+// MessagesSent reports the number of protocol messages handed to the
+// transport so far.
+func (w *World) MessagesSent() uint64 { return w.msgsSent }
+
+// MessagesDelivered reports the number of protocol messages delivered so
+// far (sent minus dropped on link failures and crashes).
+func (w *World) MessagesDelivered() uint64 { return w.msgsDelivered }
+
+// MaxDegree returns δ of the current communication graph.
+func (w *World) MaxDegree() int {
+	max := 0
+	for _, n := range w.nodes {
+		if d := len(n.neighbors); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Crash fails node id at the current instant: it stops processing events,
+// stops moving, and never recovers. Other nodes receive no indication (the
+// paper's crash model is undetectable).
+func (w *World) Crash(id core.NodeID) {
+	n := w.nodes[id]
+	if n.crashed {
+		return
+	}
+	n.crashed = true
+	w.setMoving(n, false)
+	n.moveID++ // cancel pending movement ticks
+	w.trace("node %d crashed", id)
+}
+
+// CrashAt schedules a crash of id at time t.
+func (w *World) CrashAt(id core.NodeID, t sim.Time) {
+	w.sched.At(t, func() { w.Crash(id) })
+}
+
+// SetMessageInspector installs a callback observing every message handed
+// to the transport (used by the message-complexity breakdown).
+func (w *World) SetMessageInspector(f func(from, to core.NodeID, msg core.Message)) {
+	w.inspect = f
+}
+
+// send transmits a message over the link from→to, if it exists, with a
+// uniformly random delay in [MinDelay, MaxDelay], clamped to keep the
+// directed link FIFO. The message is destroyed if the link fails (or the
+// receiver crashes) before delivery.
+func (w *World) send(from, to core.NodeID, msg core.Message) {
+	src := w.nodes[from]
+	if src.crashed || !src.neighbors[to] {
+		return
+	}
+	w.msgsSent++
+	if w.inspect != nil {
+		w.inspect(from, to, msg)
+	}
+	delay := w.cfg.MinDelay
+	if span := int64(w.cfg.MaxDelay - w.cfg.MinDelay); span > 0 {
+		delay += sim.Time(w.sched.Rand().Int64N(span + 1))
+	}
+	at := w.sched.Now() + delay
+	if !w.cfg.NonFIFO {
+		if floor := src.lastDelivery[to]; at <= floor {
+			at = floor + 1
+		}
+		src.lastDelivery[to] = at
+	}
+	ep := w.epoch[pairKey(from, to)]
+	w.sched.At(at, func() {
+		dst := w.nodes[to]
+		if dst.crashed || w.epoch[pairKey(from, to)] != ep || !dst.neighbors[from] {
+			return // destroyed with the link, or receiver dead
+		}
+		w.msgsDelivered++
+		dst.proto.OnMessage(from, msg)
+	})
+}
+
+// setLink creates or destroys the link between a and b, dispatching the
+// biased notifications of §3.1. No-op if the link is already in the
+// requested state.
+func (w *World) setLink(a, b core.NodeID, up bool) {
+	na, nb := w.nodes[a], w.nodes[b]
+	if na.neighbors[b] == up {
+		return
+	}
+	w.epoch[pairKey(a, b)]++
+	if up {
+		na.neighbors[b] = true
+		nb.neighbors[a] = true
+		movingSide := w.pickMovingSide(na, nb)
+		w.trace("link up %d—%d (moving side %d)", a, b, movingSide)
+		// Deliver the static-side indication first: in the paper's
+		// link-level protocol the static node reacts by sending its
+		// status (colour and doorway positions) to the newcomer.
+		first, second := na, nb
+		if first.id == movingSide {
+			first, second = nb, na
+		}
+		if !first.crashed {
+			first.proto.OnLinkUp(second.id, first.id == movingSide)
+		}
+		if !second.crashed {
+			second.proto.OnLinkUp(first.id, second.id == movingSide)
+		}
+	} else {
+		delete(na.neighbors, b)
+		delete(nb.neighbors, a)
+		delete(na.lastDelivery, b)
+		delete(nb.lastDelivery, a)
+		w.trace("link down %d—%d", a, b)
+		if !na.crashed {
+			na.proto.OnLinkDown(b)
+		}
+		if !nb.crashed {
+			nb.proto.OnLinkDown(a)
+		}
+	}
+	for _, l := range w.linkListeners {
+		l.OnLink(a, b, up, w.sched.Now())
+	}
+}
+
+// pickMovingSide decides which endpoint of a new link receives the
+// "I am moving" notification: the genuinely moving one if exactly one
+// endpoint moves, otherwise (two movers meeting) the higher-ID endpoint,
+// realising the symmetry-breaking rule of §3.1 with its bias toward static
+// nodes.
+func (w *World) pickMovingSide(a, b *node) core.NodeID {
+	switch {
+	case a.moving && !b.moving:
+		return a.id
+	case b.moving && !a.moving:
+		return b.id
+	default:
+		// Both moving (links never form between two static nodes in
+		// this model, but be safe): exactly one gets the moving role.
+		if a.id > b.id {
+			return a.id
+		}
+		return b.id
+	}
+}
+
+// refreshLinks recomputes every link incident to id against the current
+// positions.
+func (w *World) refreshLinks(id core.NodeID) {
+	n := w.nodes[id]
+	r2 := w.cfg.Radius * w.cfg.Radius
+	for _, other := range w.nodes {
+		if other.id == id {
+			continue
+		}
+		w.setLink(id, other.id, n.pos.Dist2(other.pos) <= r2)
+	}
+}
+
+// setState records a protocol-reported dining transition and fans it out.
+func (w *World) setState(n *node, s core.State) {
+	if n.state == s {
+		return
+	}
+	old := n.state
+	n.state = s
+	w.trace("node %d: %v → %v", n.id, old, s)
+	for _, l := range w.stateListeners {
+		l.OnStateChange(n.id, old, s, w.sched.Now())
+	}
+}
+
+// env adapts a world node to core.Env.
+type env struct {
+	w *World
+	n *node
+}
+
+var _ core.Env = (*env)(nil)
+
+func (e *env) ID() core.NodeID { return e.n.id }
+
+func (e *env) Now() sim.Time { return e.w.sched.Now() }
+
+func (e *env) Neighbors() []core.NodeID { return sortedIDs(e.n.neighbors) }
+
+func (e *env) Send(to core.NodeID, msg core.Message) { e.w.send(e.n.id, to, msg) }
+
+func (e *env) Broadcast(msg core.Message) {
+	for _, to := range sortedIDs(e.n.neighbors) {
+		e.w.send(e.n.id, to, msg)
+	}
+}
+
+func (e *env) Moving() bool { return e.n.moving }
+
+func (e *env) SetState(s core.State) { e.w.setState(e.n, s) }
+
+// pairKey returns the canonical unordered key for a link.
+func pairKey(a, b core.NodeID) [2]core.NodeID {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]core.NodeID{a, b}
+}
+
+func sortedIDs(set map[core.NodeID]bool) []core.NodeID {
+	out := make([]core.NodeID, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

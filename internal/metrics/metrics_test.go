@@ -1,0 +1,214 @@
+package metrics
+
+import (
+	"testing"
+
+	"lme/internal/core"
+	"lme/internal/graph"
+	"lme/internal/sim"
+)
+
+type fixedTopo map[core.NodeID][]core.NodeID
+
+func (t fixedTopo) Neighbors(id core.NodeID) []core.NodeID { return t[id] }
+
+func TestSafetyCheckerCleanRun(t *testing.T) {
+	topo := fixedTopo{0: {1}, 1: {0}}
+	c := NewSafetyChecker(topo)
+	c.OnStateChange(0, core.Hungry, core.Eating, 10)
+	c.OnStateChange(0, core.Eating, core.Thinking, 20)
+	c.OnStateChange(1, core.Hungry, core.Eating, 30)
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSafetyCheckerDetectsNeighbourOverlap(t *testing.T) {
+	topo := fixedTopo{0: {1}, 1: {0}}
+	c := NewSafetyChecker(topo)
+	c.OnStateChange(0, core.Hungry, core.Eating, 10)
+	c.OnStateChange(1, core.Hungry, core.Eating, 15)
+	if err := c.Err(); err == nil {
+		t.Fatal("overlapping neighbours not detected")
+	}
+	v := c.Violations()
+	if len(v) != 1 || v[0].A != 1 || v[0].B != 0 || v[0].At != 15 {
+		t.Fatalf("violations = %v", v)
+	}
+	if v[0].String() == "" {
+		t.Fatal("empty violation string")
+	}
+}
+
+func TestSafetyCheckerAllowsNonNeighbourOverlap(t *testing.T) {
+	topo := fixedTopo{0: {1}, 1: {0, 2}, 2: {1}}
+	c := NewSafetyChecker(topo)
+	c.OnStateChange(0, core.Hungry, core.Eating, 10)
+	c.OnStateChange(2, core.Hungry, core.Eating, 15)
+	if err := c.Err(); err != nil {
+		t.Fatalf("distance-2 overlap flagged: %v", err)
+	}
+}
+
+func TestSafetyCheckerDetectsLinkBetweenEaters(t *testing.T) {
+	topo := fixedTopo{}
+	c := NewSafetyChecker(topo)
+	c.OnStateChange(0, core.Hungry, core.Eating, 10)
+	c.OnStateChange(5, core.Hungry, core.Eating, 12)
+	c.OnLink(0, 5, true, 20)
+	if err := c.Err(); err == nil {
+		t.Fatal("link between two eaters not detected")
+	}
+	c2 := NewSafetyChecker(topo)
+	c2.OnStateChange(0, core.Hungry, core.Eating, 10)
+	c2.OnLink(0, 5, true, 20) // 5 not eating: fine
+	c2.OnLink(0, 5, false, 30)
+	if err := c2.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	if s := Summarize(nil); s.Count != 0 {
+		t.Fatalf("empty summarize = %+v", s)
+	}
+	s := Summarize([]sim.Time{40, 10, 30, 20})
+	if s.Count != 4 || s.Mean != 25 || s.Max != 40 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.P50 != 20 {
+		t.Fatalf("p50 = %v", s.P50)
+	}
+	if s.String() == "" {
+		t.Fatal("empty stats string")
+	}
+}
+
+func TestResponseRecorderBasic(t *testing.T) {
+	r := NewResponseRecorder()
+	r.OnStateChange(3, core.Thinking, core.Hungry, 100)
+	r.OnStateChange(3, core.Hungry, core.Eating, 250)
+	r.OnStateChange(3, core.Eating, core.Thinking, 300)
+	samples := r.Samples()
+	if len(samples) != 1 || samples[0] != 150 {
+		t.Fatalf("samples = %v", samples)
+	}
+	if got := r.NodeSamples(3); len(got) != 1 || got[0] != 150 {
+		t.Fatalf("node samples = %v", got)
+	}
+	if r.EatCount(3) != 1 {
+		t.Fatalf("eat count = %d", r.EatCount(3))
+	}
+}
+
+func TestResponseRecorderTaintOnMove(t *testing.T) {
+	r := NewResponseRecorder()
+	r.OnStateChange(1, core.Thinking, core.Hungry, 100)
+	r.OnMove(1, true, 120)
+	r.OnMove(1, false, 140)
+	r.OnStateChange(1, core.Hungry, core.Eating, 200)
+	if len(r.Samples()) != 0 {
+		t.Fatal("tainted interval sampled")
+	}
+	if r.EatCount(1) != 1 {
+		t.Fatal("eating not counted despite taint")
+	}
+	// A later clean interval samples normally.
+	r.OnStateChange(1, core.Eating, core.Thinking, 210)
+	r.OnStateChange(1, core.Thinking, core.Hungry, 300)
+	r.OnStateChange(1, core.Hungry, core.Eating, 360)
+	if got := r.Samples(); len(got) != 1 || got[0] != 60 {
+		t.Fatalf("samples = %v", got)
+	}
+}
+
+func TestResponseRecorderMoveOfOtherNodeNoTaint(t *testing.T) {
+	r := NewResponseRecorder()
+	r.OnStateChange(1, core.Thinking, core.Hungry, 100)
+	r.OnMove(2, true, 120)
+	r.OnStateChange(1, core.Hungry, core.Eating, 200)
+	if len(r.Samples()) != 1 {
+		t.Fatal("unrelated movement tainted the sample")
+	}
+}
+
+func TestResponseRecorderDemotionOpensNewInterval(t *testing.T) {
+	r := NewResponseRecorder()
+	r.OnStateChange(1, core.Thinking, core.Hungry, 100)
+	r.OnStateChange(1, core.Hungry, core.Eating, 150)
+	r.OnStateChange(1, core.Eating, core.Hungry, 160) // demotion
+	r.OnStateChange(1, core.Hungry, core.Eating, 260)
+	got := r.Samples()
+	if len(got) != 2 || got[0] != 50 || got[1] != 100 {
+		t.Fatalf("samples = %v", got)
+	}
+}
+
+func TestProberBlocked(t *testing.T) {
+	p := NewProber()
+	p.OnStateChange(1, core.Thinking, core.Hungry, 100)
+	p.OnStateChange(2, core.Thinking, core.Hungry, 900)
+	p.OnStateChange(3, core.Thinking, core.Hungry, 100)
+	p.OnStateChange(3, core.Hungry, core.Eating, 150)
+	blocked := p.Blocked(1_000, 500)
+	if len(blocked) != 1 || blocked[0] != 1 {
+		t.Fatalf("blocked = %v", blocked)
+	}
+}
+
+func TestProberHungryReentryKeepsOriginalStart(t *testing.T) {
+	// A repeated Hungry report while already hungry (no eating in
+	// between) must not reset the clock: blocked counts from t=100.
+	p := NewProber()
+	p.OnStateChange(1, core.Thinking, core.Hungry, 100)
+	p.OnStateChange(1, core.Hungry, core.Hungry, 400)
+	if blocked := p.Blocked(700, 500); len(blocked) != 1 {
+		t.Fatalf("blocked = %v, want node 1 via original start", blocked)
+	}
+	// A real demotion after eating opens a fresh interval at t=400.
+	p2 := NewProber()
+	p2.OnStateChange(1, core.Thinking, core.Hungry, 100)
+	p2.OnStateChange(1, core.Hungry, core.Eating, 300)
+	p2.OnStateChange(1, core.Eating, core.Hungry, 400)
+	if blocked := p2.Blocked(700, 500); len(blocked) != 0 {
+		t.Fatalf("blocked = %v (demotion did not reset interval)", blocked)
+	}
+}
+
+func TestProberStarvedSince(t *testing.T) {
+	p := NewProber()
+	p.OnStateChange(1, core.Thinking, core.Hungry, 100)
+	p.OnStateChange(1, core.Hungry, core.Eating, 200)
+	p.OnStateChange(1, core.Eating, core.Thinking, 250)
+	p.OnStateChange(1, core.Thinking, core.Hungry, 300)
+	p.OnStateChange(2, core.Thinking, core.Hungry, 100)
+	// Node 1 last ate at 200; node 2 never ate; both hungry now.
+	starved := p.StarvedSince(500)
+	if len(starved) != 2 {
+		t.Fatalf("starved = %v", starved)
+	}
+	starved = p.StarvedSince(150)
+	if len(starved) != 1 || starved[0] != 2 {
+		t.Fatalf("starved = %v", starved)
+	}
+	if _, ok := p.LastEat(2); ok {
+		t.Fatal("node 2 reported as having eaten")
+	}
+	if at, ok := p.LastEat(1); !ok || at != 200 {
+		t.Fatalf("LastEat(1) = %v, %v", at, ok)
+	}
+}
+
+func TestBlockedRadius(t *testing.T) {
+	g := graph.Line(6) // 0-1-2-3-4-5
+	if r := BlockedRadius(g, 0, nil); r != 0 {
+		t.Fatalf("radius with no blocked = %d", r)
+	}
+	if r := BlockedRadius(g, 0, []core.NodeID{1, 3}); r != 3 {
+		t.Fatalf("radius = %d, want 3", r)
+	}
+	// The crashed node itself is excluded.
+	if r := BlockedRadius(g, 2, []core.NodeID{2}); r != 0 {
+		t.Fatalf("radius = %d, want 0", r)
+	}
+}

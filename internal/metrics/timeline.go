@@ -1,0 +1,120 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"lme/internal/core"
+	"lme/internal/sim"
+)
+
+// Interval is one critical-section occupancy of a node.
+type Interval struct {
+	Node       core.NodeID
+	Start, End sim.Time // End == -1 while still eating
+}
+
+// Timeline records every eating interval of a run; it renders the
+// ASCII Gantt chart behind lmesim's -gantt flag and backs interval-based
+// assertions in tests.
+type Timeline struct {
+	intervals []Interval
+	open      map[core.NodeID]int // index into intervals
+}
+
+// NewTimeline returns an empty recorder.
+func NewTimeline() *Timeline {
+	return &Timeline{open: make(map[core.NodeID]int)}
+}
+
+var _ core.Listener = (*Timeline)(nil)
+
+// OnStateChange implements core.Listener.
+func (tl *Timeline) OnStateChange(id core.NodeID, old, new core.State, at sim.Time) {
+	if new == core.Eating {
+		tl.open[id] = len(tl.intervals)
+		tl.intervals = append(tl.intervals, Interval{Node: id, Start: at, End: -1})
+		return
+	}
+	if idx, ok := tl.open[id]; ok {
+		tl.intervals[idx].End = at
+		delete(tl.open, id)
+	}
+}
+
+// Intervals returns all recorded intervals in start order.
+func (tl *Timeline) Intervals() []Interval {
+	out := make([]Interval, len(tl.intervals))
+	copy(out, tl.intervals)
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// NodeIntervals returns the closed intervals of one node.
+func (tl *Timeline) NodeIntervals(id core.NodeID) []Interval {
+	var out []Interval
+	for _, iv := range tl.intervals {
+		if iv.Node == id {
+			out = append(out, iv)
+		}
+	}
+	return out
+}
+
+// Gantt renders the tail of the run as an ASCII chart: one row per node,
+// one column per bucket of (to-from)/width time, '█' where the node was
+// eating. Open intervals extend to the chart's right edge.
+func (tl *Timeline) Gantt(n int, from, to sim.Time, width int) string {
+	if width <= 0 {
+		width = 80
+	}
+	if to <= from {
+		return ""
+	}
+	bucket := (to - from) / sim.Time(width)
+	if bucket <= 0 {
+		bucket = 1
+	}
+	rows := make([][]rune, n)
+	for i := range rows {
+		rows[i] = []rune(strings.Repeat("·", width))
+	}
+	for _, iv := range tl.intervals {
+		if int(iv.Node) >= n {
+			continue
+		}
+		end := iv.End
+		if end < 0 {
+			end = to
+		}
+		if end < from || iv.Start > to {
+			continue
+		}
+		lo := int((max64(iv.Start, from) - from) / bucket)
+		hi := int((min64(end, to) - from) / bucket)
+		for c := lo; c <= hi && c < width; c++ {
+			rows[iv.Node][c] = '█'
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "eating timeline %v → %v (each column ≈ %v)\n", from, to, bucket)
+	for i, row := range rows {
+		fmt.Fprintf(&b, "node %2d |%s|\n", i, string(row))
+	}
+	return b.String()
+}
+
+func max64(a, b sim.Time) sim.Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b sim.Time) sim.Time {
+	if a < b {
+		return a
+	}
+	return b
+}

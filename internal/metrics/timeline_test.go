@@ -1,0 +1,83 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"lme/internal/core"
+)
+
+func TestTimelineRecordsIntervals(t *testing.T) {
+	tl := NewTimeline()
+	tl.OnStateChange(0, core.Hungry, core.Eating, 10)
+	tl.OnStateChange(0, core.Eating, core.Thinking, 25)
+	tl.OnStateChange(1, core.Hungry, core.Eating, 30)
+	// Node 1 still eating at the end.
+	ivs := tl.Intervals()
+	if len(ivs) != 2 {
+		t.Fatalf("intervals = %v", ivs)
+	}
+	if ivs[0] != (Interval{Node: 0, Start: 10, End: 25}) {
+		t.Fatalf("first interval = %+v", ivs[0])
+	}
+	if ivs[1].End != -1 {
+		t.Fatalf("open interval closed: %+v", ivs[1])
+	}
+	if got := tl.NodeIntervals(0); len(got) != 1 {
+		t.Fatalf("node intervals = %v", got)
+	}
+}
+
+func TestTimelineDemotionClosesInterval(t *testing.T) {
+	tl := NewTimeline()
+	tl.OnStateChange(2, core.Hungry, core.Eating, 10)
+	tl.OnStateChange(2, core.Eating, core.Hungry, 18) // demoted, not thinking
+	ivs := tl.NodeIntervals(2)
+	if len(ivs) != 1 || ivs[0].End != 18 {
+		t.Fatalf("intervals = %v", ivs)
+	}
+}
+
+func TestGanttRendering(t *testing.T) {
+	tl := NewTimeline()
+	tl.OnStateChange(0, core.Hungry, core.Eating, 0)
+	tl.OnStateChange(0, core.Eating, core.Thinking, 50)
+	tl.OnStateChange(1, core.Hungry, core.Eating, 50)
+	chart := tl.Gantt(2, 0, 100, 10)
+	lines := strings.Split(strings.TrimSpace(chart), "\n")
+	if len(lines) != 3 { // header + 2 rows
+		t.Fatalf("chart:\n%s", chart)
+	}
+	row0, row1 := lines[1], lines[2]
+	if !strings.Contains(row0, "█") || !strings.Contains(row1, "█") {
+		t.Fatalf("missing marks:\n%s", chart)
+	}
+	// Node 0 ate in the first half, node 1 (open interval) in the second
+	// half through the right edge.
+	if !strings.HasSuffix(row1, "█|") {
+		t.Fatalf("open interval does not reach the edge:\n%s", chart)
+	}
+	// Degenerate windows are handled.
+	if tl.Gantt(2, 100, 100, 10) != "" {
+		t.Fatal("degenerate window rendered")
+	}
+	if tl.Gantt(2, 0, 100, 0) == "" {
+		t.Fatal("default width not applied")
+	}
+}
+
+// TestTimelineAdjacentExclusion replays a safety argument through the
+// timeline: it is used by integration tests to check interval overlap
+// between neighbours after a run.
+func TestTimelineAdjacentExclusion(t *testing.T) {
+	tl := NewTimeline()
+	tl.OnStateChange(0, core.Hungry, core.Eating, 0)
+	tl.OnStateChange(0, core.Eating, core.Thinking, 10)
+	tl.OnStateChange(1, core.Hungry, core.Eating, 10)
+	tl.OnStateChange(1, core.Eating, core.Thinking, 20)
+	a, b := tl.NodeIntervals(0), tl.NodeIntervals(1)
+	overlap := a[0].Start < b[0].End && b[0].Start < a[0].End
+	if overlap {
+		t.Fatal("touching intervals reported as overlapping")
+	}
+}

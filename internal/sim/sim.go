@@ -1,0 +1,181 @@
+// Package sim provides a deterministic discrete-event scheduler: the
+// substrate on which the MANET model of internal/manet executes. Virtual
+// time is a monotone int64 microsecond counter; events scheduled for the
+// same instant fire in schedule order (FIFO tie-breaking), which makes every
+// run fully deterministic for a given seed.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"time"
+)
+
+// Time is a virtual time instant, in microseconds since the start of the
+// run. It is a plain integer rather than time.Time because simulated time
+// has no calendar meaning; convert with FromDuration / ToDuration at the
+// boundary.
+type Time int64
+
+// Infinity is a time later than any event a run can produce.
+const Infinity Time = 1<<63 - 1
+
+// FromDuration converts a wall-clock duration to virtual time units.
+func FromDuration(d time.Duration) Time { return Time(d.Microseconds()) }
+
+// ToDuration converts a virtual time span to a wall-clock duration.
+func ToDuration(t Time) time.Duration { return time.Duration(t) * time.Microsecond }
+
+// String formats the time as a duration for human-readable traces.
+func (t Time) String() string {
+	if t == Infinity {
+		return "∞"
+	}
+	return ToDuration(t).String()
+}
+
+// Event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+// eventHeap orders events by (time, sequence number).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) {
+	ev, ok := x.(*event)
+	if !ok {
+		panic(fmt.Sprintf("sim: pushed non-event %T", x))
+	}
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Scheduler is a discrete-event executor. The zero value is not usable; use
+// NewScheduler. Scheduler is not safe for concurrent use: it is the single
+// thread of control of a simulation.
+type Scheduler struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	rng    *rand.Rand
+
+	// processed counts events executed so far (for diagnostics and
+	// runaway detection in tests).
+	processed uint64
+}
+
+// NewScheduler returns a scheduler at time zero whose random stream is
+// derived deterministically from seed.
+func NewScheduler(seed uint64) *Scheduler {
+	return &Scheduler{
+		rng: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)),
+	}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Rand returns the scheduler's deterministic random stream.
+func (s *Scheduler) Rand() *rand.Rand { return s.rng }
+
+// Processed reports how many events have been executed.
+func (s *Scheduler) Processed() uint64 { return s.processed }
+
+// Pending reports how many events are queued.
+func (s *Scheduler) Pending() int { return len(s.events) }
+
+// At schedules fn to run at the given virtual time. Scheduling in the past
+// is clamped to the present (the event runs after already-queued events for
+// the current instant).
+func (s *Scheduler) At(t Time, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.events, &event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run d time units from now.
+func (s *Scheduler) After(d Time, fn func()) {
+	s.At(s.now+d, fn)
+}
+
+// ErrEventLimit is returned by Run when the event budget is exhausted,
+// which almost always indicates a livelock (e.g. two nodes bouncing a
+// message forever).
+var ErrEventLimit = errors.New("sim: event limit exceeded")
+
+// RunUntil executes events in order until the queue is empty or the next
+// event is later than deadline. Events at exactly the deadline still run.
+// maxEvents bounds the total number of events executed in this call
+// (0 means no bound); exceeding it returns ErrEventLimit.
+func (s *Scheduler) RunUntil(deadline Time, maxEvents uint64) error {
+	executed := uint64(0)
+	for len(s.events) > 0 {
+		next := s.events[0]
+		if next.at > deadline {
+			break
+		}
+		popped, ok := heap.Pop(&s.events).(*event)
+		if !ok {
+			panic("sim: heap yielded non-event")
+		}
+		s.now = popped.at
+		popped.fn()
+		s.processed++
+		executed++
+		if maxEvents > 0 && executed >= maxEvents {
+			return fmt.Errorf("%w (%d events by t=%v)", ErrEventLimit, executed, s.now)
+		}
+	}
+	if s.now < deadline && deadline != Infinity {
+		s.now = deadline
+	}
+	return nil
+}
+
+// Run executes all pending events (including ones they schedule) until the
+// queue drains, with an event budget. Prefer RunUntil for open systems that
+// generate events forever.
+func (s *Scheduler) Run(maxEvents uint64) error {
+	return s.RunUntil(Infinity, maxEvents)
+}
+
+// Step executes the single next event, if any, and reports whether one ran.
+func (s *Scheduler) Step() bool {
+	if len(s.events) == 0 {
+		return false
+	}
+	popped, ok := heap.Pop(&s.events).(*event)
+	if !ok {
+		panic("sim: heap yielded non-event")
+	}
+	s.now = popped.at
+	popped.fn()
+	s.processed++
+	return true
+}

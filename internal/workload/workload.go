@@ -1,0 +1,164 @@
+// Package workload drives the dining-philosophers cycle of §3.2: an
+// application external to the algorithm moves each node from thinking to
+// hungry, and from eating back to thinking after at most τ time units (the
+// paper's bounded eating time). The driver is a state listener: it reacts
+// to protocol-reported transitions, so it also handles algorithm-initiated
+// demotions (eating → hungry on movement) correctly.
+package workload
+
+import (
+	"math/rand/v2"
+
+	"lme/internal/core"
+	"lme/internal/sim"
+)
+
+// Host is the runtime surface the driver needs; *manet.World satisfies it.
+type Host interface {
+	Scheduler() *sim.Scheduler
+	Protocol(core.NodeID) core.Protocol
+	Crashed(core.NodeID) bool
+	N() int
+}
+
+// Config parameterises the dining cycle.
+type Config struct {
+	// EatTime is τ: the exact time spent in the critical section.
+	EatTime sim.Time
+
+	// ThinkMin and ThinkMax bound the uniform thinking period between
+	// critical sections. Equal values give a deterministic period; zero
+	// values give an (almost) always-hungry saturation workload.
+	ThinkMin, ThinkMax sim.Time
+
+	// InitialStagger spreads the first hunger of each participant
+	// uniformly over [0, InitialStagger]; zero makes everyone hungry at
+	// t=0 (maximum initial contention).
+	InitialStagger sim.Time
+
+	// Participants limits the cycle to these nodes; nil means every
+	// node participates.
+	Participants []core.NodeID
+}
+
+// DefaultConfig returns τ = 5ms with 0–10ms thinking — a contended but not
+// fully saturated cycle.
+func DefaultConfig() Config {
+	return Config{
+		EatTime:        5_000,
+		ThinkMax:       10_000,
+		InitialStagger: 5_000,
+	}
+}
+
+// Driver runs the cycle. Create with New, register it as a state listener
+// on the world, then call Start.
+type Driver struct {
+	host Host
+	cfg  Config
+	rng  *rand.Rand
+
+	// gen invalidates scheduled follow-ups when a node's state changed
+	// again before they fired (e.g. an eating node demoted to hungry by
+	// the algorithm must not receive the pending ExitCS).
+	gen map[core.NodeID]uint64
+
+	participant map[core.NodeID]bool
+}
+
+// New creates a driver for the given host.
+func New(host Host, cfg Config) *Driver {
+	if cfg.EatTime <= 0 {
+		cfg.EatTime = 1
+	}
+	if cfg.ThinkMax < cfg.ThinkMin {
+		cfg.ThinkMax = cfg.ThinkMin
+	}
+	d := &Driver{
+		host: host,
+		cfg:  cfg,
+		rng:  rand.New(rand.NewPCG(0xd1ce, uint64(host.N())+1)),
+		gen:  make(map[core.NodeID]uint64),
+	}
+	if cfg.Participants != nil {
+		d.participant = make(map[core.NodeID]bool, len(cfg.Participants))
+		for _, id := range cfg.Participants {
+			d.participant[id] = true
+		}
+	}
+	return d
+}
+
+var _ core.Listener = (*Driver)(nil)
+
+// Participates reports whether id is part of the dining cycle.
+func (d *Driver) Participates(id core.NodeID) bool {
+	return d.participant == nil || d.participant[id]
+}
+
+// Start schedules the initial hunger of every participant.
+func (d *Driver) Start() {
+	sched := d.host.Scheduler()
+	for i := 0; i < d.host.N(); i++ {
+		id := core.NodeID(i)
+		if !d.Participates(id) {
+			continue
+		}
+		var at sim.Time
+		if d.cfg.InitialStagger > 0 {
+			at = sim.Time(d.rng.Int64N(int64(d.cfg.InitialStagger) + 1))
+		}
+		gen := d.gen[id]
+		sched.At(at, func() { d.makeHungry(id, gen) })
+	}
+}
+
+// OnStateChange implements core.Listener: it schedules the follow-up
+// transition for each protocol-reported one.
+func (d *Driver) OnStateChange(id core.NodeID, old, new core.State, at sim.Time) {
+	if !d.Participates(id) {
+		return
+	}
+	d.gen[id]++
+	gen := d.gen[id]
+	sched := d.host.Scheduler()
+	switch new {
+	case core.Eating:
+		sched.After(d.cfg.EatTime, func() { d.exitCS(id, gen) })
+	case core.Thinking:
+		sched.After(d.thinkTime(), func() { d.makeHungry(id, gen) })
+	case core.Hungry:
+		// Either our own makeHungry or an algorithm demotion; the
+		// algorithm is now responsible for reaching eating.
+	}
+}
+
+func (d *Driver) thinkTime() sim.Time {
+	t := d.cfg.ThinkMin
+	if span := int64(d.cfg.ThinkMax - d.cfg.ThinkMin); span > 0 {
+		t += sim.Time(d.rng.Int64N(span + 1))
+	}
+	return t
+}
+
+func (d *Driver) makeHungry(id core.NodeID, gen uint64) {
+	if d.gen[id] != gen || d.host.Crashed(id) {
+		return
+	}
+	p := d.host.Protocol(id)
+	if p.State() != core.Thinking {
+		return
+	}
+	p.BecomeHungry()
+}
+
+func (d *Driver) exitCS(id core.NodeID, gen uint64) {
+	if d.gen[id] != gen || d.host.Crashed(id) {
+		return
+	}
+	p := d.host.Protocol(id)
+	if p.State() != core.Eating {
+		return
+	}
+	p.ExitCS()
+}

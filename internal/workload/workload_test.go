@@ -1,0 +1,201 @@
+package workload
+
+import (
+	"testing"
+
+	"lme/internal/core"
+	"lme/internal/sim"
+)
+
+// fakeHost runs greedy protocols that eat the moment they become hungry —
+// a zero-contention environment for exercising the driver alone.
+type fakeHost struct {
+	sched   *sim.Scheduler
+	protos  []*fakeProto
+	crashed map[core.NodeID]bool
+}
+
+func newFakeHost(n int) *fakeHost {
+	h := &fakeHost{sched: sim.NewScheduler(1), crashed: make(map[core.NodeID]bool)}
+	for i := 0; i < n; i++ {
+		h.protos = append(h.protos, &fakeProto{})
+	}
+	return h
+}
+
+func (h *fakeHost) Scheduler() *sim.Scheduler             { return h.sched }
+func (h *fakeHost) Protocol(id core.NodeID) core.Protocol { return h.protos[id] }
+func (h *fakeHost) Crashed(id core.NodeID) bool           { return h.crashed[id] }
+func (h *fakeHost) N() int                                { return len(h.protos) }
+
+// fakeProto eats immediately upon hunger and records transitions through
+// the listener chain the test installs.
+type fakeProto struct {
+	state  core.State
+	listen func(old, new core.State)
+	eats   int
+}
+
+func (p *fakeProto) Init(core.Env)                       {}
+func (p *fakeProto) OnMessage(core.NodeID, core.Message) {}
+func (p *fakeProto) OnLinkUp(core.NodeID, bool)          {}
+func (p *fakeProto) OnLinkDown(core.NodeID)              {}
+func (p *fakeProto) State() core.State                   { return p.state }
+
+func (p *fakeProto) set(s core.State) {
+	old := p.state
+	p.state = s
+	if p.listen != nil {
+		p.listen(old, s)
+	}
+}
+
+func (p *fakeProto) BecomeHungry() {
+	p.set(core.Hungry)
+	p.eats++
+	p.set(core.Eating)
+}
+
+func (p *fakeProto) ExitCS() { p.set(core.Thinking) }
+
+// wire connects driver to protocols so transitions reach OnStateChange.
+func wire(h *fakeHost, d *Driver) {
+	for i, p := range h.protos {
+		id := core.NodeID(i)
+		p.state = core.Thinking
+		p.listen = func(old, new core.State) {
+			d.OnStateChange(id, old, new, h.sched.Now())
+		}
+	}
+}
+
+func TestDriverCyclesNodes(t *testing.T) {
+	h := newFakeHost(3)
+	d := New(h, Config{EatTime: 100, ThinkMin: 50, ThinkMax: 50})
+	wire(h, d)
+	d.Start()
+	if err := h.sched.RunUntil(10_000, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range h.protos {
+		// Period = eat(100) + think(50) = 150 per cycle over 10000.
+		if p.eats < 50 {
+			t.Fatalf("node %d ate only %d times", i, p.eats)
+		}
+	}
+}
+
+func TestDriverRespectsEatTime(t *testing.T) {
+	h := newFakeHost(1)
+	d := New(h, Config{EatTime: 500, ThinkMin: 1_000, ThinkMax: 1_000})
+	eatStart, eatEnd := sim.Time(-1), sim.Time(-1)
+	h.protos[0].state = core.Thinking
+	h.protos[0].listen = func(old, new core.State) {
+		switch new {
+		case core.Eating:
+			if eatStart < 0 {
+				eatStart = h.sched.Now()
+			}
+		case core.Thinking:
+			if eatEnd < 0 && old == core.Eating {
+				eatEnd = h.sched.Now()
+			}
+		}
+		d.OnStateChange(0, old, new, h.sched.Now())
+	}
+	d.Start()
+	if err := h.sched.RunUntil(5_000, 0); err != nil {
+		t.Fatal(err)
+	}
+	if eatEnd-eatStart != 500 {
+		t.Fatalf("eating lasted %v, want 500", eatEnd-eatStart)
+	}
+}
+
+func TestDriverSkipsCrashedNodes(t *testing.T) {
+	h := newFakeHost(2)
+	d := New(h, Config{EatTime: 100, ThinkMin: 100, ThinkMax: 100})
+	wire(h, d)
+	h.crashed[1] = true
+	d.Start()
+	if err := h.sched.RunUntil(5_000, 0); err != nil {
+		t.Fatal(err)
+	}
+	if h.protos[0].eats == 0 {
+		t.Fatal("healthy node never ate")
+	}
+	if h.protos[1].eats != 0 {
+		t.Fatal("crashed node ate")
+	}
+}
+
+func TestDriverParticipantSubset(t *testing.T) {
+	h := newFakeHost(3)
+	d := New(h, Config{EatTime: 100, Participants: []core.NodeID{1}})
+	wire(h, d)
+	d.Start()
+	if err := h.sched.RunUntil(2_000, 0); err != nil {
+		t.Fatal(err)
+	}
+	if h.protos[0].eats != 0 || h.protos[2].eats != 0 {
+		t.Fatal("non-participant ate")
+	}
+	if h.protos[1].eats == 0 {
+		t.Fatal("participant never ate")
+	}
+	if d.Participates(0) || !d.Participates(1) {
+		t.Fatal("Participates wrong")
+	}
+}
+
+// TestDemotionCancelsPendingExit simulates an algorithm demoting an eating
+// node back to hungry: the driver's scheduled ExitCS must not fire against
+// the new eating session.
+func TestDemotionCancelsPendingExit(t *testing.T) {
+	h := newFakeHost(1)
+	p := h.protos[0]
+	d := New(h, Config{EatTime: 1_000, ThinkMin: 100_000, ThinkMax: 100_000, InitialStagger: 0})
+	wire(h, d)
+	d.Start()
+	// Let the node become hungry+eating at t=0, then demote at t=500
+	// (before the t=1000 exit) and re-eat at t=700.
+	h.sched.At(500, func() { p.set(core.Hungry) })
+	h.sched.At(700, func() { p.set(core.Eating) })
+	var exitAt sim.Time = -1
+	h.sched.At(600, func() {
+		p.listen = func(old, new core.State) {
+			if new == core.Thinking && exitAt < 0 {
+				exitAt = h.sched.Now()
+			}
+			d.OnStateChange(0, old, new, h.sched.Now())
+		}
+	})
+	if err := h.sched.RunUntil(10_000, 0); err != nil {
+		t.Fatal(err)
+	}
+	if exitAt != 1_700 {
+		t.Fatalf("exit at %v, want 1700 (700 + EatTime, not the stale 1000)", exitAt)
+	}
+}
+
+func TestThinkTimeRange(t *testing.T) {
+	h := newFakeHost(1)
+	d := New(h, Config{EatTime: 10, ThinkMin: 20, ThinkMax: 40})
+	for i := 0; i < 100; i++ {
+		tt := d.thinkTime()
+		if tt < 20 || tt > 40 {
+			t.Fatalf("think time %v outside [20,40]", tt)
+		}
+	}
+}
+
+func TestConfigNormalization(t *testing.T) {
+	h := newFakeHost(1)
+	d := New(h, Config{EatTime: 0, ThinkMin: 50, ThinkMax: 10})
+	if d.cfg.EatTime != 1 {
+		t.Fatalf("EatTime not clamped: %v", d.cfg.EatTime)
+	}
+	if d.cfg.ThinkMax != 50 {
+		t.Fatalf("ThinkMax not raised to ThinkMin: %v", d.cfg.ThinkMax)
+	}
+}

@@ -1,0 +1,359 @@
+// Package lme is a from-scratch reproduction of "Efficient and Robust
+// Local Mutual Exclusion in Mobile Ad Hoc Networks" (ICDCS 2008): two
+// algorithms for local mutual exclusion — the dining-philosophers problem
+// generalised to mobile ad hoc networks — together with the simulated
+// MANET substrate they run on, the baselines they are compared against,
+// and the measurement harness that reproduces the paper's Table 1 and
+// theorem-predicted scaling behaviour.
+//
+// The package is a facade: it wires a simulated world, an algorithm
+// instance per node, a dining-cycle workload, an online mutual-exclusion
+// safety checker, and response-time/starvation metrics into a Simulation
+// that is driven in virtual time. See DESIGN.md for the system inventory
+// and EXPERIMENTS.md for the measured results.
+//
+// Quick start:
+//
+//	sim, err := lme.NewSimulation(lme.Config{
+//		Algorithm: lme.Alg2,
+//		Topology:  lme.Line(8),
+//	})
+//	if err != nil { ... }
+//	if err := sim.RunFor(2 * time.Second); err != nil { ... }
+//	fmt.Println(sim.Results())
+package lme
+
+import (
+	"fmt"
+	"time"
+
+	"lme/internal/baseline"
+	"lme/internal/core"
+	"lme/internal/graph"
+	"lme/internal/harness"
+	"lme/internal/lme1"
+	"lme/internal/lme2"
+	"lme/internal/manet"
+	"lme/internal/metrics"
+	"lme/internal/sim"
+	"lme/internal/workload"
+)
+
+// Algorithm selects the local mutual exclusion protocol under test.
+type Algorithm string
+
+// The implemented algorithms and baselines.
+const (
+	// Alg1Greedy is the paper's first algorithm with the greedy
+	// recolouring procedure (Algorithm 4): failure locality n, response
+	// time O((n+δ³)δ), no knowledge of n or δ required.
+	Alg1Greedy Algorithm = "alg1-greedy"
+	// Alg1Linial is the first algorithm with the Linial-based
+	// recolouring (Algorithm 5): failure locality max(log* n, 4)+2,
+	// response time O((log* n+δ⁴)δ); assumes n and δ known.
+	Alg1Linial Algorithm = "alg1-linial"
+	// Alg1LinialReduce is Alg1Linial followed by deterministic colour
+	// reduction to a δ+1 palette — the conversion the paper's
+	// discussion chapter mentions; more recolouring rounds, smaller Δ.
+	Alg1LinialReduce Algorithm = "alg1-linial-reduce"
+	// Alg2 is the second algorithm (Chapter 6): optimal failure
+	// locality 2, response time O(n²) mobile and O(n) static.
+	Alg2 Algorithm = "alg2"
+	// ChandyMisra is the hygienic dining philosophers baseline with
+	// failure locality n.
+	ChandyMisra Algorithm = "chandy-misra"
+	// ChoySingh is the static doubly-doored baseline with a
+	// pre-computed colouring (failure locality 4).
+	ChoySingh Algorithm = "choy-singh"
+	// Alg2NoNotify is Alg2 without the notification mechanism — the
+	// ablation that loses the O(n) static response time.
+	Alg2NoNotify Algorithm = "alg2-nonotify"
+	// GlobalToken is Raymond's tree-token GLOBAL mutual exclusion — the
+	// class of algorithms the paper's introduction contrasts local
+	// mutual exclusion with. Static topologies only.
+	GlobalToken Algorithm = "global-token"
+)
+
+// Algorithms lists every selectable algorithm.
+func Algorithms() []Algorithm {
+	return []Algorithm{Alg1Greedy, Alg1Linial, Alg1LinialReduce, Alg2, ChandyMisra, ChoySingh, Alg2NoNotify, GlobalToken}
+}
+
+// Point is a position on the plane (unit square by convention).
+type Point = graph.Point
+
+// Topology is a set of node positions plus the radio range that induces
+// the communication graph.
+type Topology struct {
+	Points []Point
+	Radius float64
+}
+
+// Line places n nodes on a line with unit-disk adjacency between
+// consecutive nodes only.
+func Line(n int) Topology {
+	return Topology{Points: harness.LinePoints(n, 0.1), Radius: 0.11}
+}
+
+// Clique places n mutually adjacent nodes.
+func Clique(n int) Topology {
+	return Topology{Points: harness.CliquePoints(n), Radius: 0.2}
+}
+
+// Grid places rows×cols nodes with 4-neighbour adjacency.
+func Grid(rows, cols int) Topology {
+	return Topology{Points: harness.GridPoints(rows, cols, 0.1), Radius: 0.11}
+}
+
+// Geometric samples a connected random geometric graph on the unit square.
+func Geometric(n int, radius float64, seed uint64) (Topology, error) {
+	pts, err := harness.GeometricPoints(n, radius, seed)
+	if err != nil {
+		return Topology{}, err
+	}
+	return Topology{Points: pts, Radius: radius}, nil
+}
+
+// Config declares a simulation.
+type Config struct {
+	// Algorithm under test; required.
+	Algorithm Algorithm
+
+	// Topology of the initial deployment; required.
+	Topology Topology
+
+	// Seed drives all randomness (default 1).
+	Seed uint64
+
+	// EatTime is the critical-section duration τ (default 5ms).
+	EatTime time.Duration
+	// ThinkMin/ThinkMax bound the uniform thinking period (default
+	// 0–10ms).
+	ThinkMin, ThinkMax time.Duration
+
+	// MaxMessageDelay is the paper's ν (default 10ms).
+	MaxMessageDelay time.Duration
+
+	// Participants restricts the dining cycle to these nodes (nil =
+	// all).
+	Participants []int
+
+	// InitialRecoloring makes every Algorithm-1 node run the
+	// recolouring module on its first hungry journey instead of using
+	// ID colours — the paper's distributed pre-colouring (Ch. 5/7).
+	// Ignored by the other algorithms.
+	InitialRecoloring bool
+}
+
+// Simulation is an assembled run.
+type Simulation struct {
+	run *harness.Run
+}
+
+// NewSimulation builds a simulation from the configuration.
+func NewSimulation(cfg Config) (*Simulation, error) {
+	factory, err := protocolFactory(cfg.Algorithm, cfg.Topology, cfg.InitialRecoloring)
+	if err != nil {
+		return nil, err
+	}
+	wl := workload.DefaultConfig()
+	if cfg.EatTime > 0 {
+		wl.EatTime = sim.FromDuration(cfg.EatTime)
+	}
+	if cfg.ThinkMin > 0 || cfg.ThinkMax > 0 {
+		wl.ThinkMin = sim.FromDuration(cfg.ThinkMin)
+		wl.ThinkMax = sim.FromDuration(cfg.ThinkMax)
+	}
+	if cfg.Participants != nil {
+		wl.Participants = make([]core.NodeID, len(cfg.Participants))
+		for i, p := range cfg.Participants {
+			wl.Participants[i] = core.NodeID(p)
+		}
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	spec := harness.Spec{
+		Seed:        seed,
+		Points:      cfg.Topology.Points,
+		Radius:      cfg.Topology.Radius,
+		NewProtocol: factory,
+		Workload:    wl,
+	}
+	if cfg.MaxMessageDelay > 0 {
+		spec.MaxDelay = sim.FromDuration(cfg.MaxMessageDelay)
+	}
+	run, err := harness.Build(spec)
+	if err != nil {
+		return nil, err
+	}
+	return &Simulation{run: run}, nil
+}
+
+// protocolFactory maps an Algorithm to its node constructor.
+func protocolFactory(a Algorithm, topo Topology, recolorFirst bool) (func(core.NodeID) core.Protocol, error) {
+	n := len(topo.Points)
+	g := graph.UnitDisk(topo.Points, topo.Radius)
+	delta := max(g.MaxDegree(), 1)
+	switch a {
+	case Alg1Greedy:
+		return func(core.NodeID) core.Protocol {
+			return lme1.New(lme1.Config{Variant: lme1.VariantGreedy, RecolorFirst: recolorFirst})
+		}, nil
+	case Alg1Linial:
+		return func(core.NodeID) core.Protocol {
+			return lme1.New(lme1.Config{Variant: lme1.VariantLinial, N: n, Delta: delta, RecolorFirst: recolorFirst})
+		}, nil
+	case Alg1LinialReduce:
+		return func(core.NodeID) core.Protocol {
+			return lme1.New(lme1.Config{Variant: lme1.VariantLinialReduce, N: n, Delta: delta, RecolorFirst: recolorFirst})
+		}, nil
+	case Alg2:
+		return func(core.NodeID) core.Protocol { return lme2.New() }, nil
+	case ChandyMisra:
+		return func(core.NodeID) core.Protocol { return baseline.NewChandyMisra() }, nil
+	case ChoySingh:
+		return baseline.NewChoySingh(g), nil
+	case Alg2NoNotify:
+		return func(core.NodeID) core.Protocol { return baseline.NewNoNotify() }, nil
+	case GlobalToken:
+		return baseline.NewGlobalToken(g), nil
+	default:
+		return nil, fmt.Errorf("lme: unknown algorithm %q", a)
+	}
+}
+
+// RunFor advances the simulation by d of virtual time, then reports any
+// safety violation or scheduler error.
+func (s *Simulation) RunFor(d time.Duration) error {
+	return s.run.RunFor(sim.FromDuration(d))
+}
+
+// Now returns the current virtual time.
+func (s *Simulation) Now() time.Duration {
+	return sim.ToDuration(s.run.World.Scheduler().Now())
+}
+
+// Crash fails node id at virtual time at (measured from the start of the
+// run). Crashed nodes silently stop, per the paper's model.
+func (s *Simulation) Crash(id int, at time.Duration) {
+	s.run.World.CrashAt(core.NodeID(id), sim.FromDuration(at))
+}
+
+// Jump relocates node id at virtual time at; the node is flagged moving
+// for settle.
+func (s *Simulation) Jump(id int, dest Point, at, settle time.Duration) {
+	s.run.World.JumpAt(core.NodeID(id), dest, sim.FromDuration(settle), sim.FromDuration(at))
+}
+
+// Roam attaches random-waypoint mobility (speed in plane units/second) to
+// the given nodes until the given virtual time.
+func (s *Simulation) Roam(ids []int, speed float64, until time.Duration) {
+	if err := s.run.Start(); err != nil {
+		// Start is idempotent and only fails on construction errors
+		// that NewSimulation already surfaced.
+		return
+	}
+	nodeIDs := make([]core.NodeID, len(ids))
+	for i, id := range ids {
+		nodeIDs[i] = core.NodeID(id)
+	}
+	wp := manet.Waypoint{
+		Speed:    speed,
+		PauseMin: 20_000,
+		PauseMax: 200_000,
+		Until:    sim.FromDuration(until),
+	}
+	wp.Attach(s.run.World, nodeIDs)
+}
+
+// Results summarises a run.
+type Results struct {
+	// SafetyViolations counts breaches of local mutual exclusion; any
+	// nonzero value is a bug in the algorithm under test.
+	SafetyViolations int
+	// ResponseCount/Mean/P95/Max summarise hungry→eating latencies of
+	// nodes that stayed static for the interval (Definition 1).
+	ResponseCount                          int
+	ResponseMean, ResponseP95, ResponseMax time.Duration
+	// TotalMeals counts critical-section entries across all nodes.
+	TotalMeals int
+	// MessagesSent counts protocol messages handed to the transport.
+	MessagesSent uint64
+	// Starved lists nodes hungry for the final fifth of the run.
+	Starved []int
+}
+
+// String renders the results compactly.
+func (r Results) String() string {
+	return fmt.Sprintf("violations=%d meals=%d response{n=%d mean=%v p95=%v max=%v} starved=%v",
+		r.SafetyViolations, r.TotalMeals, r.ResponseCount,
+		r.ResponseMean, r.ResponseP95, r.ResponseMax, r.Starved)
+}
+
+// Results snapshots the run's metrics.
+func (s *Simulation) Results() Results {
+	st := s.run.Recorder.Stats()
+	now := s.run.World.Scheduler().Now()
+	var starved []int
+	for _, id := range s.run.Prober.Blocked(now, now/5) {
+		starved = append(starved, int(id))
+	}
+	total := 0
+	for i := 0; i < s.run.World.N(); i++ {
+		total += s.run.Recorder.EatCount(core.NodeID(i))
+	}
+	return Results{
+		SafetyViolations: len(s.run.Checker.Violations()),
+		ResponseCount:    st.Count,
+		ResponseMean:     sim.ToDuration(st.Mean),
+		ResponseP95:      sim.ToDuration(st.P95),
+		ResponseMax:      sim.ToDuration(st.Max),
+		TotalMeals:       total,
+		MessagesSent:     s.run.World.MessagesSent(),
+		Starved:          starved,
+	}
+}
+
+// EatCount reports how many times node id entered its critical section.
+func (s *Simulation) EatCount(id int) int {
+	return s.run.Recorder.EatCount(core.NodeID(id))
+}
+
+// NodeState reports the current dining state name of node id.
+func (s *Simulation) NodeState(id int) string {
+	return s.run.World.State(core.NodeID(id)).String()
+}
+
+// Neighbors returns the current neighbour IDs of node id.
+func (s *Simulation) Neighbors(id int) []int {
+	nbrs := s.run.World.Neighbors(core.NodeID(id))
+	out := make([]int, len(nbrs))
+	for i, nb := range nbrs {
+		out[i] = int(nb)
+	}
+	return out
+}
+
+// ResponseStats exposes the full response-time summary.
+func (s *Simulation) ResponseStats() metrics.Stats { return s.run.Recorder.Stats() }
+
+// Gantt renders the last window of the run as an ASCII eating timeline,
+// one row per node, width columns wide.
+func (s *Simulation) Gantt(window time.Duration, width int) string {
+	now := s.run.World.Scheduler().Now()
+	from := now - sim.FromDuration(window)
+	if from < 0 {
+		from = 0
+	}
+	return s.run.Timeline.Gantt(s.run.World.N(), from, now, width)
+}
+
+// SetTracer installs a sink for the world's event trace (state
+// transitions, link changes, mobility). Call before RunFor.
+func (s *Simulation) SetTracer(f func(at time.Duration, line string)) {
+	s.run.World.SetTracer(func(at sim.Time, format string, args ...any) {
+		f(sim.ToDuration(at), fmt.Sprintf(format, args...))
+	})
+}
