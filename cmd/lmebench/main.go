@@ -8,9 +8,11 @@
 //	lmebench              # all experiments at full quality
 //	lmebench -exp e3,e6   # a subset
 //	lmebench -quick       # fast pass (the configuration unit tests use)
+//	lmebench -quick -json # machine-readable results for benchmark diffing
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,10 +29,32 @@ func main() {
 	}
 }
 
+// BenchSchema identifies the lmebench -json layout; bump on breaking
+// changes.
+const BenchSchema = "lme/bench/v1"
+
+// benchResult is one experiment's slice of the -json document: the table
+// (rows carry the measured trajectories, e.g. E10's msg/meal column) plus
+// the cost of producing it.
+type benchResult struct {
+	harness.Table
+	ElapsedMS    float64 `json:"elapsed_ms"`
+	SchedEvents  uint64  `json:"sched_events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// benchDoc is the lmebench -json document.
+type benchDoc struct {
+	Schema  string        `json:"schema"`
+	Quality string        `json:"quality"`
+	Results []benchResult `json:"results"`
+}
+
 func run() error {
 	var (
 		expFlag = flag.String("exp", "", "comma-separated experiment IDs (e.g. e1,e3); empty = all")
 		quick   = flag.Bool("quick", false, "reduced sweep sizes and horizons")
+		jsonOut = flag.Bool("json", false, "emit results as a single JSON document instead of text tables")
 	)
 	flag.Parse()
 
@@ -41,25 +65,48 @@ func run() error {
 		}
 	}
 	quality := harness.Full
+	qualityName := "full"
 	if *quick {
 		quality = harness.Quick
+		qualityName = "quick"
 	}
+	doc := benchDoc{Schema: BenchSchema, Quality: qualityName, Results: []benchResult{}}
 	ran := 0
 	for _, exp := range harness.Experiments() {
 		if len(want) > 0 && !want[exp.ID] {
 			continue
 		}
+		eventsBefore := harness.EventsProcessed()
 		start := time.Now()
 		tbl, err := exp.Run(quality)
 		if err != nil {
 			return fmt.Errorf("%s: %w", exp.ID, err)
 		}
-		fmt.Println(tbl.String())
-		fmt.Printf("(%s completed in %v)\n\n", exp.ID, time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		events := harness.EventsProcessed() - eventsBefore
 		ran++
+		if *jsonOut {
+			res := benchResult{
+				Table:       *tbl,
+				ElapsedMS:   float64(elapsed.Microseconds()) / 1000,
+				SchedEvents: events,
+			}
+			if elapsed > 0 {
+				res.EventsPerSec = float64(events) / elapsed.Seconds()
+			}
+			doc.Results = append(doc.Results, res)
+			continue
+		}
+		fmt.Println(tbl.String())
+		fmt.Printf("(%s completed in %v, %d events)\n\n", exp.ID, elapsed.Round(time.Millisecond), events)
 	}
 	if ran == 0 {
 		return fmt.Errorf("no experiment matched %q", *expFlag)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(doc)
 	}
 	return nil
 }

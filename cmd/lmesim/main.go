@@ -7,9 +7,13 @@
 //	lmesim -alg alg2 -topo line -n 16 -dur 5s
 //	lmesim -alg alg1-linial -topo geometric -n 48 -radius 0.2 -movers 8 -dur 10s
 //	lmesim -alg chandy-misra -topo line -n 12 -crash 6 -crash-at 2s -dur 20s
+//	lmesim -alg alg2 -n 24 -dur 5s -json                  # machine-readable telemetry
+//	lmesim -alg alg2 -n 24 -dur 5s -trace-out run.jsonl   # JSONL event trace (see lmetrace)
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,23 +29,35 @@ func main() {
 	}
 }
 
+// result is the lmesim -json document: the run telemetry plus an echo of
+// the configuration that produced it.
+type result struct {
+	Topology string  `json:"topology"`
+	Radius   float64 `json:"radius"`
+	Seed     uint64  `json:"seed"`
+	lme.Report
+}
+
 func run() error {
 	var (
-		algName = flag.String("alg", "alg2", "algorithm: alg1-greedy|alg1-linial|alg2|chandy-misra|choy-singh|alg2-nonotify")
-		topo    = flag.String("topo", "geometric", "topology: line|grid|clique|geometric")
-		n       = flag.Int("n", 24, "number of nodes")
-		radius  = flag.Float64("radius", 0.25, "radio range (geometric topology)")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		dur     = flag.Duration("dur", 5*time.Second, "virtual time to simulate")
-		eat     = flag.Duration("eat", 5*time.Millisecond, "critical section duration τ")
-		think   = flag.Duration("think", 10*time.Millisecond, "max thinking time (0 = saturated)")
-		movers  = flag.Int("movers", 0, "number of random-waypoint movers")
-		speed   = flag.Float64("speed", 0.3, "mover speed (plane units/s)")
-		crash   = flag.Int("crash", -1, "node to crash (-1 = none)")
-		crashAt = flag.Duration("crash-at", time.Second, "crash time")
-		verbose = flag.Bool("v", false, "print per-node meal counts")
-		trace   = flag.Bool("trace", false, "print the world event trace (state, link and mobility events)")
-		gantt   = flag.Duration("gantt", 0, "render an ASCII eating timeline of the final window (e.g. -gantt 500ms)")
+		algName  = flag.String("alg", "alg2", "algorithm: alg1-greedy|alg1-linial|alg2|chandy-misra|choy-singh|alg2-nonotify")
+		topo     = flag.String("topo", "geometric", "topology: line|grid|clique|geometric")
+		n        = flag.Int("n", 24, "number of nodes")
+		radius   = flag.Float64("radius", 0.25, "radio range (geometric topology)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		dur      = flag.Duration("dur", 5*time.Second, "virtual time to simulate")
+		eat      = flag.Duration("eat", 5*time.Millisecond, "critical section duration τ")
+		think    = flag.Duration("think", 10*time.Millisecond, "max thinking time (0 = saturated)")
+		movers   = flag.Int("movers", 0, "number of random-waypoint movers")
+		speed    = flag.Float64("speed", 0.3, "mover speed (plane units/s)")
+		crash    = flag.Int("crash", -1, "node to crash (-1 = none)")
+		crashAt  = flag.Duration("crash-at", time.Second, "crash time")
+		verbose  = flag.Bool("v", false, "print per-node meal counts")
+		trace    = flag.Bool("trace", false, "print the world event trace (state, link, mobility, doorway and recolouring events)")
+		gantt    = flag.Duration("gantt", 0, "render an ASCII eating timeline of the final window (e.g. -gantt 500ms)")
+		jsonOut  = flag.Bool("json", false, "emit the run telemetry as a single JSON object instead of text")
+		traceOut = flag.String("trace-out", "", "write the full typed event stream as JSONL to this file (summarise with lmetrace)")
+		stats    = flag.Bool("stats", false, "print the counter/histogram registry after the run")
 	)
 	flag.Parse()
 
@@ -64,32 +80,71 @@ func run() error {
 			fmt.Printf("%12v  %s\n", at, line)
 		})
 	}
-	if *movers > 0 {
-		ids := make([]int, 0, *movers)
-		for i := 0; i < *movers && i < *n; i++ {
-			ids = append(ids, i*(*n / *movers))
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
 		}
-		sim.Roam(ids, *speed, *dur*3/4)
+		w := bufio.NewWriter(f)
+		sim.Bus().SetSink(w)
+		defer func() {
+			w.Flush()
+			f.Close()
+		}()
+	}
+	if *movers > 0 {
+		sim.Roam(moverIDs(*n, *movers), *speed, *dur*3/4)
 	}
 	if *crash >= 0 {
 		sim.Crash(*crash, *crashAt)
 	}
+	start := time.Now()
 	if err := sim.RunFor(*dur); err != nil {
 		return err
 	}
+	wall := time.Since(start)
+	if err := sim.Bus().SinkErr(); err != nil {
+		return fmt.Errorf("trace sink: %w", err)
+	}
+
+	if *jsonOut {
+		doc := result{
+			Topology: *topo,
+			Radius:   *radius,
+			Seed:     *seed,
+			Report:   sim.Report(wall),
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			return err
+		}
+		if doc.Violations > 0 {
+			return fmt.Errorf("%d mutual exclusion violations", doc.Violations)
+		}
+		return nil
+	}
+
 	res := sim.Results()
+	rep := sim.Report(wall)
 	fmt.Printf("algorithm    %s\n", *algName)
 	fmt.Printf("topology     %s n=%d\n", *topo, *n)
-	fmt.Printf("simulated    %v\n", sim.Now())
+	fmt.Printf("simulated    %v (%.0f events/s wall)\n", sim.Now(), rep.EventsPerSec)
 	fmt.Printf("meals        %d\n", res.TotalMeals)
 	fmt.Printf("response     n=%d mean=%v p95=%v max=%v\n",
 		res.ResponseCount, res.ResponseMean, res.ResponseP95, res.ResponseMax)
+	fmt.Printf("messages     sent=%d delivered=%d per-meal=%.1f\n",
+		rep.Messages.Sent, rep.Messages.Delivered, rep.Messages.PerMeal)
 	fmt.Printf("violations   %d\n", res.SafetyViolations)
 	fmt.Printf("starved      %v\n", res.Starved)
 	if *verbose {
 		for i := 0; i < *n; i++ {
 			fmt.Printf("  node %2d: %-8s meals=%d\n", i, sim.NodeState(i), sim.EatCount(i))
 		}
+	}
+	if *stats {
+		fmt.Println()
+		fmt.Print(sim.MetricsSnapshot())
 	}
 	if *gantt > 0 {
 		fmt.Println(sim.Gantt(*gantt, 96))
@@ -98,6 +153,21 @@ func run() error {
 		return fmt.Errorf("%d mutual exclusion violations", res.SafetyViolations)
 	}
 	return nil
+}
+
+// moverIDs picks min(movers, n) distinct node IDs spread evenly over
+// [0, n). Multiplying before dividing keeps the picks distinct for every
+// movers ≤ n (consecutive picks differ by at least ⌊n/movers⌋ ≥ 1); the
+// old i*(n/movers) formula collapsed to all-zeros when movers > n/1.
+func moverIDs(n, movers int) []int {
+	if movers > n {
+		movers = n
+	}
+	ids := make([]int, 0, movers)
+	for i := 0; i < movers; i++ {
+		ids = append(ids, i*n/movers)
+	}
+	return ids
 }
 
 func buildTopology(kind string, n int, radius float64, seed uint64) (lme.Topology, error) {

@@ -1,0 +1,40 @@
+package main
+
+import "testing"
+
+// TestMoverIDsDistinctAndInRange pins the mover-ID selection: for every
+// (n, movers) combination the picks must be distinct and in [0, n). The
+// old i*(n/movers) formula produced duplicates whenever movers did not
+// divide n (e.g. n=10, movers=4 → 0,2,4,4) and all-zero sets when
+// movers > n.
+func TestMoverIDsDistinctAndInRange(t *testing.T) {
+	cases := []struct{ n, movers int }{
+		{10, 4},  // movers does not divide n
+		{24, 5},  // movers does not divide n
+		{24, 8},  // movers divides n
+		{7, 7},   // all nodes move
+		{3, 8},   // movers > n: clamp to n
+		{1, 1},   // minimal
+		{100, 3}, // sparse
+	}
+	for _, tc := range cases {
+		ids := moverIDs(tc.n, tc.movers)
+		want := tc.movers
+		if want > tc.n {
+			want = tc.n
+		}
+		if len(ids) != want {
+			t.Errorf("moverIDs(%d, %d) returned %d ids, want %d", tc.n, tc.movers, len(ids), want)
+		}
+		seen := make(map[int]bool)
+		for _, id := range ids {
+			if id < 0 || id >= tc.n {
+				t.Errorf("moverIDs(%d, %d) picked out-of-range id %d", tc.n, tc.movers, id)
+			}
+			if seen[id] {
+				t.Errorf("moverIDs(%d, %d) picked duplicate id %d", tc.n, tc.movers, id)
+			}
+			seen[id] = true
+		}
+	}
+}

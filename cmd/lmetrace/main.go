@@ -1,0 +1,216 @@
+// Command lmetrace summarises and filters the JSONL event traces written
+// by lmesim -trace-out: the offline half of the observability layer.
+//
+// With no filter flags it prints a summary of the trace — time span,
+// per-kind counts, per-node event counts, and a per-message-type
+// send/deliver/drop table. With -print (or any filter) it re-renders the
+// selected events in the same human-readable form as lmesim -trace.
+//
+// Examples:
+//
+//	lmesim -alg alg2 -n 24 -dur 5s -trace-out run.jsonl
+//	lmetrace run.jsonl                          # summary
+//	lmetrace -node 7 run.jsonl                  # everything node 7 did
+//	lmetrace -kind send -msg fork run.jsonl     # all fork sends
+//	lmetrace -from 1s -to 1.5s -print run.jsonl # a time window, rendered
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"lme/internal/core"
+	"lme/internal/sim"
+	"lme/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "lmetrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		node    = flag.Int("node", -1, "only events involving this node (as actor or peer)")
+		kindStr = flag.String("kind", "", "only events of this kind (send|deliver|drop|state|link-up|link-down|move-start|move-stop|crash|doorway|recolor|note)")
+		msg     = flag.String("msg", "", "only message events of this normalised type (e.g. fork, req, switch)")
+		from    = flag.Duration("from", 0, "only events at or after this virtual time")
+		to      = flag.Duration("to", 0, "only events before this virtual time (0 = end of trace)")
+		print   = flag.Bool("print", false, "render matching events instead of summarising them")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: lmetrace [flags] [trace.jsonl]\n\nReads stdin when no file is given.\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 1 {
+		return fmt.Errorf("expected at most one trace file, got %d", flag.NArg())
+	}
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+
+	var kind trace.Kind
+	filterKind := *kindStr != ""
+	if filterKind {
+		if err := kind.UnmarshalText([]byte(*kindStr)); err != nil {
+			return err
+		}
+	}
+	// Any filter flag implies the caller wants the events themselves.
+	listing := *print || filterKind || *node >= 0 || *msg != "" || *from > 0 || *to > 0
+
+	match := func(e trace.Event) bool {
+		if filterKind && e.Kind != kind {
+			return false
+		}
+		if *node >= 0 && e.Node != core.NodeID(*node) && e.Peer != core.NodeID(*node) {
+			return false
+		}
+		if *msg != "" && e.Msg != *msg {
+			return false
+		}
+		if e.At < sim.FromDuration(*from) {
+			return false
+		}
+		if *to > 0 && e.At >= sim.FromDuration(*to) {
+			return false
+		}
+		return true
+	}
+
+	sum := newSummary()
+	dec := json.NewDecoder(bufio.NewReader(in))
+	line := 0
+	for {
+		var e trace.Event
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return fmt.Errorf("event %d: %w", line+1, err)
+		}
+		line++
+		if !match(e) {
+			continue
+		}
+		if listing {
+			fmt.Printf("%12v  %s\n", sim.ToDuration(e.At), e.String())
+			continue
+		}
+		sum.add(e)
+	}
+	if !listing {
+		sum.print(os.Stdout)
+	}
+	return nil
+}
+
+// summary accumulates the default (no-filter) report.
+type summary struct {
+	total       int
+	first, last sim.Time
+	byKind      map[trace.Kind]int
+	byNode      map[core.NodeID]int
+	byMsg       map[string]*msgCounts
+}
+
+type msgCounts struct{ sent, delivered, dropped int }
+
+func newSummary() *summary {
+	return &summary{
+		first:  -1,
+		byKind: make(map[trace.Kind]int),
+		byNode: make(map[core.NodeID]int),
+		byMsg:  make(map[string]*msgCounts),
+	}
+}
+
+func (s *summary) add(e trace.Event) {
+	s.total++
+	if s.first < 0 {
+		s.first = e.At
+	}
+	if e.At > s.last {
+		s.last = e.At
+	}
+	s.byKind[e.Kind]++
+	if e.Node >= 0 {
+		s.byNode[e.Node]++
+	}
+	if e.Msg != "" {
+		mc := s.byMsg[e.Msg]
+		if mc == nil {
+			mc = &msgCounts{}
+			s.byMsg[e.Msg] = mc
+		}
+		switch e.Kind {
+		case trace.KindSend:
+			mc.sent++
+		case trace.KindDeliver:
+			mc.delivered++
+		case trace.KindDrop:
+			mc.dropped++
+		}
+	}
+}
+
+func (s *summary) print(w io.Writer) {
+	if s.total == 0 {
+		fmt.Fprintln(w, "empty trace")
+		return
+	}
+	span := time.Duration(0)
+	if s.last > s.first {
+		span = sim.ToDuration(s.last - s.first)
+	}
+	fmt.Fprintf(w, "events   %d\n", s.total)
+	fmt.Fprintf(w, "span     %v – %v (%v)\n", sim.ToDuration(s.first), sim.ToDuration(s.last), span)
+
+	fmt.Fprintln(w, "\nby kind:")
+	for _, k := range trace.Kinds() {
+		if n := s.byKind[k]; n > 0 {
+			fmt.Fprintf(w, "  %-12s %8d\n", k, n)
+		}
+	}
+
+	if len(s.byMsg) > 0 {
+		fmt.Fprintln(w, "\nby message type:")
+		fmt.Fprintf(w, "  %-14s %8s %10s %8s\n", "type", "sent", "delivered", "dropped")
+		types := make([]string, 0, len(s.byMsg))
+		for t := range s.byMsg {
+			types = append(types, t)
+		}
+		sort.Strings(types)
+		for _, t := range types {
+			mc := s.byMsg[t]
+			fmt.Fprintf(w, "  %-14s %8d %10d %8d\n", t, mc.sent, mc.delivered, mc.dropped)
+		}
+	}
+
+	if len(s.byNode) > 0 {
+		fmt.Fprintln(w, "\nby node:")
+		nodes := make([]core.NodeID, 0, len(s.byNode))
+		for id := range s.byNode {
+			nodes = append(nodes, id)
+		}
+		sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+		for _, id := range nodes {
+			fmt.Fprintf(w, "  node %3d %8d\n", id, s.byNode[id])
+		}
+	}
+}

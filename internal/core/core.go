@@ -91,6 +91,13 @@ type Protocol interface {
 
 // Env is the environment handle a Protocol uses to act on the world. It is
 // implemented by each runtime.
+//
+// Runtimes that expose the typed observability stream (internal/trace)
+// additionally implement trace.Emitter on their Env value; protocols
+// type-assert for it in Init and publish protocol-level events (doorway
+// crossings, recolouring rounds, diagnostics) when it is present. The
+// extension is deliberately not part of this interface so that minimal
+// runtimes (internal/livenet) owe the trace layer nothing.
 type Env interface {
 	// ID returns this node's identifier.
 	ID() NodeID

@@ -166,7 +166,7 @@ func Table1(q Quality) (*Table, error) {
 		ID:    "E1",
 		Title: fmt.Sprintf("Table 1 measured on a connected geometric graph (n=%d, δ=%d)", n, graph.UnitDisk(pts, radius).MaxDegree()),
 		Header: []string{"algorithm", "FL (paper)", "FL (measured)", "RT (paper)",
-			"RT static mean", "RT static p95", "RT mobile mean", "violations"},
+			"RT static mean", "RT static p95", "RT mobile mean", "msg/meal", "violations"},
 	}
 	algs := []algName{algCM, algCS, algA1Greedy, algA1Linial, algA2}
 	for _, a := range algs {
@@ -209,9 +209,11 @@ func Table1(q Quality) (*Table, error) {
 			return nil, err
 		}
 		t.AddRow(string(a), paperFL[a], radiusMeasured, paperRT[a],
-			ms(stStatic.Mean), ms(stStatic.P95), mobileMean, violations)
+			ms(stStatic.Mean), ms(stStatic.P95), mobileMean,
+			fmt.Sprintf("%.1f", rs.MessagesPerMeal()), violations)
 	}
 	t.AddNote("FL (measured) = max graph distance from the crashed node to a node blocked for the rest of the run; saturated workload")
+	t.AddNote("msg/meal = protocol messages per critical-section entry in the static run")
 	t.AddNote("absolute times depend on the simulator's ν=10ms, τ=5ms; orderings and growth are the comparable quantities")
 	return t, nil
 }
@@ -766,14 +768,11 @@ func MessageComplexity(q Quality) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		byType := make(map[string]uint64)
-		r.World.SetMessageInspector(func(from, to core.NodeID, msg core.Message) {
-			byType[typeName(msg)]++
-		})
 		if err := r.RunFor(horizon); err != nil {
 			return nil, fmt.Errorf("%s: %w", a, err)
 		}
-		sMsgs, sMeals := r.World.MessagesSent(), totalMeals(r)
+		byType := r.Registry.CountersWithPrefix(metrics.PrefixSent)
+		sMsgs, sMeals := r.World.MessagesSent(), r.TotalMeals()
 		mobileCell, mobileMeals := "n/a", "n/a"
 		if a != algCS {
 			rm, err := Build(Spec{
@@ -807,30 +806,13 @@ func MessageComplexity(q Quality) (*Table, error) {
 	return t, nil
 }
 
-func totalMeals(r *Run) int {
-	total := 0
-	for i := 0; i < r.World.N(); i++ {
-		total += r.Recorder.EatCount(core.NodeID(i))
-	}
-	return total
-}
+func totalMeals(r *Run) int { return r.TotalMeals() }
 
 func perMeal(msgs uint64, meals int) string {
 	if meals == 0 {
 		return "∞"
 	}
 	return fmt.Sprintf("%.1f", float64(msgs)/float64(meals))
-}
-
-// typeName strips the package path and "msg" prefix from a message type.
-func typeName(m core.Message) string {
-	name := fmt.Sprintf("%T", m)
-	if i := strings.LastIndexByte(name, '.'); i >= 0 {
-		name = name[i+1:]
-	}
-	name = strings.TrimPrefix(name, "msg")
-	name = strings.TrimPrefix(name, "cm")
-	return strings.ToLower(name)
 }
 
 // breakdown renders the top message types by share of total traffic.

@@ -7,6 +7,7 @@ package harness
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"lme/internal/core"
 	"lme/internal/graph"
@@ -38,8 +39,8 @@ type Spec struct {
 	// NonFIFO disables FIFO link delivery (assumption ablation).
 	NonFIFO bool
 
-	// Trace, if set, receives world-level trace lines.
-	Trace func(at sim.Time, format string, args ...any)
+	// TraceRing sizes the world's retained event history (0 = none).
+	TraceRing int
 }
 
 // Run is an assembled simulation.
@@ -50,6 +51,11 @@ type Run struct {
 	Recorder *metrics.ResponseRecorder
 	Prober   *metrics.Prober
 	Timeline *metrics.Timeline
+
+	// Registry accumulates the run's telemetry: per-message-type
+	// counters and the link-delay histogram, fed from the world's
+	// event bus.
+	Registry *metrics.Registry
 
 	started bool
 }
@@ -75,10 +81,8 @@ func Build(spec Spec) (*Run, error) {
 		cfg.MaxDelay = spec.MaxDelay
 	}
 	cfg.NonFIFO = spec.NonFIFO
+	cfg.TraceRing = spec.TraceRing
 	w := manet.NewWorld(cfg)
-	if spec.Trace != nil {
-		w.SetTracer(spec.Trace)
-	}
 	for _, p := range spec.Points {
 		id := w.AddNode(p)
 		w.SetProtocol(id, spec.NewProtocol(id))
@@ -97,7 +101,10 @@ func Build(spec Spec) (*Run, error) {
 		Recorder: metrics.NewResponseRecorder(),
 		Prober:   metrics.NewProber(),
 		Timeline: metrics.NewTimeline(),
+		Registry: metrics.NewRegistry(),
 	}
+	metrics.Instrument(w.Bus(), r.Registry)
+	w.Scheduler().SetEventHook(func(sim.Time) { totalEvents.Add(1) })
 	w.AddStateListener(r.Checker)
 	w.AddStateListener(r.Recorder)
 	w.AddStateListener(r.Prober)
@@ -137,6 +144,31 @@ func (r *Run) RunFor(d sim.Time) error {
 	}
 	return r.Checker.Err()
 }
+
+// TotalMeals counts critical-section entries across all nodes.
+func (r *Run) TotalMeals() int {
+	total := 0
+	for i := 0; i < r.World.N(); i++ {
+		total += r.Recorder.EatCount(core.NodeID(i))
+	}
+	return total
+}
+
+// MessagesPerMeal reports protocol messages sent per completed critical
+// section — the paper's natural message-complexity measure (0 when no
+// meal completed).
+func (r *Run) MessagesPerMeal() float64 {
+	return metrics.PerMeal(r.World.MessagesSent(), r.TotalMeals())
+}
+
+// totalEvents counts scheduler events executed across every Run the
+// harness built, for aggregate events/sec reporting in cmd/lmebench. It
+// is atomic because test packages run harness simulations in parallel.
+var totalEvents atomic.Uint64
+
+// EventsProcessed reports the scheduler events executed by all harness
+// runs of this process so far.
+func EventsProcessed() uint64 { return totalEvents.Load() }
 
 // EveryoneAte reports whether every participant entered the critical
 // section at least once, returning the IDs of those that did not.

@@ -6,6 +6,7 @@ import (
 	"lme/internal/core"
 	"lme/internal/graph"
 	"lme/internal/sim"
+	"lme/internal/trace"
 	"lme/internal/workload"
 )
 
@@ -100,11 +101,11 @@ func TestIsolatedComponentsIndependent(t *testing.T) {
 		t.Fatal(err)
 	}
 	crossTraffic := 0
-	r.World.SetMessageInspector(func(from, to core.NodeID, msg core.Message) {
-		if (from < 4) != (to < 4) {
+	r.World.Bus().Subscribe(func(e trace.Event) {
+		if (e.Node < 4) != (e.Peer < 4) {
 			crossTraffic++
 		}
-	})
+	}, trace.KindSend)
 	if err := r.RunFor(2_000_000); err != nil {
 		t.Fatal(err)
 	}

@@ -6,13 +6,14 @@ import (
 )
 
 // Table is a rendered experiment result: what cmd/lmebench prints and what
-// EXPERIMENTS.md records.
+// EXPERIMENTS.md records. The JSON tags are the lmebench -json layout;
+// keep them stable so benchmark diffs survive refactors.
 type Table struct {
-	ID     string
-	Title  string
-	Header []string
-	Rows   [][]string
-	Notes  []string
+	ID     string     `json:"id"`
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	Notes  []string   `json:"notes,omitempty"`
 }
 
 // AddRow appends a row, formatting every cell with %v.

@@ -14,6 +14,7 @@ import (
 
 	"lme/internal/core"
 	"lme/internal/doorway"
+	"lme/internal/trace"
 )
 
 // Variant selects the colouring procedure of the recolouring module.
@@ -73,9 +74,6 @@ type Config struct {
 	// initial color" (Ch. 5) and its use as a distributed pre-colouring
 	// computation (Ch. 7). ID colours still seed the interim ordering.
 	RecolorFirst bool
-
-	// Trace, if set, receives debug lines.
-	Trace func(format string, args ...any)
 }
 
 // phase tracks where in Figure 5's pipeline the node currently is; it is
@@ -99,6 +97,11 @@ const (
 type Node struct {
 	env core.Env
 	cfg Config
+
+	// emit publishes protocol events (doorway crossings, recolouring
+	// results, diagnostics) to the runtime's trace bus; nil when the
+	// runtime does not implement trace.Emitter.
+	emit func(trace.Event)
 
 	state core.State
 	ph    phase
@@ -157,6 +160,9 @@ func New(cfg Config) *Node {
 // each link, initial colours come from the globally known InitialColor.
 func (n *Node) Init(env core.Env) {
 	n.env = env
+	if em, ok := env.(trace.Emitter); ok {
+		n.emit = em.Emit
+	}
 	me := env.ID()
 	n.myColor = n.cfg.InitialColor(me)
 	n.needsRecolor = n.cfg.RecolorFirst
@@ -172,7 +178,10 @@ func (n *Node) Init(env core.Env) {
 			kind = doorway.Synchronous
 		}
 		n.dws[d] = doorway.New(kind, neighbors,
-			func(cross bool) { env.Broadcast(msgDoorway{D: d, Cross: cross}) },
+			func(cross bool) {
+				n.emitDoorway(d, cross)
+				env.Broadcast(msgDoorway{D: d, Cross: cross})
+			},
 			func() { n.onCross(d) })
 	}
 }
@@ -216,7 +225,6 @@ func (n *Node) startJourney() {
 
 // onCross dispatches doorway crossings.
 func (n *Node) onCross(d dwIndex) {
-	n.tracef("crossed %v", d)
 	switch d {
 	case adr:
 		n.ph = phEnterSDr
@@ -647,8 +655,23 @@ func (n *Node) sortedSuspended() []core.NodeID {
 	return out
 }
 
-func (n *Node) tracef(format string, args ...any) {
-	if n.cfg.Trace != nil {
-		n.cfg.Trace(fmt.Sprintf("lme1[%d] ", n.env.ID())+format, args...)
+// emitDoorway publishes a doorway position change (cross or exit) as a
+// typed event.
+func (n *Node) emitDoorway(d dwIndex, cross bool) {
+	if n.emit == nil {
+		return
 	}
+	action := "exit"
+	if cross {
+		action = "cross"
+	}
+	n.emit(trace.Event{Kind: trace.KindDoorway, New: action, Detail: d.String()})
+}
+
+// tracef publishes a free-form protocol diagnostic on the trace bus.
+func (n *Node) tracef(format string, args ...any) {
+	if n.emit == nil {
+		return
+	}
+	n.emit(trace.Event{Kind: trace.KindNote, Detail: fmt.Sprintf(format, args...)})
 }

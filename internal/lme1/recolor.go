@@ -5,6 +5,7 @@ import (
 
 	"lme/internal/coloring"
 	"lme/internal/core"
+	"lme/internal/trace"
 )
 
 // recolorRun is the state of one execution of the recolouring module
@@ -294,7 +295,9 @@ func (n *Node) finishRecolor(ret int) {
 	rec.queue = nil
 	n.myColor = -ret - 1
 	n.needsRecolor = false
-	n.tracef("recoloured to %d", n.myColor)
+	if n.emit != nil {
+		n.emit(trace.Event{Kind: trace.KindRecolor, Detail: fmt.Sprint(n.myColor)})
+	}
 	n.env.Broadcast(msgUpdateColor{Color: n.myColor})
 	n.ph = phEnterADf
 	n.dws[adf].BeginEntry()

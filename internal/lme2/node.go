@@ -23,6 +23,7 @@ import (
 	"sort"
 
 	"lme/internal/core"
+	"lme/internal/trace"
 )
 
 // Config parameterises a node of Algorithm 2.
@@ -32,9 +33,6 @@ type Config struct {
 	// is what yields the linear static response time. Default true via
 	// New.
 	Notify bool
-
-	// Trace, if set, receives debug lines.
-	Trace func(format string, args ...any)
 }
 
 // msgNotification announces that the sender became hungry (Line 2).
@@ -58,6 +56,10 @@ type msgFork struct {
 type Node struct {
 	env core.Env
 	cfg Config
+
+	// emit publishes protocol diagnostics to the runtime's trace bus;
+	// nil when the runtime does not implement trace.Emitter.
+	emit func(trace.Event)
 
 	state core.State
 
@@ -95,6 +97,9 @@ func NewWithConfig(cfg Config) *Node {
 // orientation.
 func (n *Node) Init(env core.Env) {
 	n.env = env
+	if em, ok := env.(trace.Emitter); ok {
+		n.emit = em.Emit
+	}
 	me := env.ID()
 	for _, j := range env.Neighbors() {
 		n.higher[j] = me < j
@@ -377,8 +382,10 @@ func (n *Node) sortedSuspended() []core.NodeID {
 	return out
 }
 
+// tracef publishes a free-form protocol diagnostic on the trace bus.
 func (n *Node) tracef(format string, args ...any) {
-	if n.cfg.Trace != nil {
-		n.cfg.Trace(fmt.Sprintf("lme2[%d] ", n.env.ID())+format, args...)
+	if n.emit == nil {
+		return
 	}
+	n.emit(trace.Event{Kind: trace.KindNote, Detail: fmt.Sprintf(format, args...)})
 }

@@ -22,7 +22,6 @@ func (w *World) MoveTo(id core.NodeID, dest graph.Point, speed float64) {
 	n.target = dest
 	n.speed = speed
 	n.moveID++
-	w.trace("node %d starts moving to (%.3f,%.3f)", id, dest.X, dest.Y)
 	w.scheduleTick(n, n.moveID)
 }
 
@@ -42,14 +41,12 @@ func (w *World) Jump(id core.NodeID, dest graph.Point, settle sim.Time) {
 	n.moveID++
 	moveID := n.moveID
 	n.pos = dest
-	w.trace("node %d jumps to (%.3f,%.3f)", id, dest.X, dest.Y)
 	w.refreshLinks(id)
 	w.sched.After(settle, func() {
 		if n.moveID != moveID || n.crashed {
 			return
 		}
 		w.setMoving(n, false)
-		w.trace("node %d static again", id)
 	})
 }
 
@@ -73,7 +70,6 @@ func (w *World) moveTick(n *node, moveID uint64) {
 		n.pos = n.target
 		w.setMoving(n, false)
 		w.refreshLinks(n.id)
-		w.trace("node %d arrived at (%.3f,%.3f)", n.id, n.pos.X, n.pos.Y)
 		return
 	}
 	n.pos.X += dx / dist * step

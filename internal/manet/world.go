@@ -14,6 +14,7 @@ import (
 	"lme/internal/core"
 	"lme/internal/graph"
 	"lme/internal/sim"
+	"lme/internal/trace"
 )
 
 // Config carries the physical parameters of the world.
@@ -38,6 +39,10 @@ type Config struct {
 	// NonFIFO disables the per-directed-link FIFO delivery order — an
 	// ablation of the paper's §3.1 link assumption (experiment E12).
 	NonFIFO bool
+
+	// TraceRing sizes the event bus's retained-history ring (0 = keep
+	// no history; subscribers and sinks still receive every event).
+	TraceRing int
 }
 
 // DefaultConfig returns the parameters used throughout the experiments:
@@ -105,15 +110,18 @@ type World struct {
 	linkListeners  []LinkListener
 	moveListeners  []MoveListener
 
-	tracef  func(at sim.Time, format string, args ...any)
+	// bus is the typed event stream every observable occurrence is
+	// published to; namer classifies message payloads for it.
+	bus   *trace.Bus
+	namer *trace.TypeNamer
+
 	started bool
 
 	// msgsSent and msgsDelivered count protocol messages (the paper's
-	// future-work measure of message complexity).
+	// future-work measure of message complexity). They are maintained
+	// natively so the cheap headline numbers survive even when nothing
+	// subscribes to the bus.
 	msgsSent, msgsDelivered uint64
-
-	// inspect, if set, observes every sent message.
-	inspect func(from, to core.NodeID, msg core.Message)
 }
 
 // NewWorld creates an empty world driven by its own scheduler.
@@ -134,8 +142,14 @@ func NewWorld(cfg Config) *World {
 		cfg:   cfg,
 		sched: sim.NewScheduler(cfg.Seed),
 		epoch: make(map[[2]core.NodeID]uint64),
+		bus:   trace.NewBus(cfg.TraceRing),
+		namer: trace.NewTypeNamer(),
 	}
 }
+
+// Bus exposes the world's typed event stream; subscribe before Start to
+// observe the whole run.
+func (w *World) Bus() *trace.Bus { return w.bus }
 
 // Scheduler exposes the world's event loop for workloads and harnesses.
 func (w *World) Scheduler() *sim.Scheduler { return w.sched }
@@ -187,26 +201,32 @@ func (w *World) AddMoveListener(l MoveListener) {
 	w.moveListeners = append(w.moveListeners, l)
 }
 
-// setMoving flips a node's mobility flag and notifies observers.
+// setMoving flips a node's mobility flag, publishes the mobility event
+// and notifies observers.
 func (w *World) setMoving(n *node, moving bool) {
 	if n.moving == moving {
 		return
 	}
 	n.moving = moving
+	if w.bus.Active() {
+		kind := trace.KindMoveStop
+		if moving {
+			kind = trace.KindMoveStart
+		}
+		w.emit(trace.Event{
+			Kind: kind, Node: n.id, Peer: trace.NoNode,
+			Detail: fmt.Sprintf("(%.3f,%.3f)", n.pos.X, n.pos.Y),
+		})
+	}
 	for _, l := range w.moveListeners {
 		l.OnMove(n.id, moving, w.sched.Now())
 	}
 }
 
-// SetTracer installs an optional debug trace sink.
-func (w *World) SetTracer(f func(at sim.Time, format string, args ...any)) {
-	w.tracef = f
-}
-
-func (w *World) trace(format string, args ...any) {
-	if w.tracef != nil {
-		w.tracef(w.sched.Now(), format, args...)
-	}
+// emit stamps the event with the current virtual time and publishes it.
+func (w *World) emit(e trace.Event) {
+	e.At = w.sched.Now()
+	w.bus.Publish(e)
 }
 
 // Start computes the initial communication graph (silently: pre-existing
@@ -299,18 +319,12 @@ func (w *World) Crash(id core.NodeID) {
 	n.crashed = true
 	w.setMoving(n, false)
 	n.moveID++ // cancel pending movement ticks
-	w.trace("node %d crashed", id)
+	w.emit(trace.Event{Kind: trace.KindCrash, Node: id, Peer: trace.NoNode})
 }
 
 // CrashAt schedules a crash of id at time t.
 func (w *World) CrashAt(id core.NodeID, t sim.Time) {
 	w.sched.At(t, func() { w.Crash(id) })
-}
-
-// SetMessageInspector installs a callback observing every message handed
-// to the transport (used by the message-complexity breakdown).
-func (w *World) SetMessageInspector(f func(from, to core.NodeID, msg core.Message)) {
-	w.inspect = f
 }
 
 // send transmits a message over the link from→to, if it exists, with a
@@ -323,14 +337,22 @@ func (w *World) send(from, to core.NodeID, msg core.Message) {
 		return
 	}
 	w.msgsSent++
-	if w.inspect != nil {
-		w.inspect(from, to, msg)
+	observed := w.bus.Active()
+	var msgName string
+	var msgSize int
+	if observed {
+		msgName, msgSize = w.namer.Name(msg)
+		w.emit(trace.Event{
+			Kind: trace.KindSend, Node: from, Peer: to,
+			Msg: msgName, Size: msgSize,
+		})
 	}
+	sentAt := w.sched.Now()
 	delay := w.cfg.MinDelay
 	if span := int64(w.cfg.MaxDelay - w.cfg.MinDelay); span > 0 {
 		delay += sim.Time(w.sched.Rand().Int64N(span + 1))
 	}
-	at := w.sched.Now() + delay
+	at := sentAt + delay
 	if !w.cfg.NonFIFO {
 		if floor := src.lastDelivery[to]; at <= floor {
 			at = floor + 1
@@ -341,9 +363,26 @@ func (w *World) send(from, to core.NodeID, msg core.Message) {
 	w.sched.At(at, func() {
 		dst := w.nodes[to]
 		if dst.crashed || w.epoch[pairKey(from, to)] != ep || !dst.neighbors[from] {
-			return // destroyed with the link, or receiver dead
+			// Destroyed with the link, or receiver dead.
+			if observed {
+				reason := "link-changed"
+				if dst.crashed {
+					reason = "receiver-crashed"
+				}
+				w.emit(trace.Event{
+					Kind: trace.KindDrop, Node: to, Peer: from,
+					Msg: msgName, Size: msgSize, Detail: reason,
+				})
+			}
+			return
 		}
 		w.msgsDelivered++
+		if observed {
+			w.emit(trace.Event{
+				Kind: trace.KindDeliver, Node: to, Peer: from,
+				Msg: msgName, Size: msgSize, Delay: w.sched.Now() - sentAt,
+			})
+		}
 		dst.proto.OnMessage(from, msg)
 	})
 }
@@ -361,7 +400,10 @@ func (w *World) setLink(a, b core.NodeID, up bool) {
 		na.neighbors[b] = true
 		nb.neighbors[a] = true
 		movingSide := w.pickMovingSide(na, nb)
-		w.trace("link up %d—%d (moving side %d)", a, b, movingSide)
+		w.emit(trace.Event{
+			Kind: trace.KindLinkUp, Node: a, Peer: b,
+			Detail: fmt.Sprint(movingSide),
+		})
 		// Deliver the static-side indication first: in the paper's
 		// link-level protocol the static node reacts by sending its
 		// status (colour and doorway positions) to the newcomer.
@@ -380,7 +422,7 @@ func (w *World) setLink(a, b core.NodeID, up bool) {
 		delete(nb.neighbors, a)
 		delete(na.lastDelivery, b)
 		delete(nb.lastDelivery, a)
-		w.trace("link down %d—%d", a, b)
+		w.emit(trace.Event{Kind: trace.KindLinkDown, Node: a, Peer: b})
 		if !na.crashed {
 			na.proto.OnLinkDown(b)
 		}
@@ -434,7 +476,10 @@ func (w *World) setState(n *node, s core.State) {
 	}
 	old := n.state
 	n.state = s
-	w.trace("node %d: %v → %v", n.id, old, s)
+	w.emit(trace.Event{
+		Kind: trace.KindState, Node: n.id, Peer: trace.NoNode,
+		Old: old.String(), New: s.String(),
+	})
 	for _, l := range w.stateListeners {
 		l.OnStateChange(n.id, old, s, w.sched.Now())
 	}
@@ -446,9 +491,23 @@ type env struct {
 	n *node
 }
 
-var _ core.Env = (*env)(nil)
+var (
+	_ core.Env      = (*env)(nil)
+	_ trace.Emitter = (*env)(nil)
+)
 
 func (e *env) ID() core.NodeID { return e.n.id }
+
+// Emit implements trace.Emitter: protocol-level events (doorway
+// crossings, recolouring rounds, diagnostics) join the world's stream,
+// stamped with the node's identity and the current instant.
+func (e *env) Emit(ev trace.Event) {
+	ev.Node = e.n.id
+	if ev.Peer == 0 {
+		ev.Peer = trace.NoNode
+	}
+	e.w.emit(ev)
+}
 
 func (e *env) Now() sim.Time { return e.w.sched.Now() }
 

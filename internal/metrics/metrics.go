@@ -7,6 +7,7 @@ package metrics
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"lme/internal/core"
@@ -116,7 +117,15 @@ func Summarize(samples []sim.Time) Stats {
 		sum += s
 	}
 	idx := func(q float64) sim.Time {
-		i := int(q * float64(len(sorted)-1))
+		// Nearest-rank percentile: the smallest sample such that at
+		// least q·N samples are at or below it (rank ⌈q·N⌉, 1-based).
+		i := int(math.Ceil(q*float64(len(sorted)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(sorted) {
+			i = len(sorted) - 1
+		}
 		return sorted[i]
 	}
 	return Stats{

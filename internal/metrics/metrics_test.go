@@ -212,3 +212,60 @@ func TestBlockedRadius(t *testing.T) {
 		t.Fatalf("radius = %d, want 0", r)
 	}
 }
+
+// TestSummarizeNearestRank pins the percentile convention: nearest rank,
+// i.e. the smallest sample with at least ⌈q·N⌉ samples at or below it.
+func TestSummarizeNearestRank(t *testing.T) {
+	cases := []struct {
+		name     string
+		samples  []sim.Time
+		p50, p95 sim.Time
+	}{
+		// Odd N=5: rank ⌈0.5·5⌉=3 → 30; rank ⌈0.95·5⌉=5 → 50.
+		{"odd5", []sim.Time{50, 10, 40, 20, 30}, 30, 50},
+		// Even N=4: rank ⌈2⌉=2 → 20; rank ⌈3.8⌉=4 → 40. The old
+		// truncating index returned sorted[2]=30 for P50.
+		{"even4", []sim.Time{40, 30, 20, 10}, 20, 40},
+		// N=1: every percentile is the sample.
+		{"single", []sim.Time{7}, 7, 7},
+		// Even N=20: rank 10 → 100; rank ⌈19⌉=19 → 190 (not the max).
+		{"even20", ramp(20, 10), 100, 190},
+		// Odd N=3: rank ⌈1.5⌉=2 → 20; rank ⌈2.85⌉=3 → 30.
+		{"odd3", []sim.Time{30, 10, 20}, 20, 30},
+	}
+	for _, tc := range cases {
+		s := Summarize(tc.samples)
+		if s.P50 != tc.p50 {
+			t.Errorf("%s: P50 = %v, want %v", tc.name, s.P50, tc.p50)
+		}
+		if s.P95 != tc.p95 {
+			t.Errorf("%s: P95 = %v, want %v", tc.name, s.P95, tc.p95)
+		}
+	}
+}
+
+// ramp returns {step, 2·step, …, n·step}.
+func ramp(n int, step sim.Time) []sim.Time {
+	out := make([]sim.Time, n)
+	for i := range out {
+		out[i] = sim.Time(i+1) * step
+	}
+	return out
+}
+
+// TestProberStarvedSinceNeverAte isolates the never-ate path: a node with
+// no lastEat entry counts as starved from any reference point, but only
+// while it is actually hungry.
+func TestProberStarvedSinceNeverAte(t *testing.T) {
+	p := NewProber()
+	p.OnStateChange(1, core.Thinking, core.Hungry, 100) // never eats
+	p.OnStateChange(2, core.Thinking, core.Hungry, 100) // never eats, recovers
+	p.OnStateChange(2, core.Hungry, core.Thinking, 200)
+	if starved := p.StarvedSince(0); len(starved) != 1 || starved[0] != 1 {
+		t.Fatalf("starved = %v, want [1]: hungry never-eater only", starved)
+	}
+	// A prober that saw no transitions at all reports nobody.
+	if starved := NewProber().StarvedSince(0); len(starved) != 0 {
+		t.Fatalf("fresh prober starved = %v", starved)
+	}
+}

@@ -1,0 +1,264 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"lme/internal/core"
+	"lme/internal/sim"
+	"lme/internal/trace"
+)
+
+// Registry is the per-run counter and histogram store behind the
+// machine-readable telemetry: per-message-type traffic counts, the
+// link-delay histogram that validates the ν bound, and whatever a
+// consumer adds. Like the bus it belongs to the simulation's single
+// thread; snapshot after the run.
+type Registry struct {
+	counters map[string]uint64
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]uint64),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Add increments the named counter by n, creating it at zero first.
+func (r *Registry) Add(name string, n uint64) { r.counters[name] += n }
+
+// Inc increments the named counter by one.
+func (r *Registry) Inc(name string) { r.counters[name]++ }
+
+// Counter reads the named counter (0 if never written).
+func (r *Registry) Counter(name string) uint64 { return r.counters[name] }
+
+// Histogram returns the named histogram, creating it with the given
+// bucket bounds on first use. Bounds passed on later calls are ignored.
+func (r *Registry) Histogram(name string, bounds []sim.Time) *Histogram {
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	h := NewHistogram(bounds)
+	r.hists[name] = h
+	return h
+}
+
+// CountersWithPrefix returns the counters whose name starts with prefix,
+// keyed by the remainder of the name. Used to regroup the per-type
+// message counters ("sent.req" → "req").
+func (r *Registry) CountersWithPrefix(prefix string) map[string]uint64 {
+	out := make(map[string]uint64)
+	for name, v := range r.counters {
+		if rest, ok := strings.CutPrefix(name, prefix); ok {
+			out[rest] = v
+		}
+	}
+	return out
+}
+
+// Snapshot captures the registry as a JSON-marshalable value.
+func (r *Registry) Snapshot() RegistrySnapshot {
+	s := RegistrySnapshot{
+		Counters:   make(map[string]uint64, len(r.counters)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for k, v := range r.counters {
+		s.Counters[k] = v
+	}
+	for k, h := range r.hists {
+		s.Histograms[k] = h.Snapshot()
+	}
+	return s
+}
+
+// RegistrySnapshot is the frozen, serialisable form of a Registry.
+type RegistrySnapshot struct {
+	Counters   map[string]uint64            `json:"counters"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// String renders the snapshot as sorted "name value" lines (the -stats
+// output).
+func (s RegistrySnapshot) String() string {
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		fmt.Fprintf(&b, "%-32s %d\n", name, s.Counters[name])
+	}
+	hnames := make([]string, 0, len(s.Histograms))
+	for name := range s.Histograms {
+		hnames = append(hnames, name)
+	}
+	sort.Strings(hnames)
+	for _, name := range hnames {
+		fmt.Fprintf(&b, "%-32s %s\n", name, s.Histograms[name])
+	}
+	return b.String()
+}
+
+// Histogram accumulates sim.Time observations into fixed buckets with
+// exact count/sum/min/max. Bucket i counts observations ≤ Bounds[i]; one
+// implicit overflow bucket counts the rest.
+type Histogram struct {
+	bounds []sim.Time
+	counts []uint64
+
+	count    uint64
+	sum      sim.Time
+	min, max sim.Time
+}
+
+// NewHistogram creates a histogram over the given ascending bounds.
+func NewHistogram(bounds []sim.Time) *Histogram {
+	b := make([]sim.Time, len(bounds))
+	copy(b, bounds)
+	sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+	return &Histogram{bounds: b, counts: make([]uint64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v sim.Time) {
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.counts[i]++
+	h.count++
+	h.sum += v
+	if h.count == 1 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Snapshot freezes the histogram.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: append([]sim.Time(nil), h.bounds...),
+		Counts: append([]uint64(nil), h.counts...),
+		Count:  h.count,
+		Sum:    h.sum,
+		Min:    h.min,
+		Max:    h.max,
+	}
+	if h.count > 0 {
+		s.Mean = h.sum / sim.Time(h.count)
+	}
+	return s
+}
+
+// HistogramSnapshot is the frozen, serialisable form of a Histogram.
+// Counts has one more entry than Bounds: the overflow bucket.
+type HistogramSnapshot struct {
+	Bounds []sim.Time `json:"bounds_us"`
+	Counts []uint64   `json:"counts"`
+	Count  uint64     `json:"count"`
+	Sum    sim.Time   `json:"sum_us"`
+	Mean   sim.Time   `json:"mean_us"`
+	Min    sim.Time   `json:"min_us"`
+	Max    sim.Time   `json:"max_us"`
+}
+
+// String renders the snapshot compactly.
+func (s HistogramSnapshot) String() string {
+	return fmt.Sprintf("n=%d mean=%v min=%v max=%v", s.Count, s.Mean, s.Min, s.Max)
+}
+
+// Overflow reports how many observations exceeded the last bound.
+func (s HistogramSnapshot) Overflow() uint64 {
+	if len(s.Counts) == 0 {
+		return 0
+	}
+	return s.Counts[len(s.Counts)-1]
+}
+
+// The counter names Instrument maintains. Per-message-type counters are
+// the prefix plus the normalised type name ("sent.req", "delivered.fork",
+// "dropped.notification").
+const (
+	CtrSent       = "msg_sent"
+	CtrDelivered  = "msg_delivered"
+	CtrDropped    = "msg_dropped"
+	CtrBytesSent  = "bytes_sent"
+	CtrCSEntries  = "cs_entries"
+	CtrLinkUps    = "link_up"
+	CtrLinkDowns  = "link_down"
+	CtrMoves      = "moves"
+	CtrCrashes    = "crashes"
+	CtrRecolorRns = "recolor_runs"
+
+	PrefixSent      = "sent."
+	PrefixDelivered = "delivered."
+	PrefixDropped   = "dropped."
+
+	// HistLinkDelay is the end-to-end delivery-delay histogram; its
+	// maximum empirically validates the ν bound of §3.1.
+	HistLinkDelay = "link_delay_us"
+)
+
+// DefaultDelayBounds buckets delivery delays in 1ms steps up to the
+// default ν of 10ms; anything beyond lands in the overflow bucket (and
+// would indicate a transport bug).
+func DefaultDelayBounds() []sim.Time {
+	bounds := make([]sim.Time, 10)
+	for i := range bounds {
+		bounds[i] = sim.Time((i + 1) * 1_000)
+	}
+	return bounds
+}
+
+// Instrument subscribes the registry to the bus: every published event
+// updates the appropriate counters, giving each run per-message-type
+// accounting and the link-delay histogram without the world knowing about
+// the registry.
+func Instrument(bus *trace.Bus, r *Registry) {
+	delays := r.Histogram(HistLinkDelay, DefaultDelayBounds())
+	bus.Subscribe(func(e trace.Event) {
+		switch e.Kind {
+		case trace.KindSend:
+			r.Inc(CtrSent)
+			r.Inc(PrefixSent + e.Msg)
+			r.Add(CtrBytesSent, uint64(e.Size))
+		case trace.KindDeliver:
+			r.Inc(CtrDelivered)
+			r.Inc(PrefixDelivered + e.Msg)
+			delays.Observe(e.Delay)
+		case trace.KindDrop:
+			r.Inc(CtrDropped)
+			r.Inc(PrefixDropped + e.Msg)
+		case trace.KindState:
+			if e.New == core.Eating.String() {
+				r.Inc(CtrCSEntries)
+			}
+		case trace.KindLinkUp:
+			r.Inc(CtrLinkUps)
+		case trace.KindLinkDown:
+			r.Inc(CtrLinkDowns)
+		case trace.KindMoveStart:
+			r.Inc(CtrMoves)
+		case trace.KindCrash:
+			r.Inc(CtrCrashes)
+		case trace.KindRecolor:
+			r.Inc(CtrRecolorRns)
+		}
+	}, trace.KindSend, trace.KindDeliver, trace.KindDrop, trace.KindState,
+		trace.KindLinkUp, trace.KindLinkDown, trace.KindMoveStart,
+		trace.KindCrash, trace.KindRecolor)
+}
+
+// PerMeal divides total messages by critical-section entries; the paper's
+// natural message-complexity measure. Returns 0 when no meal completed.
+func PerMeal(msgs uint64, meals int) float64 {
+	if meals <= 0 {
+		return 0
+	}
+	return float64(msgs) / float64(meals)
+}

@@ -81,3 +81,51 @@ func TestTimelineAdjacentExclusion(t *testing.T) {
 		t.Fatal("touching intervals reported as overlapping")
 	}
 }
+
+// TestTimelineOpenIntervalAtRunEnd covers the end-of-run edge: a node
+// still eating when measurement stops has exactly one interval with
+// End == -1, and NodeIntervals exposes it to callers, who must treat -1
+// as "now".
+func TestTimelineOpenIntervalAtRunEnd(t *testing.T) {
+	tl := NewTimeline()
+	tl.OnStateChange(0, core.Hungry, core.Eating, 40)
+	ivs := tl.NodeIntervals(0)
+	if len(ivs) != 1 || ivs[0].Start != 40 || ivs[0].End != -1 {
+		t.Fatalf("intervals = %v, want one open interval from 40", ivs)
+	}
+	// The open interval must reach the chart's right edge.
+	chart := tl.Gantt(1, 0, 100, 10)
+	row := strings.Split(strings.TrimSpace(chart), "\n")[1]
+	if !strings.HasSuffix(row, "█|") {
+		t.Fatalf("open interval does not extend to run end:\n%s", chart)
+	}
+	// And the first 4 columns (t<40) stay empty.
+	if strings.Contains(row[:strings.Index(row, "|")+4], "█") {
+		t.Fatalf("interval rendered before its start:\n%s", chart)
+	}
+}
+
+// TestTimelineDemotionThenReentry covers the eating→hungry→eating cycle
+// of a mobile node: the demotion closes the first interval and the
+// re-entry opens a second, independent one.
+func TestTimelineDemotionThenReentry(t *testing.T) {
+	tl := NewTimeline()
+	tl.OnStateChange(3, core.Hungry, core.Eating, 10)
+	tl.OnStateChange(3, core.Eating, core.Hungry, 18) // moved into new neighbourhood
+	tl.OnStateChange(3, core.Hungry, core.Eating, 30)
+	ivs := tl.NodeIntervals(3)
+	if len(ivs) != 2 {
+		t.Fatalf("intervals = %v, want 2", ivs)
+	}
+	if ivs[0] != (Interval{Node: 3, Start: 10, End: 18}) {
+		t.Fatalf("closed interval = %+v", ivs[0])
+	}
+	if ivs[1].Start != 30 || ivs[1].End != -1 {
+		t.Fatalf("reopened interval = %+v", ivs[1])
+	}
+	// A plain thinking transition with no open interval is a no-op.
+	tl.OnStateChange(9, core.Hungry, core.Thinking, 40)
+	if got := tl.NodeIntervals(9); got != nil {
+		t.Fatalf("phantom interval: %v", got)
+	}
+}

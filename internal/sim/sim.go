@@ -86,6 +86,10 @@ type Scheduler struct {
 	// processed counts events executed so far (for diagnostics and
 	// runaway detection in tests).
 	processed uint64
+
+	// hook, if set, observes every executed event (the observability
+	// layer's scheduler tap, used for throughput accounting).
+	hook func(at Time)
 }
 
 // NewScheduler returns a scheduler at time zero whose random stream is
@@ -104,6 +108,11 @@ func (s *Scheduler) Rand() *rand.Rand { return s.rng }
 
 // Processed reports how many events have been executed.
 func (s *Scheduler) Processed() uint64 { return s.processed }
+
+// SetEventHook installs f to run after every executed event, at the
+// event's virtual time. One hook at most; nil uninstalls. The hook must
+// not schedule or run events itself.
+func (s *Scheduler) SetEventHook(f func(at Time)) { s.hook = f }
 
 // Pending reports how many events are queued.
 func (s *Scheduler) Pending() int { return len(s.events) }
@@ -147,6 +156,9 @@ func (s *Scheduler) RunUntil(deadline Time, maxEvents uint64) error {
 		s.now = popped.at
 		popped.fn()
 		s.processed++
+		if s.hook != nil {
+			s.hook(s.now)
+		}
 		executed++
 		if maxEvents > 0 && executed >= maxEvents {
 			return fmt.Errorf("%w (%d events by t=%v)", ErrEventLimit, executed, s.now)
@@ -177,5 +189,8 @@ func (s *Scheduler) Step() bool {
 	s.now = popped.at
 	popped.fn()
 	s.processed++
+	if s.hook != nil {
+		s.hook(s.now)
+	}
 	return true
 }

@@ -1,0 +1,381 @@
+// Package trace is the typed observability layer of the simulator: a
+// single event stream that the world (internal/manet) and the protocols
+// publish to, replacing the free-text tracer the repo started with. Every
+// observable occurrence — message send/deliver/drop, dining-state
+// transitions, link changes, mobility, crashes, doorway crossings and
+// recolouring rounds — becomes one Event value on a Bus. Consumers attach
+// as subscribers (counters, renderers), as a bounded ring buffer (recent
+// history for diagnostics) or as a JSONL sink (machine-readable traces for
+// cmd/lmetrace and CI diffing).
+//
+// The bus is allocation-lean by design: an Event is a flat value struct,
+// publishing copies it into a preallocated ring slot, and message type
+// names and sizes are resolved through a per-world cache instead of
+// per-message reflection. A bus with no ring, no subscribers and no sink
+// reduces Publish to two branch tests.
+package trace
+
+import (
+	"encoding"
+	"encoding/json"
+	"fmt"
+	"io"
+	"reflect"
+	"strings"
+
+	"lme/internal/core"
+	"lme/internal/sim"
+)
+
+// Kind classifies an event.
+type Kind uint8
+
+// The event kinds of the schema. The string forms (see Kind.String) are
+// the stable identifiers used in JSONL traces; the numeric values are
+// internal and may be reordered.
+const (
+	// KindSend: Node handed a message for Peer to the transport.
+	KindSend Kind = iota + 1
+	// KindDeliver: Peer's message reached Node; Delay is the transit time.
+	KindDeliver
+	// KindDrop: a message in flight from Peer to Node was destroyed
+	// (link failure or receiver crash before delivery).
+	KindDrop
+	// KindState: Node's dining state changed from Old to New.
+	KindState
+	// KindLinkUp: a link Node—Peer appeared; Detail names the moving side.
+	KindLinkUp
+	// KindLinkDown: the link Node—Peer disappeared.
+	KindLinkDown
+	// KindMoveStart / KindMoveStop: Node's mobility status flipped.
+	KindMoveStart
+	KindMoveStop
+	// KindCrash: Node crash-failed.
+	KindCrash
+	// KindDoorway: Node crossed (New="cross") or exited (New="exit") the
+	// doorway named in Detail.
+	KindDoorway
+	// KindRecolor: Node finished a recolouring run; Detail carries the
+	// new colour.
+	KindRecolor
+	// KindNote: free-form protocol diagnostic (Detail).
+	KindNote
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	KindSend:      "send",
+	KindDeliver:   "deliver",
+	KindDrop:      "drop",
+	KindState:     "state",
+	KindLinkUp:    "link-up",
+	KindLinkDown:  "link-down",
+	KindMoveStart: "move-start",
+	KindMoveStop:  "move-stop",
+	KindCrash:     "crash",
+	KindDoorway:   "doorway",
+	KindRecolor:   "recolor",
+	KindNote:      "note",
+}
+
+// String returns the schema-stable name of the kind.
+func (k Kind) String() string {
+	if k > 0 && int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// MarshalText implements encoding.TextMarshaler; JSON encodes kinds by
+// name.
+func (k Kind) MarshalText() ([]byte, error) { return []byte(k.String()), nil }
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (k *Kind) UnmarshalText(b []byte) error {
+	s := string(b)
+	for i := Kind(1); i < numKinds; i++ {
+		if kindNames[i] == s {
+			*k = i
+			return nil
+		}
+	}
+	return fmt.Errorf("trace: unknown event kind %q", s)
+}
+
+var (
+	_ encoding.TextMarshaler   = Kind(0)
+	_ encoding.TextUnmarshaler = (*Kind)(nil)
+)
+
+// Kinds lists every valid kind in schema order.
+func Kinds() []Kind {
+	out := make([]Kind, 0, numKinds-1)
+	for k := Kind(1); k < numKinds; k++ {
+		out = append(out, k)
+	}
+	return out
+}
+
+// NoNode marks an unused Node/Peer field.
+const NoNode core.NodeID = -1
+
+// Event is one occurrence on the stream. It is a flat value: publishing
+// and storing events never allocates. Unused fields hold their zero value
+// (Peer: NoNode), and the JSON encoding omits them, so each kind has a
+// stable, minimal JSONL shape.
+type Event struct {
+	// Seq is the bus-assigned publication number (1-based).
+	Seq uint64 `json:"seq"`
+	// At is the virtual time of the event in microseconds.
+	At sim.Time `json:"at"`
+	// Kind classifies the event; it determines which fields are set.
+	Kind Kind `json:"kind"`
+	// Node is the primary node (sender for send, receiver for
+	// deliver/drop, endpoint a for link events).
+	Node core.NodeID `json:"node"`
+	// Peer is the secondary node, or NoNode.
+	Peer core.NodeID `json:"peer,omitempty"`
+	// Msg is the normalised message type name (send/deliver/drop).
+	Msg string `json:"msg,omitempty"`
+	// Size is the in-memory payload size in bytes (send/deliver/drop).
+	Size int `json:"size,omitempty"`
+	// Delay is the transit time of a delivered message.
+	Delay sim.Time `json:"delay,omitempty"`
+	// Old and New are state names for KindState ("thinking", "hungry",
+	// "eating") and the action for KindDoorway ("cross"/"exit" in New).
+	Old string `json:"old,omitempty"`
+	New string `json:"new,omitempty"`
+	// Detail carries kind-specific extra context (moving side, doorway
+	// name, colour, free-form notes).
+	Detail string `json:"detail,omitempty"`
+}
+
+// MarshalJSON hides the NoNode sentinel: a Peer of NoNode is encoded as
+// the field's absence, matching omitempty's treatment of the other
+// optional fields.
+func (e Event) MarshalJSON() ([]byte, error) {
+	type wire Event // break recursion
+	w := wire(e)
+	if w.Peer == NoNode {
+		w.Peer = 0 // omitempty drops it; 0 is reserved below
+	} else if w.Peer == 0 {
+		// A genuine peer 0 must survive the round trip: bias by
+		// encoding through a pointerized shape instead.
+		type wire0 struct {
+			wire
+			Peer core.NodeID `json:"peer"`
+		}
+		return json.Marshal(wire0{wire: w, Peer: 0})
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON restores the NoNode sentinel for an absent peer field.
+func (e *Event) UnmarshalJSON(b []byte) error {
+	type wire Event
+	w := struct {
+		wire
+		Peer *core.NodeID `json:"peer"`
+	}{}
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	*e = Event(w.wire)
+	if w.Peer == nil {
+		e.Peer = NoNode
+	} else {
+		e.Peer = *w.Peer
+	}
+	return nil
+}
+
+// String renders the event as the human-readable trace line the -trace
+// flag prints.
+func (e Event) String() string {
+	switch e.Kind {
+	case KindSend:
+		return fmt.Sprintf("send %d→%d %s (%dB)", e.Node, e.Peer, e.Msg, e.Size)
+	case KindDeliver:
+		return fmt.Sprintf("deliver %d→%d %s (delay %v)", e.Peer, e.Node, e.Msg, e.Delay)
+	case KindDrop:
+		return fmt.Sprintf("drop %d→%d %s (%s)", e.Peer, e.Node, e.Msg, e.Detail)
+	case KindState:
+		return fmt.Sprintf("node %d: %s → %s", e.Node, e.Old, e.New)
+	case KindLinkUp:
+		return fmt.Sprintf("link up %d—%d (moving side %s)", e.Node, e.Peer, e.Detail)
+	case KindLinkDown:
+		return fmt.Sprintf("link down %d—%d", e.Node, e.Peer)
+	case KindMoveStart:
+		return fmt.Sprintf("node %d starts moving %s", e.Node, e.Detail)
+	case KindMoveStop:
+		return fmt.Sprintf("node %d static again %s", e.Node, e.Detail)
+	case KindCrash:
+		return fmt.Sprintf("node %d crashed", e.Node)
+	case KindDoorway:
+		return fmt.Sprintf("node %d doorway %s %s", e.Node, e.Detail, e.New)
+	case KindRecolor:
+		return fmt.Sprintf("node %d recoloured to %s", e.Node, e.Detail)
+	case KindNote:
+		return fmt.Sprintf("node %d: %s", e.Node, e.Detail)
+	default:
+		return fmt.Sprintf("event kind(%d) node %d", uint8(e.Kind), e.Node)
+	}
+}
+
+// Emitter is the optional extension a runtime's core.Env may implement to
+// give protocols access to the event stream. Protocols type-assert for it
+// in Init and stay silent when the runtime (e.g. internal/livenet) does
+// not provide one.
+type Emitter interface {
+	Emit(Event)
+}
+
+// subscriber is one registered consumer with its kind filter.
+type subscriber struct {
+	fn    func(Event)
+	kinds [numKinds]bool
+	all   bool
+}
+
+// Bus is the event stream: a bounded ring of recent events, a subscriber
+// list, and an optional JSONL sink. It is not safe for concurrent use —
+// like the scheduler it belongs to the simulation's single thread of
+// control.
+type Bus struct {
+	ring  []Event
+	total uint64
+	subs  []subscriber
+
+	enc     *json.Encoder
+	sinkErr error
+}
+
+// NewBus creates a bus that retains the last ringCap events (0 disables
+// retention; publishing still reaches subscribers and the sink).
+func NewBus(ringCap int) *Bus {
+	b := &Bus{}
+	if ringCap > 0 {
+		b.ring = make([]Event, ringCap)
+	}
+	return b
+}
+
+// Subscribe registers fn for the given kinds (none = every kind).
+func (b *Bus) Subscribe(fn func(Event), kinds ...Kind) {
+	s := subscriber{fn: fn, all: len(kinds) == 0}
+	for _, k := range kinds {
+		if k > 0 && k < numKinds {
+			s.kinds[k] = true
+		}
+	}
+	b.subs = append(b.subs, s)
+}
+
+// SetSink attaches a JSONL writer: every subsequent event is encoded as
+// one JSON object per line. A nil writer detaches the sink. Encoding
+// errors are sticky; check SinkErr after the run.
+func (b *Bus) SetSink(w io.Writer) {
+	if w == nil {
+		b.enc = nil
+		return
+	}
+	b.enc = json.NewEncoder(w)
+}
+
+// SinkErr reports the first error the JSONL sink encountered, if any.
+func (b *Bus) SinkErr() error { return b.sinkErr }
+
+// Publish assigns the event its sequence number and fans it out to the
+// ring, the subscribers and the sink.
+func (b *Bus) Publish(e Event) {
+	b.total++
+	e.Seq = b.total
+	if b.ring != nil {
+		b.ring[int((b.total-1)%uint64(len(b.ring)))] = e
+	}
+	for i := range b.subs {
+		s := &b.subs[i]
+		if s.all || s.kinds[e.Kind] {
+			s.fn(e)
+		}
+	}
+	if b.enc != nil {
+		if err := b.enc.Encode(e); err != nil && b.sinkErr == nil {
+			b.sinkErr = err
+		}
+	}
+}
+
+// Total reports how many events have been published.
+func (b *Bus) Total() uint64 { return b.total }
+
+// Active reports whether anything observes the stream; publishers may use
+// it to skip building events whose construction is not free.
+func (b *Bus) Active() bool {
+	return b.ring != nil || len(b.subs) > 0 || b.enc != nil
+}
+
+// Recent returns up to n of the most recent retained events, oldest
+// first.
+func (b *Bus) Recent(n int) []Event {
+	if b.ring == nil || b.total == 0 || n <= 0 {
+		return nil
+	}
+	cap64 := uint64(len(b.ring))
+	have := b.total
+	if have > cap64 {
+		have = cap64
+	}
+	if uint64(n) < have {
+		have = uint64(n)
+	}
+	out := make([]Event, 0, have)
+	for i := b.total - have; i < b.total; i++ {
+		out = append(out, b.ring[int(i%cap64)])
+	}
+	return out
+}
+
+// TypeNamer caches the normalised name and shallow byte size of message
+// payload types, so per-message classification costs one map lookup
+// instead of reflection. Not safe for concurrent use; give each world its
+// own.
+type TypeNamer struct {
+	names map[reflect.Type]typeInfo
+}
+
+type typeInfo struct {
+	name string
+	size int
+}
+
+// NewTypeNamer returns an empty cache.
+func NewTypeNamer() *TypeNamer {
+	return &TypeNamer{names: make(map[reflect.Type]typeInfo)}
+}
+
+// Name returns the normalised type name and in-memory size of msg.
+func (tn *TypeNamer) Name(msg any) (string, int) {
+	t := reflect.TypeOf(msg)
+	if info, ok := tn.names[t]; ok {
+		return info.name, info.size
+	}
+	info := typeInfo{name: NormalizeTypeName(fmt.Sprintf("%T", msg)), size: int(t.Size())}
+	tn.names[t] = info
+	return info.name, info.size
+}
+
+// NormalizeTypeName reduces a Go type name to the schema's message-type
+// identifier: package path and pointer markers stripped, the conventional
+// "msg"/"cm" prefixes removed, lower-cased. "lme1.msgFork" and
+// "baseline.cmFork" both become "fork".
+func NormalizeTypeName(name string) string {
+	name = strings.TrimPrefix(name, "*")
+	if i := strings.LastIndexByte(name, '.'); i >= 0 {
+		name = name[i+1:]
+	}
+	name = strings.TrimPrefix(name, "msg")
+	name = strings.TrimPrefix(name, "cm")
+	return strings.ToLower(name)
+}

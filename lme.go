@@ -36,6 +36,7 @@ import (
 	"lme/internal/manet"
 	"lme/internal/metrics"
 	"lme/internal/sim"
+	"lme/internal/trace"
 	"lme/internal/workload"
 )
 
@@ -148,6 +149,7 @@ type Config struct {
 // Simulation is an assembled run.
 type Simulation struct {
 	run *harness.Run
+	alg Algorithm
 }
 
 // NewSimulation builds a simulation from the configuration.
@@ -188,7 +190,7 @@ func NewSimulation(cfg Config) (*Simulation, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Simulation{run: run}, nil
+	return &Simulation{run: run, alg: cfg.Algorithm}, nil
 }
 
 // protocolFactory maps an Algorithm to its node constructor.
@@ -350,10 +352,157 @@ func (s *Simulation) Gantt(window time.Duration, width int) string {
 	return s.run.Timeline.Gantt(s.run.World.N(), from, now, width)
 }
 
-// SetTracer installs a sink for the world's event trace (state
-// transitions, link changes, mobility). Call before RunFor.
+// SetTracer installs a human-readable renderer over the typed event
+// stream: state transitions, link changes, mobility, crashes, doorway
+// crossings, recolouring and protocol notes. Per-message traffic is
+// deliberately excluded to keep the rendering readable; subscribe to
+// Bus() (or write a JSONL trace) for the full stream. Call before RunFor.
 func (s *Simulation) SetTracer(f func(at time.Duration, line string)) {
-	s.run.World.SetTracer(func(at sim.Time, format string, args ...any) {
-		f(sim.ToDuration(at), fmt.Sprintf(format, args...))
-	})
+	s.run.World.Bus().Subscribe(func(e trace.Event) {
+		f(sim.ToDuration(e.At), e.String())
+	}, trace.KindState, trace.KindLinkUp, trace.KindLinkDown,
+		trace.KindMoveStart, trace.KindMoveStop, trace.KindCrash,
+		trace.KindDoorway, trace.KindRecolor, trace.KindNote)
+}
+
+// Bus exposes the run's typed event stream for subscribers and JSONL
+// sinks. Attach before RunFor to observe the whole run.
+func (s *Simulation) Bus() *trace.Bus { return s.run.World.Bus() }
+
+// ReportSchema identifies the JSON layout of Report; bump on breaking
+// changes so downstream diffing tools can refuse mixed comparisons.
+const ReportSchema = "lme/run/v1"
+
+// Report is the machine-readable summary of a run: the telemetry object
+// behind lmesim -json, designed to be schema-stable so CI and benchmark
+// tooling can diff it across commits.
+type Report struct {
+	Schema string `json:"schema"`
+	// Algorithm under test.
+	Algorithm string `json:"algorithm"`
+	// Nodes is the system size n.
+	Nodes int `json:"nodes"`
+	// SimulatedUS is the virtual time simulated, in microseconds.
+	SimulatedUS int64 `json:"simulated_us"`
+	// WallMS is the wall-clock run time in milliseconds (0 if the
+	// caller did not measure it).
+	WallMS float64 `json:"wall_ms"`
+	// SchedEvents counts discrete-event executions; with WallMS it
+	// yields EventsPerSec, the scheduler throughput.
+	SchedEvents  uint64  `json:"sched_events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+
+	Meals      int   `json:"meals"`
+	Violations int   `json:"violations"`
+	Starved    []int `json:"starved"`
+
+	Response ResponseReport `json:"response"`
+	Messages MessageReport  `json:"messages"`
+
+	// LinkDelay is the delivery-delay histogram; its max empirically
+	// validates the ν bound.
+	LinkDelay metrics.HistogramSnapshot `json:"link_delay"`
+
+	// Counters is the raw registry dump for everything not broken out
+	// above.
+	Counters map[string]uint64 `json:"counters"`
+}
+
+// ResponseReport summarises hungry→eating latencies (Definition 1).
+type ResponseReport struct {
+	Count  int   `json:"count"`
+	MeanUS int64 `json:"mean_us"`
+	P50US  int64 `json:"p50_us"`
+	P95US  int64 `json:"p95_us"`
+	MaxUS  int64 `json:"max_us"`
+}
+
+// MessageReport summarises protocol traffic with per-type accounting.
+type MessageReport struct {
+	Sent      uint64 `json:"sent"`
+	Delivered uint64 `json:"delivered"`
+	Dropped   uint64 `json:"dropped"`
+	BytesSent uint64 `json:"bytes_sent"`
+	// PerMeal is messages sent per critical-section entry — the
+	// paper's natural message-complexity measure.
+	PerMeal float64 `json:"per_meal"`
+	// ByType breaks traffic down by normalised message type name.
+	ByType map[string]MessageTypeReport `json:"by_type"`
+}
+
+// MessageTypeReport is the per-message-type slice of a MessageReport.
+type MessageTypeReport struct {
+	Sent      uint64 `json:"sent"`
+	Delivered uint64 `json:"delivered"`
+	Dropped   uint64 `json:"dropped,omitempty"`
+}
+
+// Report assembles the machine-readable run summary. wall is the measured
+// wall-clock duration of the run (pass 0 if unknown).
+func (s *Simulation) Report(wall time.Duration) Report {
+	res := s.Results()
+	reg := s.run.Registry
+	st := s.run.Recorder.Stats()
+	sched := s.run.World.Scheduler()
+
+	byType := make(map[string]MessageTypeReport)
+	for name, v := range reg.CountersWithPrefix(metrics.PrefixSent) {
+		t := byType[name]
+		t.Sent = v
+		byType[name] = t
+	}
+	for name, v := range reg.CountersWithPrefix(metrics.PrefixDelivered) {
+		t := byType[name]
+		t.Delivered = v
+		byType[name] = t
+	}
+	for name, v := range reg.CountersWithPrefix(metrics.PrefixDropped) {
+		t := byType[name]
+		t.Dropped = v
+		byType[name] = t
+	}
+
+	starved := res.Starved
+	if starved == nil {
+		starved = []int{}
+	}
+	snap := reg.Snapshot()
+	rep := Report{
+		Schema:      ReportSchema,
+		Algorithm:   string(s.alg),
+		Nodes:       s.run.World.N(),
+		SimulatedUS: int64(sched.Now()),
+		SchedEvents: sched.Processed(),
+		Meals:       res.TotalMeals,
+		Violations:  res.SafetyViolations,
+		Starved:     starved,
+		Response: ResponseReport{
+			Count:  st.Count,
+			MeanUS: int64(st.Mean),
+			P50US:  int64(st.P50),
+			P95US:  int64(st.P95),
+			MaxUS:  int64(st.Max),
+		},
+		Messages: MessageReport{
+			Sent:      s.run.World.MessagesSent(),
+			Delivered: s.run.World.MessagesDelivered(),
+			Dropped:   reg.Counter(metrics.CtrDropped),
+			BytesSent: reg.Counter(metrics.CtrBytesSent),
+			PerMeal:   s.run.MessagesPerMeal(),
+			ByType:    byType,
+		},
+		LinkDelay: snap.Histograms[metrics.HistLinkDelay],
+		Counters:  snap.Counters,
+	}
+	if wall > 0 {
+		rep.WallMS = float64(wall.Microseconds()) / 1000
+		rep.EventsPerSec = float64(rep.SchedEvents) / wall.Seconds()
+	}
+	return rep
+}
+
+// MetricsSnapshot freezes the run's counter/histogram registry (the
+// -stats output).
+func (s *Simulation) MetricsSnapshot() metrics.RegistrySnapshot {
+	return s.run.Registry.Snapshot()
 }
