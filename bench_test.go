@@ -30,7 +30,7 @@ func benchExperiment(b *testing.B, id string) {
 			exp = e
 		}
 	}
-	if exp.Run == nil {
+	if exp.Plan == nil {
 		b.Fatalf("unknown experiment %q", id)
 	}
 	b.ReportAllocs()

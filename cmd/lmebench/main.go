@@ -5,17 +5,21 @@
 //
 // Examples:
 //
-//	lmebench              # all experiments at full quality
-//	lmebench -exp e3,e6   # a subset
-//	lmebench -quick       # fast pass (the configuration unit tests use)
-//	lmebench -quick -json # machine-readable results for benchmark diffing
+//	lmebench                        # all experiments at full quality
+//	lmebench -exp e3,e6             # a subset
+//	lmebench -quick                 # fast pass (the configuration unit tests use)
+//	lmebench -quick -json           # machine-readable results for benchmark diffing
+//	lmebench -replicas 5 -parallel 8 # 5 seeded runs per cell on 8 workers
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime"
 	"strings"
 	"time"
 
@@ -30,8 +34,8 @@ func main() {
 }
 
 // BenchSchema identifies the lmebench -json layout; bump on breaking
-// changes.
-const BenchSchema = "lme/bench/v1"
+// changes. v2 adds replicas, cell_stats, parallel and wall-clock fields.
+const BenchSchema = "lme/bench/v2"
 
 // benchResult is one experiment's slice of the -json document: the table
 // (rows carry the measured trajectories, e.g. E10's msg/meal column) plus
@@ -45,18 +49,25 @@ type benchResult struct {
 
 // benchDoc is the lmebench -json document.
 type benchDoc struct {
-	Schema  string        `json:"schema"`
-	Quality string        `json:"quality"`
-	Results []benchResult `json:"results"`
+	Schema   string        `json:"schema"`
+	Quality  string        `json:"quality"`
+	Parallel int           `json:"parallel"`
+	Replicas int           `json:"replicas"`
+	Results  []benchResult `json:"results"`
 }
 
 func run() error {
 	var (
-		expFlag = flag.String("exp", "", "comma-separated experiment IDs (e.g. e1,e3); empty = all")
-		quick   = flag.Bool("quick", false, "reduced sweep sizes and horizons")
-		jsonOut = flag.Bool("json", false, "emit results as a single JSON document instead of text tables")
+		expFlag  = flag.String("exp", "", "comma-separated experiment IDs (e.g. e1,e3); empty = all")
+		quick    = flag.Bool("quick", false, "reduced sweep sizes and horizons")
+		jsonOut  = flag.Bool("json", false, "emit results as a single JSON document instead of text tables")
+		parallel = flag.Int("parallel", 0, "worker count for the fleet pool; 0 = all cores")
+		replicas = flag.Int("replicas", 1, "independent seeded runs per measurement cell")
 	)
 	flag.Parse()
+	if *replicas < 1 {
+		return fmt.Errorf("-replicas must be >= 1 (got %d)", *replicas)
+	}
 
 	want := map[string]bool{}
 	if *expFlag != "" {
@@ -70,7 +81,18 @@ func run() error {
 		quality = harness.Quick
 		qualityName = "quick"
 	}
-	doc := benchDoc{Schema: BenchSchema, Quality: qualityName, Results: []benchResult{}}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	engine := harness.Engine{Workers: *parallel, Replicas: *replicas, Context: ctx}
+	workers := *parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	doc := benchDoc{
+		Schema: BenchSchema, Quality: qualityName,
+		Parallel: workers, Replicas: *replicas,
+		Results: []benchResult{},
+	}
 	ran := 0
 	for _, exp := range harness.Experiments() {
 		if len(want) > 0 && !want[exp.ID] {
@@ -78,7 +100,7 @@ func run() error {
 		}
 		eventsBefore := harness.EventsProcessed()
 		start := time.Now()
-		tbl, err := exp.Run(quality)
+		tbl, err := engine.Run(exp, quality)
 		if err != nil {
 			return fmt.Errorf("%s: %w", exp.ID, err)
 		}

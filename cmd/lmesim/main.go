@@ -17,10 +17,21 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"lme"
 )
+
+// algUsage assembles the -alg help text from the algorithm registry so
+// the flag never drifts from what NewSimulation accepts.
+func algUsage() string {
+	names := make([]string, 0, len(lme.Algorithms()))
+	for _, a := range lme.Algorithms() {
+		names = append(names, string(a))
+	}
+	return "algorithm: " + strings.Join(names, "|")
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -40,7 +51,7 @@ type result struct {
 
 func run() error {
 	var (
-		algName  = flag.String("alg", "alg2", "algorithm: alg1-greedy|alg1-linial|alg2|chandy-misra|choy-singh|alg2-nonotify")
+		algName  = flag.String("alg", "alg2", algUsage())
 		topo     = flag.String("topo", "geometric", "topology: line|grid|clique|geometric")
 		n        = flag.Int("n", 24, "number of nodes")
 		radius   = flag.Float64("radius", 0.25, "radio range (geometric topology)")
@@ -93,10 +104,14 @@ func run() error {
 		}()
 	}
 	if *movers > 0 {
-		sim.Roam(moverIDs(*n, *movers), *speed, *dur*3/4)
+		if err := sim.Roam(moverIDs(*n, *movers), *speed, *dur*3/4); err != nil {
+			return err
+		}
 	}
 	if *crash >= 0 {
-		sim.Crash(*crash, *crashAt)
+		if err := sim.Crash(*crash, *crashAt); err != nil {
+			return err
+		}
 	}
 	start := time.Now()
 	if err := sim.RunFor(*dur); err != nil {

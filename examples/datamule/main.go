@@ -48,12 +48,16 @@ func run() error {
 	for visit := 0; visit < 6; visit++ {
 		dest := podCenters[(visit+1)%3]
 		at := time.Duration(visit+1) * 2 * time.Second
-		sim.Jump(mule, lme.Point{X: dest.X + 0.05, Y: dest.Y + 0.05}, at, 100*time.Millisecond)
+		if err := sim.Jump(mule, lme.Point{X: dest.X + 0.05, Y: dest.Y + 0.05}, at, 100*time.Millisecond); err != nil {
+			return err
+		}
 	}
 
 	// One sensor in pod 1 dies mid-run; the mule and the other pods
 	// must be unaffected (failure locality 2).
-	sim.Crash(6, 5*time.Second)
+	if err := sim.Crash(6, 5*time.Second); err != nil {
+		return err
+	}
 
 	if err := sim.RunFor(14 * time.Second); err != nil {
 		return err

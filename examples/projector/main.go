@@ -57,7 +57,9 @@ func run() error {
 		if trip%2 == 1 {
 			dest = roomA
 		}
-		sim.Jump(commuter, dest, time.Duration(trip+1)*1500*time.Millisecond, 50*time.Millisecond)
+		if err := sim.Jump(commuter, dest, time.Duration(trip+1)*1500*time.Millisecond, 50*time.Millisecond); err != nil {
+			return err
+		}
 	}
 
 	if err := sim.RunFor(8 * time.Second); err != nil {

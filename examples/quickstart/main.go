@@ -35,7 +35,9 @@ func run() error {
 	printMeals(sim, 8)
 
 	fmt.Println("\nPhase 2: node 4 crashes; failure locality 2 keeps the damage local")
-	sim.Crash(4, sim.Now())
+	if err := sim.Crash(4, sim.Now()); err != nil {
+		return err
+	}
 	if err := sim.RunFor(3 * time.Second); err != nil {
 		return err
 	}

@@ -1,0 +1,176 @@
+// Package fleet executes independent simulation replicas on a bounded
+// worker pool. It is the engine behind the experiment harness: an
+// experiment declares its runs as Jobs (each fully self-contained — its
+// own world, scheduler and metrics — with a deterministic seed derived
+// from a base seed and a replica index), and a Pool sized to GOMAXPROCS
+// executes them on all cores. Because jobs share no mutable state and
+// results are stored by job index, the output is bit-for-bit identical
+// for any worker count.
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// Job is one independent unit of work: typically a whole simulation run
+// that returns a measurement value. Run must not touch state shared with
+// other jobs; everything it needs beyond the seed must be captured (or
+// rebuilt) inside the closure.
+type Job struct {
+	// Key names the result cell this job contributes to; replicas of
+	// the same measurement share a Key.
+	Key string
+	// Replica is the replica index under Key (0-based).
+	Replica int
+	// Seed is the effective random seed, normally Seed(base, Replica).
+	Seed uint64
+	// Run produces the replica's value. The context is cancelled when
+	// the pool fails fast or the caller aborts; long runs should check
+	// it at convenient boundaries.
+	Run func(ctx context.Context, seed uint64) (any, error)
+}
+
+// Seed derives the deterministic seed of replica r from a base seed
+// using a splitmix64 finalizer. Replica 0 maps to the base itself, so a
+// single-replica plan reproduces historic single-seed results exactly;
+// higher replicas get well-mixed distinct streams.
+func Seed(base uint64, replica int) uint64 {
+	if replica == 0 {
+		return base
+	}
+	z := base + 0x9e3779b97f4a7c15*uint64(replica)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	return z ^ z>>31
+}
+
+// Result pairs a job with its outcome. Execute returns results in job
+// order regardless of the order workers finished them.
+type Result struct {
+	Job   Job
+	Value any
+	Err   error
+}
+
+// ErrSkipped marks jobs that never ran because the pool failed fast or
+// the caller's context was cancelled first.
+var ErrSkipped = errors.New("fleet: job skipped after earlier failure")
+
+// Pool is a bounded worker pool. The zero value runs one job per
+// available CPU with a small dispatch queue.
+type Pool struct {
+	// Workers caps concurrent jobs; ≤0 selects GOMAXPROCS.
+	Workers int
+	// Queue bounds the dispatch channel; ≤0 selects 2×Workers. A small
+	// bound keeps memory flat when a plan holds thousands of jobs.
+	Queue int
+}
+
+// Execute runs every job and returns their results in job order. The
+// first job error (including a recovered panic) cancels the run: jobs
+// already executing finish, queued ones are marked ErrSkipped, and the
+// first error is returned alongside the partial results. A cancelled
+// parent context aborts the same way with ctx's error.
+func (p Pool) Execute(ctx context.Context, jobs []Job) ([]Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	queueLen := p.Queue
+	if queueLen <= 0 {
+		queueLen = 2 * workers
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make([]Result, len(jobs))
+	for i, j := range jobs {
+		results[i] = Result{Job: j, Err: ErrSkipped}
+	}
+
+	type indexed struct {
+		idx int
+		job Job
+	}
+	queue := make(chan indexed, queueLen)
+	go func() {
+		defer close(queue)
+		for i, j := range jobs {
+			select {
+			case queue <- indexed{idx: i, job: j}:
+			case <-runCtx.Done():
+				return
+			}
+		}
+	}()
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := range queue {
+				if runCtx.Err() != nil {
+					continue // leave the job marked skipped
+				}
+				v, err := runJob(runCtx, it.job)
+				results[it.idx] = Result{Job: it.job, Value: v, Err: err}
+				if err != nil {
+					fail(fmt.Errorf("%s (replica %d, seed %#x): %w",
+						it.job.Key, it.job.Replica, it.job.Seed, err))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		// The caller aborted; report that rather than a secondary
+		// failure some job produced while shutting down.
+		return results, err
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	return results, firstErr
+}
+
+// runJob executes one job with panic containment, so one diverging
+// replica fails its cell instead of killing the whole process.
+func runJob(ctx context.Context, j Job) (v any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v\n%s", r, debug.Stack())
+		}
+	}()
+	return j.Run(ctx, j.Seed)
+}

@@ -1,0 +1,179 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestSeedDerivation(t *testing.T) {
+	if Seed(42, 0) != 42 {
+		t.Fatalf("replica 0 must use the base seed, got %d", Seed(42, 0))
+	}
+	seen := map[uint64]int{}
+	for base := uint64(1); base <= 8; base++ {
+		for r := 0; r < 64; r++ {
+			s := Seed(base, r)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("seed collision: %d (replica %d of base %d and earlier entry %d)", s, r, base, prev)
+			}
+			seen[s] = r
+			if s != Seed(base, r) {
+				t.Fatal("seed derivation not deterministic")
+			}
+		}
+	}
+}
+
+func TestPoolOrderAndDeterminism(t *testing.T) {
+	jobs := make([]Job, 40)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job{
+			Key: fmt.Sprintf("cell%d", i%4), Replica: i / 4, Seed: Seed(7, i),
+			Run: func(_ context.Context, seed uint64) (any, error) {
+				return seed * 3, nil
+			},
+		}
+	}
+	run := func(workers int) []Result {
+		res, err := Pool{Workers: workers}.Execute(context.Background(), jobs)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res
+	}
+	serial := run(1)
+	wide := run(8)
+	for i := range serial {
+		if serial[i].Value != wide[i].Value || serial[i].Job.Key != wide[i].Job.Key {
+			t.Fatalf("result %d differs across worker counts: %+v vs %+v", i, serial[i], wide[i])
+		}
+		if want := jobs[i].Seed * 3; serial[i].Value != want {
+			t.Fatalf("result %d out of job order: got %v want %v", i, serial[i].Value, want)
+		}
+	}
+}
+
+func TestPoolPanicRecovery(t *testing.T) {
+	jobs := []Job{
+		{Key: "ok", Run: func(context.Context, uint64) (any, error) { return 1, nil }},
+		{Key: "boom", Replica: 2, Run: func(context.Context, uint64) (any, error) { panic("kaboom") }},
+	}
+	res, err := Pool{Workers: 1}.Execute(context.Background(), jobs)
+	if err == nil {
+		t.Fatal("panicking job did not surface an error")
+	}
+	for _, want := range []string{"boom", "replica 2", "kaboom"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q missing %q", err, want)
+		}
+	}
+	if res[0].Err != nil || res[0].Value != 1 {
+		t.Fatalf("healthy job corrupted: %+v", res[0])
+	}
+}
+
+func TestPoolFailFastSkipsPending(t *testing.T) {
+	var ran atomic.Int32
+	boom := errors.New("boom")
+	jobs := make([]Job, 64)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job{
+			Key: fmt.Sprint(i),
+			Run: func(context.Context, uint64) (any, error) {
+				ran.Add(1)
+				if i == 0 {
+					return nil, boom
+				}
+				return i, nil
+			},
+		}
+	}
+	res, err := Pool{Workers: 1, Queue: 1}.Execute(context.Background(), jobs)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if n := ran.Load(); n == int32(len(jobs)) {
+		t.Fatal("fail-fast did not skip any pending job")
+	}
+	skipped := 0
+	for _, r := range res[1:] {
+		if errors.Is(r.Err, ErrSkipped) {
+			skipped++
+		}
+	}
+	if skipped == 0 {
+		t.Fatal("no job marked ErrSkipped after failure")
+	}
+}
+
+func TestPoolContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	jobs := make([]Job, 32)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job{
+			Key: fmt.Sprint(i),
+			Run: func(context.Context, uint64) (any, error) {
+				if i == 2 {
+					cancel() // abort mid-run, as a caller deadline would
+				}
+				return i, nil
+			},
+		}
+	}
+	res, err := Pool{Workers: 1, Queue: 1}.Execute(ctx, jobs)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if !errors.Is(res[len(res)-1].Err, ErrSkipped) {
+		t.Fatalf("tail job should be skipped, got %v", res[len(res)-1].Err)
+	}
+}
+
+func TestPoolEmptyAndZeroValue(t *testing.T) {
+	res, err := Pool{}.Execute(context.Background(), nil)
+	if err != nil || len(res) != 0 {
+		t.Fatalf("empty plan: %v, %v", res, err)
+	}
+}
+
+func TestSampleStats(t *testing.T) {
+	s := Of(2, 4, 4, 4, 5, 5, 7, 9)
+	if got := s.Mean(); got != 5 {
+		t.Fatalf("mean = %v", got)
+	}
+	if got := s.StdDev(); math.Abs(got-2.138) > 0.001 {
+		t.Fatalf("stddev = %v", got)
+	}
+	if got := s.StdErr(); math.Abs(got-2.138/math.Sqrt(8)) > 0.001 {
+		t.Fatalf("stderr = %v", got)
+	}
+	if got := s.CI95(); math.Abs(got-1.96*s.StdErr()) > 1e-12 {
+		t.Fatalf("ci95 = %v", got)
+	}
+	if s.Min() != 2 || s.Max() != 9 || s.N() != 8 {
+		t.Fatalf("min/max/n = %v/%v/%v", s.Min(), s.Max(), s.N())
+	}
+	if got := s.Quantile(0.5); got != 4 {
+		t.Fatalf("median = %v", got)
+	}
+	if got := s.Quantile(1); got != 9 {
+		t.Fatalf("p100 = %v", got)
+	}
+	var empty Sample
+	if empty.Mean() != 0 || empty.StdErr() != 0 || empty.Quantile(0.95) != 0 || empty.Min() != 0 || empty.Max() != 0 {
+		t.Fatal("empty sample must summarise to zeros")
+	}
+	one := Of(3)
+	if one.StdDev() != 0 || one.CI95() != 0 {
+		t.Fatal("single sample has no spread")
+	}
+}

@@ -1,0 +1,113 @@
+package fleet
+
+import (
+	"math"
+	"sort"
+)
+
+// Sample accumulates the replica measurements behind one table cell and
+// summarises them as mean / percentile / confidence-interval columns.
+// Values are folded in insertion order, so aggregates are deterministic
+// whenever the caller adds replicas in replica order (which Execute's
+// job-ordered results guarantee).
+type Sample struct {
+	xs []float64
+}
+
+// Of builds a sample from the given values.
+func Of(xs ...float64) Sample {
+	s := Sample{}
+	for _, x := range xs {
+		s.Add(x)
+	}
+	return s
+}
+
+// Add folds one measurement into the sample.
+func (s *Sample) Add(x float64) { s.xs = append(s.xs, x) }
+
+// N reports how many measurements were added.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Mean returns the arithmetic mean (0 when empty).
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+// Min returns the smallest measurement (0 when empty).
+func (s *Sample) Min() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	m := s.xs[0]
+	for _, x := range s.xs[1:] {
+		m = math.Min(m, x)
+	}
+	return m
+}
+
+// Max returns the largest measurement (0 when empty).
+func (s *Sample) Max() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	m := s.xs[0]
+	for _, x := range s.xs[1:] {
+		m = math.Max(m, x)
+	}
+	return m
+}
+
+// Quantile returns the nearest-rank q-quantile (q in [0,1]; 0 when
+// empty), matching the convention of internal/metrics.
+func (s *Sample) Quantile(q float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), s.xs...)
+	sort.Float64s(sorted)
+	rank := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// StdDev returns the sample standard deviation (n−1 denominator; 0 when
+// fewer than two measurements).
+func (s *Sample) StdDev() float64 {
+	n := len(s.xs)
+	if n < 2 {
+		return 0
+	}
+	mean := s.Mean()
+	ss := 0.0
+	for _, x := range s.xs {
+		d := x - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// StdErr returns the standard error of the mean (0 when fewer than two
+// measurements).
+func (s *Sample) StdErr() float64 {
+	if len(s.xs) < 2 {
+		return 0
+	}
+	return s.StdDev() / math.Sqrt(float64(len(s.xs)))
+}
+
+// CI95 returns the half-width of the normal-approximation 95% confidence
+// interval of the mean: 1.96 standard errors.
+func (s *Sample) CI95() float64 { return 1.96 * s.StdErr() }

@@ -93,10 +93,10 @@ func (p *probeProto) State() core.State { return core.Thinking }
 
 // doorwayProbe runs n mutually-adjacent probes that repeatedly enter the
 // double doorway, hold it for hold time units, and exit; it returns the
-// traversal latency statistics.
-func doorwayProbe(n int, hold, horizon sim.Time) (metrics.Stats, error) {
+// traversal latency statistics. seed drives the link-delay draws.
+func doorwayProbe(n int, hold, horizon sim.Time, seed uint64) (metrics.Stats, error) {
 	cfg := manet.DefaultConfig()
-	cfg.Seed = uint64(n)
+	cfg.Seed = seed
 	cfg.Radius = 1.0
 	w := manet.NewWorld(cfg)
 	probes := make([]*probeProto, n)

@@ -1,0 +1,55 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+
+	"lme/internal/fleet"
+)
+
+// Engine executes experiments through one code path, serial or parallel:
+// it asks the experiment for its run-plan, executes the plan's jobs on a
+// fleet pool, and hands the results to the plan's reduction. The zero
+// value runs one replica per measurement on all cores.
+type Engine struct {
+	// Workers is the fleet pool width; ≤0 selects GOMAXPROCS.
+	Workers int
+	// Replicas is the number of independent seeded runs per
+	// measurement; ≤0 selects 1 (the historic single-seed behaviour).
+	Replicas int
+	// Context cancels in-flight execution when done; nil means none.
+	Context context.Context
+}
+
+// Run executes one experiment at the given quality and renders its
+// table. Replica seeds are derived deterministically, results are folded
+// in replica order, and jobs share no state, so the produced table is
+// identical for every worker count.
+func (g Engine) Run(e Experiment, q Quality) (*Table, error) {
+	if e.Plan == nil {
+		return nil, fmt.Errorf("harness: experiment %q has no plan", e.ID)
+	}
+	replicas := g.Replicas
+	if replicas < 1 {
+		replicas = 1
+	}
+	plan, err := e.Plan(q, replicas)
+	if err != nil {
+		return nil, fmt.Errorf("%s: plan: %w", e.ID, err)
+	}
+	if plan.Reduce == nil {
+		return nil, fmt.Errorf("harness: experiment %q plan has no reduction", e.ID)
+	}
+	results, err := fleet.Pool{Workers: g.Workers}.Execute(g.Context, plan.Jobs)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", e.ID, err)
+	}
+	tbl, err := plan.Reduce(newResultSet(results))
+	if err != nil {
+		return nil, fmt.Errorf("%s: reduce: %w", e.ID, err)
+	}
+	if tbl.Replicas == 0 {
+		tbl.Replicas = replicas
+	}
+	return tbl, nil
+}

@@ -6,6 +6,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
@@ -134,13 +135,43 @@ func (r *Run) Start() error {
 // scheduler error. The event budget guards against livelock; it scales
 // with the horizon and node count.
 func (r *Run) RunFor(d sim.Time) error {
+	return r.RunContext(context.Background(), d)
+}
+
+// RunContext is RunFor with cooperative cancellation: virtual time
+// advances in slices and the run aborts with ctx's error at the next
+// slice boundary once ctx is done. The event sequence is identical to an
+// unsliced run — slicing only adds cancellation points — so results stay
+// bit-for-bit deterministic per seed.
+func (r *Run) RunContext(ctx context.Context, d sim.Time) error {
 	if err := r.Start(); err != nil {
 		return err
 	}
 	sched := r.World.Scheduler()
-	budget := uint64(r.World.N()+1) * uint64(d/50+1_000_000)
-	if err := sched.RunUntil(sched.Now()+d, budget); err != nil {
-		return err
+	deadline := sched.Now() + d
+	remaining := uint64(r.World.N()+1) * uint64(d/50+1_000_000)
+	slice := d / 64
+	if slice < 1 {
+		slice = 1
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		next := sched.Now() + slice
+		if next > deadline {
+			next = deadline
+		}
+		before := sched.Processed()
+		if err := sched.RunUntil(next, remaining); err != nil {
+			return err
+		}
+		// RunUntil errors when it exhausts the budget, so on success
+		// strictly fewer events ran and the remainder stays positive.
+		remaining -= sched.Processed() - before
+		if sched.Now() >= deadline {
+			break
+		}
 	}
 	return r.Checker.Err()
 }

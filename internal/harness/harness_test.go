@@ -114,11 +114,11 @@ func TestGreedyFloodRounds(t *testing.T) {
 }
 
 func TestDoorwayProbeLatencyGrowsWithContention(t *testing.T) {
-	small, err := doorwayProbe(2, 10_000, 2_000_000)
+	small, err := doorwayProbe(2, 10_000, 2_000_000, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	large, err := doorwayProbe(8, 10_000, 2_000_000)
+	large, err := doorwayProbe(8, 10_000, 2_000_000, 8)
 	if err != nil {
 		t.Fatal(err)
 	}

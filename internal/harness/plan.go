@@ -1,0 +1,98 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+
+	"lme/internal/fleet"
+)
+
+// Plan is an experiment's declarative run-plan: the independent
+// simulation runs it needs (as fleet jobs) plus the reduction that folds
+// their results into the rendered Table. Declaring runs instead of
+// looping inline lets one engine execute every experiment — serially or
+// on all cores — without the experiment knowing which.
+type Plan struct {
+	Jobs []fleet.Job
+	// Reduce folds the completed jobs' values into the table. It runs
+	// on the caller's goroutine after every job finished.
+	Reduce func(rs *ResultSet) (*Table, error)
+}
+
+// NewPlan returns an empty plan.
+func NewPlan() *Plan { return &Plan{} }
+
+// Add schedules `replicas` independent runs of one measurement under
+// key. Replica r receives the deterministic seed fleet.Seed(baseSeed, r),
+// so replica 0 reproduces the historic single-seed result exactly and
+// results do not depend on worker count.
+func (p *Plan) Add(key string, baseSeed uint64, replicas int, run func(ctx context.Context, seed uint64) (any, error)) {
+	if replicas < 1 {
+		replicas = 1
+	}
+	for r := 0; r < replicas; r++ {
+		p.Jobs = append(p.Jobs, fleet.Job{
+			Key:     key,
+			Replica: r,
+			Seed:    fleet.Seed(baseSeed, r),
+			Run:     run,
+		})
+	}
+}
+
+// AddOne schedules a single unreplicated job — scripted scenarios and
+// pure computations whose outcome does not depend on a seed.
+func (p *Plan) AddOne(key string, run func(ctx context.Context) (any, error)) {
+	p.Jobs = append(p.Jobs, fleet.Job{
+		Key: key,
+		Run: func(ctx context.Context, _ uint64) (any, error) { return run(ctx) },
+	})
+}
+
+// ResultSet indexes completed job values by key, in replica order.
+type ResultSet struct {
+	byKey map[string][]any
+}
+
+func newResultSet(results []fleet.Result) *ResultSet {
+	rs := &ResultSet{byKey: make(map[string][]any)}
+	for _, r := range results {
+		rs.byKey[r.Job.Key] = append(rs.byKey[r.Job.Key], r.Value)
+	}
+	return rs
+}
+
+// Values returns every replica value recorded under key, in replica
+// order (nil when the key is unknown).
+func (rs *ResultSet) Values(key string) []any { return rs.byKey[key] }
+
+// First returns replica 0's value under key, or an error naming the
+// missing key — a reduce-function bug, not a run failure.
+func (rs *ResultSet) First(key string) (any, error) {
+	vs := rs.byKey[key]
+	if len(vs) == 0 {
+		return nil, fmt.Errorf("harness: plan produced no result for key %q", key)
+	}
+	return vs[0], nil
+}
+
+// Sample folds f over every replica value of key into a statistics
+// accumulator — the bridge from raw replica results to mean/stderr/CI
+// table cells.
+func (rs *ResultSet) Sample(key string, f func(v any) float64) fleet.Sample {
+	var s fleet.Sample
+	for _, v := range rs.byKey[key] {
+		s.Add(f(v))
+	}
+	return s
+}
+
+// SumInt folds f over every replica value of key and sums the results —
+// for violation and run counters that accumulate across replicas.
+func (rs *ResultSet) SumInt(key string, f func(v any) int) int {
+	total := 0
+	for _, v := range rs.byKey[key] {
+		total += f(v)
+	}
+	return total
+}

@@ -1,0 +1,50 @@
+package harness
+
+import (
+	"context"
+	"testing"
+
+	"lme/internal/core"
+	"lme/internal/manet"
+	"lme/internal/sim"
+	"lme/internal/workload"
+)
+
+// TestMoverEatsFromRecolorDoorwayEntry pins the fix for a stale-doorway
+// crash found by the fleet engine's derived replica seeds (E9 mobile
+// sweep, replica 1). A mover whose recolouring journey is interrupted by
+// successive link-ups can be handed its last fork while parked at the
+// AD^r *entry* and eat there (the Line 19 corner). ExitCS used to exit
+// only the fork doorways, so the pending AD^r entry survived, crossed
+// mid-way through the next (non-recolouring) journey and hijacked the
+// phase machine until finishRecolor hit "BeginEntry while behind" in the
+// fork doorway. ExitCS now exits/aborts all four doorways.
+func TestMoverEatsFromRecolorDoorwayEntry(t *testing.T) {
+	const seed = uint64(0xde7f33488454a0c) // fleet.Seed(82, 1)
+	n, horizon := 20, sim.Time(4_000_000)
+	radius := ConnectedRadius(n)
+	wl := workload.Config{EatTime: 4_000, ThinkMax: 6_000}
+	pts, err := GeometricPoints(n, radius, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Build(Spec{
+		Seed: seed, Points: pts, Radius: radius,
+		NewProtocol: factoryFor(algA1Greedy, pts, radius),
+		Workload:    wl,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	manet.Waypoint{Speed: 0.4, PauseMin: 50_000, PauseMax: 200_000, Until: horizon * 2 / 3}.
+		Attach(r.World, []core.NodeID{1, 6, 11, 16})
+	if err := r.RunContext(context.Background(), horizon); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Checker.Err(); err != nil {
+		t.Fatalf("mutual exclusion violated: %v", err)
+	}
+}

@@ -3,6 +3,8 @@ package harness
 import (
 	"fmt"
 	"strings"
+
+	"lme/internal/fleet"
 )
 
 // Table is a rendered experiment result: what cmd/lmebench prints and what
@@ -14,12 +16,75 @@ type Table struct {
 	Header []string   `json:"header"`
 	Rows   [][]string `json:"rows"`
 	Notes  []string   `json:"notes,omitempty"`
+
+	// Replicas is the number of independent seeded runs behind each
+	// measurement cell (1 = historic single-seed tables).
+	Replicas int `json:"replicas,omitempty"`
+	// CellStats carries the replica spread behind aggregated cells —
+	// the machine-readable counterpart of a rendered "1.23ms±0.04".
+	CellStats []CellStat `json:"cell_stats,omitempty"`
 }
 
-// AddRow appends a row, formatting every cell with %v.
+// CellStat is the replica statistics behind one table cell, addressed by
+// its 0-based row/column position.
+type CellStat struct {
+	Row      int     `json:"row"`
+	Col      int     `json:"col"`
+	Mean     float64 `json:"mean"`
+	StdErr   float64 `json:"stderr"`
+	CI95     float64 `json:"ci95"`
+	Replicas int     `json:"replicas"`
+}
+
+// Stat is a table cell backed by replica measurements: AddRow renders
+// its text like any other cell and additionally records the sample's
+// mean/stderr in the table's CellStats.
+type Stat struct {
+	Text   string
+	Sample fleet.Sample
+}
+
+func (s Stat) String() string { return s.Text }
+
+// MSStat renders a sample of virtual-time measurements (in µs) as a
+// millisecond cell, with a ±stderr suffix once replicated.
+func MSStat(s fleet.Sample) Stat {
+	text := fmt.Sprintf("%.2fms", s.Mean()/1000)
+	if s.N() > 1 {
+		text += fmt.Sprintf("±%.2f", s.StdErr()/1000)
+	}
+	return Stat{Text: text, Sample: s}
+}
+
+// NumStat renders a dimensionless sample with prec decimals, with a
+// ±stderr suffix once replicated.
+func NumStat(s fleet.Sample, prec int) Stat {
+	text := fmt.Sprintf("%.*f", prec, s.Mean())
+	if s.N() > 1 {
+		text += fmt.Sprintf("±%.*f", max(prec, 1), s.StdErr())
+	}
+	return Stat{Text: text, Sample: s}
+}
+
+// MaxStat renders a sample as its worst case (integer-valued), recording
+// the full spread in CellStats — for failure-locality radii, where the
+// paper's bound speaks about the maximum.
+func MaxStat(s fleet.Sample) Stat {
+	return Stat{Text: fmt.Sprintf("%.0f", s.Max()), Sample: s}
+}
+
+// AddRow appends a row, formatting every cell with %v. Stat cells also
+// record their replica statistics.
 func (t *Table) AddRow(cells ...any) {
 	row := make([]string, len(cells))
 	for i, c := range cells {
+		if st, ok := c.(Stat); ok {
+			t.CellStats = append(t.CellStats, CellStat{
+				Row: len(t.Rows), Col: i,
+				Mean: st.Sample.Mean(), StdErr: st.Sample.StdErr(),
+				CI95: st.Sample.CI95(), Replicas: st.Sample.N(),
+			})
+		}
 		row[i] = fmt.Sprint(c)
 	}
 	t.Rows = append(t.Rows, row)

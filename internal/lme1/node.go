@@ -272,9 +272,14 @@ func (n *Node) ExitCS() {
 	for _, j := range n.sortedSuspended() {
 		n.sendFork(j)
 	}
-	n.ph = phIdle
-	n.dws[sdf].Exit()
-	n.dws[adf].Exit()
+	// Line 9 exits the fork doorways. A node that ate from a doorway
+	// *entry* (the Line 19 corner in maybeEat) can still hold pending —
+	// or, after an interrupted recolouring journey, crossed — entries in
+	// the recolouring doorways; its colour is legal now, so those
+	// entries are moot and must not fire into a later journey. Exit or
+	// abort all four (a no-op for doorways it never entered).
+	n.viaRecolor = false
+	n.exitAllDoorways()
 }
 
 // OnMessage implements core.Protocol.

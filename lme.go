@@ -24,7 +24,9 @@
 package lme
 
 import (
+	"context"
 	"fmt"
+	"sort"
 	"time"
 
 	"lme/internal/baseline"
@@ -75,9 +77,80 @@ const (
 	GlobalToken Algorithm = "global-token"
 )
 
-// Algorithms lists every selectable algorithm.
+// algorithmEntry is one row of the algorithm registry: the single source
+// of truth tying a selectable name to its documentation line and node
+// constructor. Algorithms(), AlgorithmDoc, protocolFactory and the
+// lmesim -alg usage text all derive from this table.
+type algorithmEntry struct {
+	Name Algorithm
+	Doc  string
+	// New builds the per-node protocol factory for a concrete topology.
+	New func(topo Topology, recolorFirst bool) func(core.NodeID) core.Protocol
+}
+
+// algorithmRegistry lists the entries in presentation order (paper
+// algorithms first, then baselines).
+var algorithmRegistry = []algorithmEntry{
+	{Alg1Greedy, "paper Alg 1, greedy recolouring: FL n, RT O((n+δ³)δ)",
+		func(_ Topology, recolorFirst bool) func(core.NodeID) core.Protocol {
+			return func(core.NodeID) core.Protocol {
+				return lme1.New(lme1.Config{Variant: lme1.VariantGreedy, RecolorFirst: recolorFirst})
+			}
+		}},
+	{Alg1Linial, "paper Alg 1, Linial recolouring: FL max(log*n,4)+2, RT O((log*n+δ⁴)δ)",
+		func(topo Topology, recolorFirst bool) func(core.NodeID) core.Protocol {
+			n, delta := topo.size()
+			return func(core.NodeID) core.Protocol {
+				return lme1.New(lme1.Config{Variant: lme1.VariantLinial, N: n, Delta: delta, RecolorFirst: recolorFirst})
+			}
+		}},
+	{Alg1LinialReduce, "Alg 1, Linial recolouring plus colour reduction to δ+1",
+		func(topo Topology, recolorFirst bool) func(core.NodeID) core.Protocol {
+			n, delta := topo.size()
+			return func(core.NodeID) core.Protocol {
+				return lme1.New(lme1.Config{Variant: lme1.VariantLinialReduce, N: n, Delta: delta, RecolorFirst: recolorFirst})
+			}
+		}},
+	{Alg2, "paper Alg 2: FL 2 (optimal), RT O(n²) mobile / O(n) static",
+		func(Topology, bool) func(core.NodeID) core.Protocol {
+			return func(core.NodeID) core.Protocol { return lme2.New() }
+		}},
+	{ChandyMisra, "hygienic dining philosophers baseline: FL n",
+		func(Topology, bool) func(core.NodeID) core.Protocol {
+			return func(core.NodeID) core.Protocol { return baseline.NewChandyMisra() }
+		}},
+	{ChoySingh, "static doubly-doored baseline, pre-computed colouring: FL 4",
+		func(topo Topology, _ bool) func(core.NodeID) core.Protocol {
+			return baseline.NewChoySingh(topo.graph())
+		}},
+	{Alg2NoNotify, "Alg 2 without notifications (ablation): loses O(n) static RT",
+		func(Topology, bool) func(core.NodeID) core.Protocol {
+			return func(core.NodeID) core.Protocol { return baseline.NewNoNotify() }
+		}},
+	{GlobalToken, "Raymond tree-token GLOBAL mutual exclusion contrast; static only",
+		func(topo Topology, _ bool) func(core.NodeID) core.Protocol {
+			return baseline.NewGlobalToken(topo.graph())
+		}},
+}
+
+// Algorithms lists every selectable algorithm, in registry order.
 func Algorithms() []Algorithm {
-	return []Algorithm{Alg1Greedy, Alg1Linial, Alg1LinialReduce, Alg2, ChandyMisra, ChoySingh, Alg2NoNotify, GlobalToken}
+	names := make([]Algorithm, len(algorithmRegistry))
+	for i, e := range algorithmRegistry {
+		names[i] = e.Name
+	}
+	return names
+}
+
+// AlgorithmDoc returns the one-line description of an algorithm ("" when
+// unknown).
+func AlgorithmDoc(a Algorithm) string {
+	for _, e := range algorithmRegistry {
+		if e.Name == a {
+			return e.Doc
+		}
+	}
+	return ""
 }
 
 // Point is a position on the plane (unit square by convention).
@@ -88,6 +161,14 @@ type Point = graph.Point
 type Topology struct {
 	Points []Point
 	Radius float64
+}
+
+// graph materialises the induced unit-disk communication graph.
+func (t Topology) graph() *graph.Graph { return graph.UnitDisk(t.Points, t.Radius) }
+
+// size returns (n, δ) of the induced graph, with δ floored at 1.
+func (t Topology) size() (n, delta int) {
+	return len(t.Points), max(t.graph().MaxDegree(), 1)
 }
 
 // Line places n nodes on a line with unit-disk adjacency between
@@ -193,37 +274,53 @@ func NewSimulation(cfg Config) (*Simulation, error) {
 	return &Simulation{run: run, alg: cfg.Algorithm}, nil
 }
 
-// protocolFactory maps an Algorithm to its node constructor.
+// protocolFactory resolves an Algorithm through the registry; an unknown
+// name errors with the closest registered name as a suggestion.
 func protocolFactory(a Algorithm, topo Topology, recolorFirst bool) (func(core.NodeID) core.Protocol, error) {
-	n := len(topo.Points)
-	g := graph.UnitDisk(topo.Points, topo.Radius)
-	delta := max(g.MaxDegree(), 1)
-	switch a {
-	case Alg1Greedy:
-		return func(core.NodeID) core.Protocol {
-			return lme1.New(lme1.Config{Variant: lme1.VariantGreedy, RecolorFirst: recolorFirst})
-		}, nil
-	case Alg1Linial:
-		return func(core.NodeID) core.Protocol {
-			return lme1.New(lme1.Config{Variant: lme1.VariantLinial, N: n, Delta: delta, RecolorFirst: recolorFirst})
-		}, nil
-	case Alg1LinialReduce:
-		return func(core.NodeID) core.Protocol {
-			return lme1.New(lme1.Config{Variant: lme1.VariantLinialReduce, N: n, Delta: delta, RecolorFirst: recolorFirst})
-		}, nil
-	case Alg2:
-		return func(core.NodeID) core.Protocol { return lme2.New() }, nil
-	case ChandyMisra:
-		return func(core.NodeID) core.Protocol { return baseline.NewChandyMisra() }, nil
-	case ChoySingh:
-		return baseline.NewChoySingh(g), nil
-	case Alg2NoNotify:
-		return func(core.NodeID) core.Protocol { return baseline.NewNoNotify() }, nil
-	case GlobalToken:
-		return baseline.NewGlobalToken(g), nil
-	default:
-		return nil, fmt.Errorf("lme: unknown algorithm %q", a)
+	for _, e := range algorithmRegistry {
+		if e.Name == a {
+			return e.New(topo, recolorFirst), nil
+		}
 	}
+	if near := nearestAlgorithm(a); near != "" {
+		return nil, fmt.Errorf("lme: unknown algorithm %q (did you mean %q?)", a, near)
+	}
+	return nil, fmt.Errorf("lme: unknown algorithm %q (known: %v)", a, Algorithms())
+}
+
+// nearestAlgorithm returns the registered name closest to a by edit
+// distance, or "" when nothing is plausibly close.
+func nearestAlgorithm(a Algorithm) Algorithm {
+	best, bestDist := Algorithm(""), len(a)/2+2
+	names := Algorithms()
+	sort.Slice(names, func(i, j int) bool { return names[i] < names[j] }) // deterministic tie-break
+	for _, name := range names {
+		if d := editDistance(string(a), string(name)); d < bestDist {
+			best, bestDist = name, d
+		}
+	}
+	return best
+}
+
+// editDistance is the Levenshtein distance between two short names.
+func editDistance(a, b string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min(min(cur[j-1]+1, prev[j]+1), prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
 }
 
 // RunFor advances the simulation by d of virtual time, then reports any
@@ -232,30 +329,58 @@ func (s *Simulation) RunFor(d time.Duration) error {
 	return s.run.RunFor(sim.FromDuration(d))
 }
 
+// RunContext is RunFor with cooperative cancellation: the run aborts with
+// ctx's error at the next slice of virtual time once ctx is done. The
+// event sequence is identical to RunFor per seed.
+func (s *Simulation) RunContext(ctx context.Context, d time.Duration) error {
+	return s.run.RunContext(ctx, sim.FromDuration(d))
+}
+
 // Now returns the current virtual time.
 func (s *Simulation) Now() time.Duration {
 	return sim.ToDuration(s.run.World.Scheduler().Now())
 }
 
+// checkNodes validates node IDs against the world size.
+func (s *Simulation) checkNodes(ids ...int) error {
+	for _, id := range ids {
+		if id < 0 || id >= s.run.World.N() {
+			return fmt.Errorf("lme: no node %d (n=%d)", id, s.run.World.N())
+		}
+	}
+	return nil
+}
+
 // Crash fails node id at virtual time at (measured from the start of the
 // run). Crashed nodes silently stop, per the paper's model.
-func (s *Simulation) Crash(id int, at time.Duration) {
+func (s *Simulation) Crash(id int, at time.Duration) error {
+	if err := s.checkNodes(id); err != nil {
+		return err
+	}
 	s.run.World.CrashAt(core.NodeID(id), sim.FromDuration(at))
+	return nil
 }
 
 // Jump relocates node id at virtual time at; the node is flagged moving
 // for settle.
-func (s *Simulation) Jump(id int, dest Point, at, settle time.Duration) {
+func (s *Simulation) Jump(id int, dest Point, at, settle time.Duration) error {
+	if err := s.checkNodes(id); err != nil {
+		return err
+	}
 	s.run.World.JumpAt(core.NodeID(id), dest, sim.FromDuration(settle), sim.FromDuration(at))
+	return nil
 }
 
 // Roam attaches random-waypoint mobility (speed in plane units/second) to
-// the given nodes until the given virtual time.
-func (s *Simulation) Roam(ids []int, speed float64, until time.Duration) {
+// the given nodes until the given virtual time. It starts the simulation
+// (mobility draws from the run's random stream), so a failing protocol
+// initialisation surfaces here.
+func (s *Simulation) Roam(ids []int, speed float64, until time.Duration) error {
+	if err := s.checkNodes(ids...); err != nil {
+		return err
+	}
 	if err := s.run.Start(); err != nil {
-		// Start is idempotent and only fails on construction errors
-		// that NewSimulation already surfaced.
-		return
+		return err
 	}
 	nodeIDs := make([]core.NodeID, len(ids))
 	for i, id := range ids {
@@ -268,6 +393,7 @@ func (s *Simulation) Roam(ids []int, speed float64, until time.Duration) {
 		Until:    sim.FromDuration(until),
 	}
 	wp.Attach(s.run.World, nodeIDs)
+	return nil
 }
 
 // Results summarises a run.

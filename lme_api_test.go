@@ -1,0 +1,101 @@
+package lme_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"lme"
+)
+
+func mustSim(t *testing.T, n int) *lme.Simulation {
+	t.Helper()
+	sim, err := lme.NewSimulation(lme.Config{
+		Algorithm: lme.Alg2,
+		Topology:  lme.Line(n),
+		Seed:      7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim
+}
+
+func TestUnknownAlgorithmSuggestsNearest(t *testing.T) {
+	_, err := lme.NewSimulation(lme.Config{
+		Algorithm: "alg2-nonotifi", // one edit from alg2-nonotify
+		Topology:  lme.Line(4),
+	})
+	if err == nil {
+		t.Fatal("misspelled algorithm accepted")
+	}
+	if !strings.Contains(err.Error(), `did you mean "alg2-nonotify"`) {
+		t.Fatalf("error lacks suggestion: %v", err)
+	}
+	_, err = lme.NewSimulation(lme.Config{
+		Algorithm: "zzzzzzzzzzzzzzzzzzzz", // nothing close
+		Topology:  lme.Line(4),
+	})
+	if err == nil || !strings.Contains(err.Error(), "known:") {
+		t.Fatalf("implausible name should list known algorithms, got %v", err)
+	}
+}
+
+func TestAlgorithmDocCoversRegistry(t *testing.T) {
+	for _, a := range lme.Algorithms() {
+		if lme.AlgorithmDoc(a) == "" {
+			t.Errorf("algorithm %q has no doc line", a)
+		}
+	}
+	if lme.AlgorithmDoc("no-such-alg") != "" {
+		t.Error("unknown algorithm reported a doc line")
+	}
+}
+
+func TestMutationsRejectUnknownNodes(t *testing.T) {
+	sim := mustSim(t, 5)
+	if err := sim.Crash(5, time.Second); err == nil {
+		t.Error("Crash accepted out-of-range node")
+	}
+	if err := sim.Jump(-1, lme.Point{X: 0.5}, time.Second, 0); err == nil {
+		t.Error("Jump accepted negative node")
+	}
+	if err := sim.Roam([]int{0, 99}, 0.3, time.Second); err == nil {
+		t.Error("Roam accepted out-of-range node")
+	}
+	if err := sim.Roam([]int{0, 4}, 0.3, time.Second); err != nil {
+		t.Errorf("Roam rejected valid nodes: %v", err)
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	sim := mustSim(t, 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := sim.RunContext(ctx, 10*time.Second); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The run must be resumable after a cancelled slice.
+	if err := sim.RunContext(context.Background(), 100*time.Millisecond); err != nil {
+		t.Fatalf("resume after cancel: %v", err)
+	}
+	if sim.Results().TotalMeals == 0 {
+		t.Fatal("no meals after resumed run")
+	}
+}
+
+// TestRunContextMatchesRunFor pins that slicing for cancellation does not
+// change the event sequence: the same seed yields identical results.
+func TestRunContextMatchesRunFor(t *testing.T) {
+	a, b := mustSim(t, 8), mustSim(t, 8)
+	if err := a.RunFor(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.RunContext(context.Background(), 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if ra, rb := a.Results().String(), b.Results().String(); ra != rb {
+		t.Fatalf("RunContext diverged from RunFor:\n%s\n%s", ra, rb)
+	}
+}

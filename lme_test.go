@@ -82,7 +82,9 @@ func TestSimulationCrashAndFailureLocality(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sim.Crash(4, 500*time.Millisecond)
+	if err := sim.Crash(4, 500*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
 	if err := sim.RunFor(5 * time.Second); err != nil {
 		t.Fatal(err)
 	}
@@ -110,8 +112,12 @@ func TestSimulationMobility(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sim.Roam([]int{0, 5, 10}, 0.3, 3*time.Second)
-	sim.Jump(3, lme.Point{X: 0.9, Y: 0.9}, time.Second, 30*time.Millisecond)
+	if err := sim.Roam([]int{0, 5, 10}, 0.3, 3*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Jump(3, lme.Point{X: 0.9, Y: 0.9}, time.Second, 30*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
 	if err := sim.RunFor(6 * time.Second); err != nil {
 		t.Fatal(err)
 	}
