@@ -10,6 +10,8 @@
 //	lmebench -quick                 # fast pass (the configuration unit tests use)
 //	lmebench -quick -json           # machine-readable results for benchmark diffing
 //	lmebench -replicas 5 -parallel 8 # 5 seeded runs per cell on 8 workers
+//	lmebench -micro -json           # substrate microbenchmarks (BENCH_micro.json)
+//	lmebench -quick -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
@@ -20,10 +22,13 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/pprof"
 	"strings"
+	"testing"
 	"time"
 
 	"lme/internal/harness"
+	"lme/internal/microbench"
 )
 
 func main() {
@@ -58,15 +63,48 @@ type benchDoc struct {
 
 func run() error {
 	var (
-		expFlag  = flag.String("exp", "", "comma-separated experiment IDs (e.g. e1,e3); empty = all")
-		quick    = flag.Bool("quick", false, "reduced sweep sizes and horizons")
-		jsonOut  = flag.Bool("json", false, "emit results as a single JSON document instead of text tables")
-		parallel = flag.Int("parallel", 0, "worker count for the fleet pool; 0 = all cores")
-		replicas = flag.Int("replicas", 1, "independent seeded runs per measurement cell")
+		expFlag    = flag.String("exp", "", "comma-separated experiment IDs (e.g. e1,e3); empty = all")
+		quick      = flag.Bool("quick", false, "reduced sweep sizes and horizons")
+		jsonOut    = flag.Bool("json", false, "emit results as a single JSON document instead of text tables")
+		parallel   = flag.Int("parallel", 0, "worker count for the fleet pool; 0 = all cores")
+		replicas   = flag.Int("replicas", 1, "independent seeded runs per measurement cell")
+		micro      = flag.Bool("micro", false, "run the substrate microbenchmarks instead of the experiments")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 	if *replicas < 1 {
 		return fmt.Errorf("-replicas must be >= 1 (got %d)", *replicas)
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "lmebench: -memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "lmebench: -memprofile:", err)
+			}
+		}()
+	}
+
+	if *micro {
+		return runMicro(*jsonOut)
 	}
 
 	want := map[string]bool{}
@@ -126,6 +164,55 @@ func run() error {
 		return fmt.Errorf("no experiment matched %q", *expFlag)
 	}
 	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(doc)
+	}
+	return nil
+}
+
+// MicroSchema identifies the lmebench -micro -json layout; bump on
+// breaking changes.
+const MicroSchema = "lme/microbench/v1"
+
+// microResult is one microbenchmark's measurement, mirroring the columns
+// `go test -bench` prints.
+type microResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// microDoc is the lmebench -micro -json document (the layout of
+// BENCH_micro.json).
+type microDoc struct {
+	Schema  string        `json:"schema"`
+	Results []microResult `json:"results"`
+}
+
+// runMicro runs the substrate microbenchmarks of internal/microbench via
+// testing.Benchmark — the same bodies `go test -bench` runs in
+// internal/sim and internal/manet — and reports ns/op and allocs/op.
+func runMicro(jsonOut bool) error {
+	doc := microDoc{Schema: MicroSchema, Results: []microResult{}}
+	for _, bench := range microbench.All() {
+		r := testing.Benchmark(bench.Fn)
+		res := microResult{
+			Name:        bench.Name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		doc.Results = append(doc.Results, res)
+		if !jsonOut {
+			fmt.Printf("%-18s %12d ops %12.1f ns/op %8d B/op %6d allocs/op\n",
+				res.Name, res.Iterations, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+		}
+	}
+	if jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		return enc.Encode(doc)

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"slices"
+	"testing"
+)
+
+func TestInsertID(t *testing.T) {
+	var s []NodeID
+	for _, id := range []NodeID{5, 1, 9, 5, 3, 0, 9} {
+		s = InsertID(s, id)
+	}
+	want := []NodeID{0, 1, 3, 5, 9}
+	if !slices.Equal(s, want) {
+		t.Fatalf("InsertID built %v, want %v (sorted, no duplicates)", s, want)
+	}
+}
+
+func TestRemoveID(t *testing.T) {
+	s := []NodeID{0, 1, 3, 5, 9}
+	s = RemoveID(s, 3)
+	s = RemoveID(s, 3) // absent: no-op
+	s = RemoveID(s, 0) // first element
+	s = RemoveID(s, 9) // last element
+	want := []NodeID{1, 5}
+	if !slices.Equal(s, want) {
+		t.Fatalf("RemoveID left %v, want %v", s, want)
+	}
+	if s = RemoveID(s[:0], 1); len(s) != 0 {
+		t.Fatalf("RemoveID on empty slice returned %v", s)
+	}
+}
+
+func TestInsertRemoveIDRoundTrip(t *testing.T) {
+	var s []NodeID
+	for id := NodeID(31); id >= 0; id-- {
+		s = InsertID(s, id)
+	}
+	if !slices.IsSorted(s) || len(s) != 32 {
+		t.Fatalf("descending inserts gave %v", s)
+	}
+	for id := NodeID(0); id < 32; id += 2 {
+		s = RemoveID(s, id)
+	}
+	if len(s) != 16 || !slices.IsSorted(s) {
+		t.Fatalf("after removing evens: %v", s)
+	}
+	for _, id := range s {
+		if id%2 == 0 {
+			t.Fatalf("even id %d survived removal: %v", id, s)
+		}
+	}
+}

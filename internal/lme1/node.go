@@ -115,6 +115,11 @@ type Node struct {
 	// is exactly the current neighbour set N.
 	at map[core.NodeID]bool
 
+	// nbrs mirrors the key set of at as a sorted ID slice, maintained
+	// incrementally on link up/down so deterministic message emission
+	// never sorts a fresh map snapshot.
+	nbrs []core.NodeID
+
 	// suspended is S: neighbours with suspended fork requests.
 	suspended map[core.NodeID]bool
 
@@ -167,6 +172,7 @@ func (n *Node) Init(env core.Env) {
 	n.myColor = n.cfg.InitialColor(me)
 	n.needsRecolor = n.cfg.RecolorFirst
 	neighbors := env.Neighbors()
+	n.nbrs = append(n.nbrs[:0], neighbors...) // copy: Neighbors is a view
 	for _, j := range neighbors {
 		n.at[j] = me < j
 		n.colors[j] = n.cfg.InitialColor(j)
@@ -429,6 +435,7 @@ func (n *Node) OnLinkUp(peer core.NodeID, iAmMoving bool) {
 
 // onLinkUpStatic is Lines 44–46.
 func (n *Node) onLinkUpStatic(j core.NodeID) {
+	n.nbrs = core.InsertID(n.nbrs, j)
 	n.at[j] = true
 	delete(n.colors, j) // ⊥ until the newcomer announces its colour
 	var pos [numDoorways]doorway.Pos
@@ -444,6 +451,7 @@ func (n *Node) onLinkUpStatic(j core.NodeID) {
 
 // onLinkUpMoving is Lines 47–55.
 func (n *Node) onLinkUpMoving(j core.NodeID) {
+	n.nbrs = core.InsertID(n.nbrs, j)
 	n.at[j] = false
 	delete(n.colors, j)
 	if n.collecting() {
@@ -481,6 +489,7 @@ func (n *Node) OnLinkDown(j core.NodeID) {
 	hadFork := n.at[j]
 	cj, known := n.colors[j]
 	wasLow := known && cj < n.myColor
+	n.nbrs = core.RemoveID(n.nbrs, j)
 	delete(n.at, j)
 	delete(n.colors, j)
 	delete(n.suspended, j)
@@ -641,14 +650,11 @@ func (n *Node) setState(s core.State) {
 }
 
 // sortedNeighbors returns the key set of at (= N) in ID order, for
-// deterministic message emission.
+// deterministic message emission. The returned slice is the node's
+// incrementally maintained adjacency cache: a read-only view, valid until
+// the next link change.
 func (n *Node) sortedNeighbors() []core.NodeID {
-	out := make([]core.NodeID, 0, len(n.at))
-	for j := range n.at {
-		out = append(out, j)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return n.nbrs
 }
 
 func (n *Node) sortedSuspended() []core.NodeID {
@@ -670,7 +676,7 @@ func (n *Node) emitDoorway(d dwIndex, cross bool) {
 	if cross {
 		action = "cross"
 	}
-	n.emit(trace.Event{Kind: trace.KindDoorway, New: action, Detail: d.String()})
+	n.emit(trace.Event{Kind: trace.KindDoorway, Peer: trace.NoNode, New: action, Detail: d.String()})
 }
 
 // tracef publishes a free-form protocol diagnostic on the trace bus.
@@ -678,5 +684,5 @@ func (n *Node) tracef(format string, args ...any) {
 	if n.emit == nil {
 		return
 	}
-	n.emit(trace.Event{Kind: trace.KindNote, Detail: fmt.Sprintf(format, args...)})
+	n.emit(trace.Event{Kind: trace.KindNote, Peer: trace.NoNode, Detail: fmt.Sprintf(format, args...)})
 }

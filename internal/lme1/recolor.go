@@ -296,7 +296,7 @@ func (n *Node) finishRecolor(ret int) {
 	n.myColor = -ret - 1
 	n.needsRecolor = false
 	if n.emit != nil {
-		n.emit(trace.Event{Kind: trace.KindRecolor, Detail: fmt.Sprint(n.myColor)})
+		n.emit(trace.Event{Kind: trace.KindRecolor, Peer: trace.NoNode, Detail: fmt.Sprint(n.myColor)})
 	}
 	n.env.Broadcast(msgUpdateColor{Color: n.myColor})
 	n.ph = phEnterADf

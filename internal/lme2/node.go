@@ -71,6 +71,11 @@ type Node struct {
 	// at[j] — this node holds the fork shared with j. Key set = N.
 	at map[core.NodeID]bool
 
+	// nbrs mirrors the key set of at as a sorted ID slice, maintained
+	// incrementally on link up/down so deterministic message emission
+	// never sorts a fresh map snapshot.
+	nbrs []core.NodeID
+
 	// suspended is S.
 	suspended map[core.NodeID]bool
 }
@@ -101,7 +106,8 @@ func (n *Node) Init(env core.Env) {
 		n.emit = em.Emit
 	}
 	me := env.ID()
-	for _, j := range env.Neighbors() {
+	n.nbrs = append(n.nbrs[:0], env.Neighbors()...) // copy: Neighbors is a view
+	for _, j := range n.nbrs {
 		n.higher[j] = me < j
 		n.at[j] = me < j
 	}
@@ -241,6 +247,7 @@ func (n *Node) onSwitch(j core.NodeID) {
 
 // OnLinkUp implements core.Protocol: Algorithm 7.
 func (n *Node) OnLinkUp(peer core.NodeID, iAmMoving bool) {
+	n.nbrs = core.InsertID(n.nbrs, peer)
 	if iAmMoving {
 		n.onLinkUpMoving(peer)
 	} else {
@@ -280,6 +287,7 @@ func (n *Node) onLinkUpMoving(j core.NodeID) {
 // OnLinkDown implements core.Protocol: Lines 47–48 plus fork destruction
 // and the progress re-evaluation the departure may enable.
 func (n *Node) OnLinkDown(j core.NodeID) {
+	n.nbrs = core.RemoveID(n.nbrs, j)
 	delete(n.at, j)
 	delete(n.higher, j)
 	delete(n.suspended, j)
@@ -364,13 +372,11 @@ func (n *Node) setState(s core.State) {
 	n.env.SetState(s)
 }
 
+// sortedNeighbors returns the key set of at (= N) in ID order: the node's
+// incrementally maintained adjacency cache, a read-only view valid until
+// the next link change.
 func (n *Node) sortedNeighbors() []core.NodeID {
-	out := make([]core.NodeID, 0, len(n.at))
-	for j := range n.at {
-		out = append(out, j)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return n.nbrs
 }
 
 func (n *Node) sortedSuspended() []core.NodeID {
@@ -387,5 +393,5 @@ func (n *Node) tracef(format string, args ...any) {
 	if n.emit == nil {
 		return
 	}
-	n.emit(trace.Event{Kind: trace.KindNote, Detail: fmt.Sprintf(format, args...)})
+	n.emit(trace.Event{Kind: trace.KindNote, Peer: trace.NoNode, Detail: fmt.Sprintf(format, args...)})
 }

@@ -1,0 +1,11 @@
+package manet_test
+
+import (
+	"testing"
+
+	"lme/internal/microbench"
+)
+
+func BenchmarkMobilitySweep(b *testing.B)   { microbench.MobilitySweep(b) }
+func BenchmarkBroadcastFanout(b *testing.B) { microbench.BroadcastFanout(b) }
+func BenchmarkNeighborsView(b *testing.B)   { microbench.NeighborsView(b) }

@@ -1,0 +1,140 @@
+package manet
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"lme/internal/core"
+	"lme/internal/graph"
+	"lme/internal/sim"
+)
+
+// chatter is a protocol that turns link churn into message traffic, so the
+// differential runs exercise the send/deliver/drop paths (FIFO floors,
+// link epochs, pooled deliveries) and not just link maintenance: every
+// link-up sends a greeting, every greeting is echoed once.
+type chatter struct {
+	env core.Env
+}
+
+type msgHello struct{}
+type msgEcho struct{}
+
+func (c *chatter) Init(env core.Env) { c.env = env }
+func (c *chatter) OnMessage(from core.NodeID, msg core.Message) {
+	if _, ok := msg.(msgHello); ok {
+		c.env.Send(from, msgEcho{})
+	}
+}
+func (c *chatter) OnLinkUp(peer core.NodeID, iAmMoving bool) {
+	c.env.Send(peer, msgHello{})
+}
+func (c *chatter) OnLinkDown(core.NodeID) {}
+func (c *chatter) BecomeHungry()          {}
+func (c *chatter) ExitCS()                {}
+func (c *chatter) State() core.State      { return core.Thinking }
+
+// differentialTrace runs a randomized mobility scenario — waypoint movers,
+// a scripted jump, crashes with messages mid-flight — and returns the full
+// JSONL event stream. With brute set, link maintenance uses the all-pairs
+// reference scan instead of the spatial hash grid.
+func differentialTrace(t *testing.T, seed uint64, brute bool) []byte {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Seed = seed
+	cfg.Radius = 0.16
+	w := NewWorld(cfg)
+	w.bruteLinks = brute
+	var buf bytes.Buffer
+	w.Bus().SetSink(&buf)
+
+	pos := sim.NewScheduler(seed ^ 0xabcdef).Rand()
+	const n = 40
+	for i := 0; i < n; i++ {
+		id := w.AddNode(graph.Point{X: pos.Float64(), Y: pos.Float64()})
+		w.SetProtocol(id, &chatter{})
+	}
+	if err := w.Start(); err != nil {
+		t.Fatal(err)
+	}
+	movers := []core.NodeID{2, 9, 17, 25, 33}
+	Waypoint{Speed: 0.6, PauseMin: 2_000, PauseMax: 25_000}.Attach(w, movers)
+	// A teleport exercises the Jump path's index update, and crashes land
+	// while movers are mid-trip with greetings in flight.
+	w.JumpAt(11, graph.Point{X: 0.05, Y: 0.05}, 30_000, 120_000)
+	w.CrashAt(9, 150_000)
+	w.CrashAt(11, 260_000)
+
+	if err := w.Scheduler().RunUntil(600_000, 2_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Bus().SinkErr(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestGridMatchesBruteForce is the differential oracle for the spatial
+// index: across several seeds, grid-indexed and brute-force link
+// maintenance must produce byte-identical trace streams — same link
+// transitions, same order, same message fates.
+func TestGridMatchesBruteForce(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 42, 1337} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			ref := differentialTrace(t, seed, true)
+			got := differentialTrace(t, seed, false)
+			if len(ref) == 0 {
+				t.Fatal("reference run produced an empty trace")
+			}
+			if !bytes.Equal(ref, got) {
+				line := 1
+				for i := range ref {
+					if i >= len(got) || ref[i] != got[i] {
+						break
+					}
+					if ref[i] == '\n' {
+						line++
+					}
+				}
+				t.Fatalf("grid and brute-force traces diverge at line %d (ref %d bytes, got %d bytes)",
+					line, len(ref), len(got))
+			}
+		})
+	}
+}
+
+// TestGridStartAdjacency cross-checks the grid-built initial topology
+// against the quadratic reference on clustered positions that stress cell
+// boundaries.
+func TestGridStartAdjacency(t *testing.T) {
+	build := func(brute bool) *World {
+		cfg := DefaultConfig()
+		cfg.Radius = 0.2
+		w := NewWorld(cfg)
+		w.bruteLinks = brute
+		pos := sim.NewScheduler(5).Rand()
+		for i := 0; i < 60; i++ {
+			// Half the nodes hug cell corners, half are uniform.
+			var p graph.Point
+			if i%2 == 0 {
+				p = graph.Point{X: 0.2 * float64(i%5), Y: 0.2 * float64(i%6)}
+			} else {
+				p = graph.Point{X: pos.Float64(), Y: pos.Float64()}
+			}
+			id := w.AddNode(p)
+			w.SetProtocol(id, &chatter{})
+		}
+		if err := w.Start(); err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	ref, got := build(true), build(false)
+	for id := 0; id < ref.N(); id++ {
+		a, b := ref.Neighbors(core.NodeID(id)), got.Neighbors(core.NodeID(id))
+		if fmt.Sprint(a) != fmt.Sprint(b) {
+			t.Fatalf("node %d adjacency differs: brute %v, grid %v", id, a, b)
+		}
+	}
+}

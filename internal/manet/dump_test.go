@@ -1,0 +1,23 @@
+package manet_test
+
+import (
+	"os"
+	"testing"
+)
+
+// TestDumpGoldenTrace writes the golden scenario's JSONL stream to the
+// file named by LME_DUMP (skipped otherwise) — a debugging aid for
+// diffing event streams across substrate versions when
+// TestGoldenTraceHash reports a mismatch.
+func TestDumpGoldenTrace(t *testing.T) {
+	path := os.Getenv("LME_DUMP")
+	if path == "" {
+		t.Skip("LME_DUMP not set")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	runGoldenScenario(t, f)
+}

@@ -1,0 +1,99 @@
+package manet_test
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"io"
+	"testing"
+
+	"lme/internal/core"
+	"lme/internal/graph"
+	"lme/internal/lme1"
+	"lme/internal/manet"
+	"lme/internal/sim"
+)
+
+// goldenTraceHash is the SHA-256 of the full JSONL event stream of the
+// scenario below, recorded on the pre-optimization substrate (container
+// heap, brute-force link scans, per-call sorted-map adjacency). The
+// substrate optimizations must preserve it bit for bit: same seed, same
+// trace. Regenerate deliberately (and only with a changelog entry) by
+// running this test with -run TestGoldenTraceHash -v after an intentional
+// semantic change; the failure message prints the new hash.
+const goldenTraceHash = "c83e378c6f7035ce05d84e6a37e334d522423037d30d49bc07894fcb26e1299f"
+
+// runGoldenScenario builds and runs a fixed mid-size scenario that
+// exercises every substrate path: initial topology, waypoint mobility
+// with link churn, protocol messaging (lme1 doorways, forks,
+// recolouring), a mid-flight crash, and a hungry/exit workload. The JSONL
+// encoding of every published event goes to sink (a hash for the golden
+// test, a file for TestDumpGoldenTrace).
+func runGoldenScenario(t *testing.T, sink io.Writer) {
+	t.Helper()
+	cfg := manet.DefaultConfig()
+	cfg.Seed = 2026
+	cfg.Radius = 0.28
+	w := manet.NewWorld(cfg)
+	w.Bus().SetSink(sink)
+
+	pos := sim.NewScheduler(0xfeed).Rand()
+	const n = 14
+	for i := 0; i < n; i++ {
+		id := w.AddNode(graph.Point{X: pos.Float64(), Y: pos.Float64()})
+		w.SetProtocol(id, lme1.New(lme1.Config{Variant: lme1.VariantGreedy}))
+	}
+	if err := w.Start(); err != nil {
+		t.Fatal(err)
+	}
+	manet.Waypoint{Speed: 0.35, PauseMin: 5_000, PauseMax: 40_000}.
+		Attach(w, []core.NodeID{1, 4, 7})
+	w.CrashAt(5, 600_000)
+
+	// Workload: every 50ms, thinking nodes request the critical section
+	// and eating nodes leave it.
+	var cycle func()
+	cycle = func() {
+		for id := 0; id < n; id++ {
+			if w.Crashed(core.NodeID(id)) {
+				continue
+			}
+			p := w.Protocol(core.NodeID(id))
+			switch p.State() {
+			case core.Thinking:
+				p.BecomeHungry()
+			case core.Eating:
+				p.ExitCS()
+			}
+		}
+		w.Scheduler().After(50_000, cycle)
+	}
+	w.Scheduler().At(10_000, cycle)
+
+	if err := w.Scheduler().RunUntil(1_500_000, 5_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Bus().SinkErr(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// goldenScenario returns the SHA-256 of the scenario's event stream.
+func goldenScenario(t *testing.T) string {
+	t.Helper()
+	h := sha256.New()
+	runGoldenScenario(t, h)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TestGoldenTraceHash pins the full event sequence of a fixed
+// seed/scenario: the determinism regression guarding the scheduler and
+// link-index swaps. A mismatch means same-seed runs no longer reproduce
+// the pre-optimization trace.
+func TestGoldenTraceHash(t *testing.T) {
+	got := goldenScenario(t)
+	if got != goldenTraceHash {
+		t.Fatalf("golden trace hash changed:\n got  %s\n want %s\n"+
+			"the substrate no longer reproduces the recorded event stream bit for bit",
+			got, goldenTraceHash)
+	}
+}

@@ -1,0 +1,76 @@
+package manet
+
+import (
+	"math"
+
+	"lme/internal/core"
+	"lme/internal/graph"
+)
+
+// grid is a uniform spatial hash over node positions with cell size equal
+// to the radio range, so every node within Radius of a point lies in the
+// 3×3 block of cells around it. It turns the initial O(n²) all-pairs link
+// scan and the O(n) per-mover-tick refresh into O(n·k) and O(k) for local
+// density k. Cell membership is maintained incrementally as nodes move;
+// candidate order never matters to callers, who sort before acting, so
+// within-cell order is arbitrary.
+type grid struct {
+	inv   float64 // 1 / cell size
+	cells map[int64][]core.NodeID
+}
+
+// newGrid builds an empty grid with the given cell size. A non-positive
+// size (a world with Radius 0 links only coincident nodes) falls back to
+// unit cells, which still over-approximates the empty neighbourhood.
+func newGrid(cellSize float64) grid {
+	if cellSize <= 0 {
+		cellSize = 1
+	}
+	return grid{inv: 1 / cellSize, cells: make(map[int64][]core.NodeID)}
+}
+
+// cellKey packs the 2-D cell coordinates of p into one map key.
+func (g *grid) cellKey(p graph.Point) int64 {
+	cx := int32(math.Floor(p.X * g.inv))
+	cy := int32(math.Floor(p.Y * g.inv))
+	return int64(cx)<<32 | int64(uint32(cy))
+}
+
+// insert records id at position p.
+func (g *grid) insert(id core.NodeID, p graph.Point) {
+	k := g.cellKey(p)
+	g.cells[k] = append(g.cells[k], id)
+}
+
+// move re-files id from position old to position new; a within-cell move
+// is free.
+func (g *grid) move(id core.NodeID, oldPos, newPos graph.Point) {
+	from, to := g.cellKey(oldPos), g.cellKey(newPos)
+	if from == to {
+		return
+	}
+	cell := g.cells[from]
+	for i, v := range cell {
+		if v == id {
+			cell[i] = cell[len(cell)-1]
+			g.cells[from] = cell[:len(cell)-1]
+			break
+		}
+	}
+	g.cells[to] = append(g.cells[to], id)
+}
+
+// appendNearby appends to out every node filed in the 3×3 cell block
+// around p (a superset of the nodes within one cell size of p, possibly
+// including the querying node itself) and returns the extended slice.
+func (g *grid) appendNearby(p graph.Point, out []core.NodeID) []core.NodeID {
+	cx := int32(math.Floor(p.X * g.inv))
+	cy := int32(math.Floor(p.Y * g.inv))
+	for dx := int32(-1); dx <= 1; dx++ {
+		for dy := int32(-1); dy <= 1; dy++ {
+			k := int64(cx+dx)<<32 | int64(uint32(cy+dy))
+			out = append(out, g.cells[k]...)
+		}
+	}
+	return out
+}

@@ -40,7 +40,7 @@ func (w *World) Jump(id core.NodeID, dest graph.Point, settle sim.Time) {
 	w.setMoving(n, true)
 	n.moveID++
 	moveID := n.moveID
-	n.pos = dest
+	w.relocate(n, dest)
 	w.refreshLinks(id)
 	w.sched.After(settle, func() {
 		if n.moveID != moveID || n.crashed {
@@ -55,8 +55,35 @@ func (w *World) JumpAt(id core.NodeID, dest graph.Point, settle, t sim.Time) {
 	w.sched.At(t, func() { w.Jump(id, dest, settle) })
 }
 
+// moveTicker is one pooled movement-tick record: the sim.Runner the
+// movement engine schedules instead of a fresh closure per tick. A node
+// can have several ticks in flight after a superseding MoveTo, so each
+// scheduled tick gets its own record (carrying the moveID that validates
+// it) and returns to the pool after firing.
+type moveTicker struct {
+	w      *World
+	n      *node
+	moveID uint64
+}
+
+// Run implements sim.Runner.
+func (t *moveTicker) Run() {
+	w := t.w
+	w.moveTick(t.n, t.moveID)
+	t.n = nil
+	w.freeTickers = append(w.freeTickers, t)
+}
+
 func (w *World) scheduleTick(n *node, moveID uint64) {
-	w.sched.After(w.cfg.TickInterval, func() { w.moveTick(n, moveID) })
+	var t *moveTicker
+	if k := len(w.freeTickers); k > 0 {
+		t = w.freeTickers[k-1]
+		w.freeTickers = w.freeTickers[:k-1]
+	} else {
+		t = new(moveTicker)
+	}
+	*t = moveTicker{w: w, n: n, moveID: moveID}
+	w.sched.AtRunner(w.sched.Now()+w.cfg.TickInterval, t)
 }
 
 func (w *World) moveTick(n *node, moveID uint64) {
@@ -67,13 +94,15 @@ func (w *World) moveTick(n *node, moveID uint64) {
 	dx, dy := n.target.X-n.pos.X, n.target.Y-n.pos.Y
 	dist := math.Hypot(dx, dy)
 	if dist <= step {
-		n.pos = n.target
+		w.relocate(n, n.target)
 		w.setMoving(n, false)
 		w.refreshLinks(n.id)
 		return
 	}
-	n.pos.X += dx / dist * step
-	n.pos.Y += dy / dist * step
+	w.relocate(n, graph.Point{
+		X: n.pos.X + dx/dist*step,
+		Y: n.pos.Y + dy/dist*step,
+	})
 	w.refreshLinks(n.id)
 	w.scheduleTick(n, moveID)
 }

@@ -5,11 +5,21 @@
 // indications with the paper's static/moving symmetry-breaking bias, crash
 // failures, and the dispatch loop that drives each node's Protocol one
 // atomic event at a time.
+//
+// The transport and link-maintenance layer is allocation-lean: adjacency
+// is a per-node sorted ID slice updated incrementally on link up/down
+// (Neighbors and Broadcast never allocate), per-directed-link FIFO floors
+// and link epochs live in dense per-node slices indexed by peer, in-flight
+// messages are pooled sim.Runner records instead of per-send closures, and
+// link maintenance queries a uniform spatial hash (internal grid, cell
+// size = Radius) instead of scanning all n nodes. None of this changes
+// observable behaviour: same seed, bit-identical event trace (pinned by
+// TestGoldenTraceHash and the grid-vs-brute differential test).
 package manet
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"lme/internal/core"
 	"lme/internal/graph"
@@ -84,15 +94,38 @@ type node struct {
 	moving  bool
 	crashed bool
 
-	neighbors map[core.NodeID]bool
+	// nbrs is the current neighbour set as an incrementally maintained
+	// sorted ID slice; adj is the dense O(1) membership index. Both are
+	// allocated at Start, when n is known.
+	nbrs []core.NodeID
+	adj  []bool
 
-	// lastDelivery enforces per-directed-link FIFO delivery.
-	lastDelivery map[core.NodeID]sim.Time
+	// linkEpoch[p] counts incarnations of the link to p; a message whose
+	// link epoch changed before delivery is destroyed with the link. The
+	// two endpoints' counters are incremented together and always agree.
+	linkEpoch []uint64
+
+	// lastDelivery[p] enforces per-directed-link FIFO delivery (0 = no
+	// delivery pending on this incarnation).
+	lastDelivery []sim.Time
 
 	// movement target; valid while moving.
 	target graph.Point
 	speed  float64 // plane units per second
 	moveID uint64  // invalidates stale movement ticks
+}
+
+// insertNeighbor adds j to the sorted neighbour slice and membership index.
+func (n *node) insertNeighbor(j core.NodeID) {
+	n.nbrs = core.InsertID(n.nbrs, j)
+	n.adj[j] = true
+}
+
+// removeNeighbor deletes j from the sorted neighbour slice and membership
+// index.
+func (n *node) removeNeighbor(j core.NodeID) {
+	n.nbrs = core.RemoveID(n.nbrs, j)
+	n.adj[j] = false
 }
 
 // World is the simulated MANET. It is single-threaded: all mutation happens
@@ -102,9 +135,17 @@ type World struct {
 	sched *sim.Scheduler
 	nodes []*node
 
-	// epoch counts link incarnations per unordered pair; a message whose
-	// link epoch changed before delivery is destroyed with the link.
-	epoch map[[2]core.NodeID]uint64
+	// grid is the spatial index link maintenance queries; scratch is its
+	// reusable candidate buffer. bruteLinks disables the index in favour
+	// of the all-pairs reference scan (the differential tests' oracle).
+	grid       grid
+	scratch    []core.NodeID
+	bruteLinks bool
+
+	// freeDeliveries and freeTickers pool the reusable in-flight message
+	// and movement-tick records of the closure-free timer paths.
+	freeDeliveries []*delivery
+	freeTickers    []*moveTicker
 
 	stateListeners []core.Listener
 	linkListeners  []LinkListener
@@ -141,7 +182,6 @@ func NewWorld(cfg Config) *World {
 	return &World{
 		cfg:   cfg,
 		sched: sim.NewScheduler(cfg.Seed),
-		epoch: make(map[[2]core.NodeID]uint64),
 		bus:   trace.NewBus(cfg.TraceRing),
 		namer: trace.NewTypeNamer(),
 	}
@@ -168,11 +208,9 @@ func (w *World) AddNode(pos graph.Point) core.NodeID {
 	}
 	id := core.NodeID(len(w.nodes))
 	w.nodes = append(w.nodes, &node{
-		id:           id,
-		pos:          pos,
-		state:        core.Thinking,
-		neighbors:    make(map[core.NodeID]bool),
-		lastDelivery: make(map[core.NodeID]sim.Time),
+		id:    id,
+		pos:   pos,
+		state: core.Thinking,
 	})
 	return id
 }
@@ -229,6 +267,21 @@ func (w *World) emit(e trace.Event) {
 	w.bus.Publish(e)
 }
 
+// relocate moves a node to p, keeping the spatial index in sync.
+func (w *World) relocate(n *node, p graph.Point) {
+	if !w.bruteLinks {
+		w.grid.move(n.id, n.pos, p)
+	}
+	n.pos = p
+}
+
+// addLink silently records the link a—b (Start's initial topology: no
+// epoch bump, no notifications).
+func (w *World) addLink(a, b core.NodeID) {
+	w.nodes[a].insertNeighbor(b)
+	w.nodes[b].insertNeighbor(a)
+}
+
 // Start computes the initial communication graph (silently: pre-existing
 // links generate no LinkUp indications; the paper's initial fork and colour
 // distributions are ID-based conventions each protocol applies in Init) and
@@ -243,13 +296,37 @@ func (w *World) Start() error {
 		}
 	}
 	w.started = true
+	nn := len(w.nodes)
+	for _, n := range w.nodes {
+		n.adj = make([]bool, nn)
+		n.linkEpoch = make([]uint64, nn)
+		n.lastDelivery = make([]sim.Time, nn)
+	}
 	r2 := w.cfg.Radius * w.cfg.Radius
-	for i := range w.nodes {
-		for j := i + 1; j < len(w.nodes); j++ {
-			if w.nodes[i].pos.Dist2(w.nodes[j].pos) <= r2 {
-				w.nodes[i].neighbors[w.nodes[j].id] = true
-				w.nodes[j].neighbors[w.nodes[i].id] = true
+	if w.bruteLinks {
+		for i := range w.nodes {
+			for j := i + 1; j < nn; j++ {
+				if w.nodes[i].pos.Dist2(w.nodes[j].pos) <= r2 {
+					w.addLink(w.nodes[i].id, w.nodes[j].id)
+				}
 			}
+		}
+	} else {
+		w.grid = newGrid(w.cfg.Radius)
+		for _, n := range w.nodes {
+			w.grid.insert(n.id, n.pos)
+		}
+		for _, n := range w.nodes {
+			cand := w.grid.appendNearby(n.pos, w.scratch[:0])
+			for _, j := range cand {
+				if j <= n.id {
+					continue // each unordered pair once
+				}
+				if n.pos.Dist2(w.nodes[j].pos) <= r2 {
+					w.addLink(n.id, j)
+				}
+			}
+			w.scratch = cand[:0]
 		}
 	}
 	for _, n := range w.nodes {
@@ -258,9 +335,11 @@ func (w *World) Start() error {
 	return nil
 }
 
-// Neighbors returns the sorted neighbour IDs of id.
+// Neighbors returns the neighbour IDs of id in ascending order. The
+// returned slice is a read-only view owned by the world; it is invalidated
+// by the next topology change. Copy it to retain it.
 func (w *World) Neighbors(id core.NodeID) []core.NodeID {
-	return sortedIDs(w.nodes[id].neighbors)
+	return w.nodes[id].nbrs
 }
 
 // Position returns the current position of id.
@@ -282,7 +361,7 @@ func (w *World) Protocol(id core.NodeID) core.Protocol { return w.nodes[id].prot
 func (w *World) CommGraph() *graph.Graph {
 	g := graph.New(len(w.nodes))
 	for _, n := range w.nodes {
-		for peer := range n.neighbors {
+		for _, peer := range n.nbrs {
 			g.AddEdge(int(n.id), int(peer))
 		}
 	}
@@ -301,7 +380,7 @@ func (w *World) MessagesDelivered() uint64 { return w.msgsDelivered }
 func (w *World) MaxDegree() int {
 	max := 0
 	for _, n := range w.nodes {
-		if d := len(n.neighbors); d > max {
+		if d := len(n.nbrs); d > max {
 			max = d
 		}
 	}
@@ -327,13 +406,58 @@ func (w *World) CrashAt(id core.NodeID, t sim.Time) {
 	w.sched.At(t, func() { w.Crash(id) })
 }
 
+// delivery is one pooled in-flight message: the sim.Runner the transport
+// schedules instead of capturing six variables in a fresh closure per
+// send. Records are recycled through World.freeDeliveries after firing.
+type delivery struct {
+	w        *World
+	from, to core.NodeID
+	msg      core.Message
+	sentAt   sim.Time
+	ep       uint64
+	msgName  string
+	msgSize  int
+	observed bool
+}
+
+// Run implements sim.Runner: deliver the message, or destroy it if its
+// link incarnation ended or the receiver crashed before the instant came.
+func (d *delivery) Run() {
+	w := d.w
+	src, dst := w.nodes[d.from], w.nodes[d.to]
+	if dst.crashed || src.linkEpoch[d.to] != d.ep || !dst.adj[d.from] {
+		// Destroyed with the link, or receiver dead.
+		if d.observed {
+			reason := "link-changed"
+			if dst.crashed {
+				reason = "receiver-crashed"
+			}
+			w.emit(trace.Event{
+				Kind: trace.KindDrop, Node: d.to, Peer: d.from,
+				Msg: d.msgName, Size: d.msgSize, Detail: reason,
+			})
+		}
+	} else {
+		w.msgsDelivered++
+		if d.observed {
+			w.emit(trace.Event{
+				Kind: trace.KindDeliver, Node: d.to, Peer: d.from,
+				Msg: d.msgName, Size: d.msgSize, Delay: w.sched.Now() - d.sentAt,
+			})
+		}
+		dst.proto.OnMessage(d.from, d.msg)
+	}
+	d.msg = nil // release the payload before pooling
+	w.freeDeliveries = append(w.freeDeliveries, d)
+}
+
 // send transmits a message over the link from→to, if it exists, with a
 // uniformly random delay in [MinDelay, MaxDelay], clamped to keep the
 // directed link FIFO. The message is destroyed if the link fails (or the
 // receiver crashes) before delivery.
 func (w *World) send(from, to core.NodeID, msg core.Message) {
 	src := w.nodes[from]
-	if src.crashed || !src.neighbors[to] {
+	if src.crashed || !src.adj[to] {
 		return
 	}
 	w.msgsSent++
@@ -359,32 +483,19 @@ func (w *World) send(from, to core.NodeID, msg core.Message) {
 		}
 		src.lastDelivery[to] = at
 	}
-	ep := w.epoch[pairKey(from, to)]
-	w.sched.At(at, func() {
-		dst := w.nodes[to]
-		if dst.crashed || w.epoch[pairKey(from, to)] != ep || !dst.neighbors[from] {
-			// Destroyed with the link, or receiver dead.
-			if observed {
-				reason := "link-changed"
-				if dst.crashed {
-					reason = "receiver-crashed"
-				}
-				w.emit(trace.Event{
-					Kind: trace.KindDrop, Node: to, Peer: from,
-					Msg: msgName, Size: msgSize, Detail: reason,
-				})
-			}
-			return
-		}
-		w.msgsDelivered++
-		if observed {
-			w.emit(trace.Event{
-				Kind: trace.KindDeliver, Node: to, Peer: from,
-				Msg: msgName, Size: msgSize, Delay: w.sched.Now() - sentAt,
-			})
-		}
-		dst.proto.OnMessage(from, msg)
-	})
+	var d *delivery
+	if k := len(w.freeDeliveries); k > 0 {
+		d = w.freeDeliveries[k-1]
+		w.freeDeliveries = w.freeDeliveries[:k-1]
+	} else {
+		d = new(delivery)
+	}
+	*d = delivery{
+		w: w, from: from, to: to, msg: msg, sentAt: sentAt,
+		ep: src.linkEpoch[to], msgName: msgName, msgSize: msgSize,
+		observed: observed,
+	}
+	w.sched.AtRunner(at, d)
 }
 
 // setLink creates or destroys the link between a and b, dispatching the
@@ -392,13 +503,14 @@ func (w *World) send(from, to core.NodeID, msg core.Message) {
 // requested state.
 func (w *World) setLink(a, b core.NodeID, up bool) {
 	na, nb := w.nodes[a], w.nodes[b]
-	if na.neighbors[b] == up {
+	if na.adj[b] == up {
 		return
 	}
-	w.epoch[pairKey(a, b)]++
+	na.linkEpoch[b]++
+	nb.linkEpoch[a]++
 	if up {
-		na.neighbors[b] = true
-		nb.neighbors[a] = true
+		na.insertNeighbor(b)
+		nb.insertNeighbor(a)
 		movingSide := w.pickMovingSide(na, nb)
 		w.emit(trace.Event{
 			Kind: trace.KindLinkUp, Node: a, Peer: b,
@@ -418,10 +530,10 @@ func (w *World) setLink(a, b core.NodeID, up bool) {
 			second.proto.OnLinkUp(first.id, second.id == movingSide)
 		}
 	} else {
-		delete(na.neighbors, b)
-		delete(nb.neighbors, a)
-		delete(na.lastDelivery, b)
-		delete(nb.lastDelivery, a)
+		na.removeNeighbor(b)
+		nb.removeNeighbor(a)
+		na.lastDelivery[b] = 0
+		nb.lastDelivery[a] = 0
 		w.emit(trace.Event{Kind: trace.KindLinkDown, Node: a, Peer: b})
 		if !na.crashed {
 			na.proto.OnLinkDown(b)
@@ -457,15 +569,35 @@ func (w *World) pickMovingSide(a, b *node) core.NodeID {
 }
 
 // refreshLinks recomputes every link incident to id against the current
-// positions.
+// positions. Candidates come from the spatial index (possible link-ups)
+// plus the current neighbour list (possible link-downs); any node in
+// neither set is out of range with no link, for which setLink would be a
+// no-op — so the grid path transitions exactly the links the reference
+// all-pairs scan would, in the same ascending-ID order, and the event
+// streams coincide bit for bit.
 func (w *World) refreshLinks(id core.NodeID) {
 	n := w.nodes[id]
 	r2 := w.cfg.Radius * w.cfg.Radius
-	for _, other := range w.nodes {
-		if other.id == id {
+	if w.bruteLinks {
+		for _, other := range w.nodes {
+			if other.id == id {
+				continue
+			}
+			w.setLink(id, other.id, n.pos.Dist2(other.pos) <= r2)
+		}
+		return
+	}
+	cand := append(w.scratch[:0], n.nbrs...)
+	cand = w.grid.appendNearby(n.pos, cand)
+	slices.Sort(cand)
+	w.scratch = cand[:0] // recycle the buffer's capacity next call
+	prev := core.NodeID(-1)
+	for _, other := range cand {
+		if other == id || other == prev {
 			continue
 		}
-		w.setLink(id, other.id, n.pos.Dist2(other.pos) <= r2)
+		prev = other
+		w.setLink(id, other, n.pos.Dist2(w.nodes[other].pos) <= r2)
 	}
 }
 
@@ -500,23 +632,27 @@ func (e *env) ID() core.NodeID { return e.n.id }
 
 // Emit implements trace.Emitter: protocol-level events (doorway
 // crossings, recolouring rounds, diagnostics) join the world's stream,
-// stamped with the node's identity and the current instant.
+// stamped with the node's identity and the current instant. The Peer field
+// passes through verbatim: emitters set trace.NoNode explicitly when the
+// event has no peer, so an event genuinely about node 0 is never
+// mislabelled (the zero-value rewrite this replaced silently turned
+// Peer == 0 into NoNode).
 func (e *env) Emit(ev trace.Event) {
 	ev.Node = e.n.id
-	if ev.Peer == 0 {
-		ev.Peer = trace.NoNode
-	}
 	e.w.emit(ev)
 }
 
 func (e *env) Now() sim.Time { return e.w.sched.Now() }
 
-func (e *env) Neighbors() []core.NodeID { return sortedIDs(e.n.neighbors) }
+// Neighbors returns the node's current neighbours in ascending order, as
+// a read-only view owned by the world (valid until the next topology
+// change; copy to retain).
+func (e *env) Neighbors() []core.NodeID { return e.n.nbrs }
 
 func (e *env) Send(to core.NodeID, msg core.Message) { e.w.send(e.n.id, to, msg) }
 
 func (e *env) Broadcast(msg core.Message) {
-	for _, to := range sortedIDs(e.n.neighbors) {
+	for _, to := range e.n.nbrs {
 		e.w.send(e.n.id, to, msg)
 	}
 }
@@ -524,20 +660,3 @@ func (e *env) Broadcast(msg core.Message) {
 func (e *env) Moving() bool { return e.n.moving }
 
 func (e *env) SetState(s core.State) { e.w.setState(e.n, s) }
-
-// pairKey returns the canonical unordered key for a link.
-func pairKey(a, b core.NodeID) [2]core.NodeID {
-	if a > b {
-		a, b = b, a
-	}
-	return [2]core.NodeID{a, b}
-}
-
-func sortedIDs(set map[core.NodeID]bool) []core.NodeID {
-	out := make([]core.NodeID, 0, len(set))
-	for id := range set {
-		out = append(out, id)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}

@@ -1,0 +1,9 @@
+package sim_test
+
+import (
+	"testing"
+
+	"lme/internal/microbench"
+)
+
+func BenchmarkSchedulerChurn(b *testing.B) { microbench.SchedulerChurn(b) }

@@ -6,7 +6,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math/rand/v2"
@@ -36,51 +35,48 @@ func (t Time) String() string {
 	return ToDuration(t).String()
 }
 
-// Event is a scheduled callback.
+// Runner is the allocation-free alternative to scheduling a closure: a
+// reusable record (typically pooled by the caller) whose Run method is
+// invoked when its instant arrives. Pointer-shaped implementations convert
+// to the interface without allocating, which is what makes the message
+// delivery path of internal/manet closure-free.
+type Runner interface {
+	Run()
+}
+
+// event is one scheduled callback. Events are stored by value directly in
+// the heap slice — no per-event allocation, no interface boxing. Exactly
+// one of fn and r is set.
 type event struct {
 	at  Time
 	seq uint64
 	fn  func()
+	r   Runner
 }
 
-// eventHeap orders events by (time, sequence number).
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before reports the (time, sequence) order of the heap; seq values are
+// unique, so the order is total and ties at the same instant preserve
+// schedule (FIFO) order.
+func (e *event) before(o *event) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-
-func (h *eventHeap) Push(x any) {
-	ev, ok := x.(*event)
-	if !ok {
-		panic(fmt.Sprintf("sim: pushed non-event %T", x))
-	}
-	*h = append(*h, ev)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+	return e.seq < o.seq
 }
 
 // Scheduler is a discrete-event executor. The zero value is not usable; use
 // NewScheduler. Scheduler is not safe for concurrent use: it is the single
 // thread of control of a simulation.
+//
+// The pending-event queue is an inlined 4-ary heap of event values: the
+// shallower tree (log₄ vs log₂ depth) and the value layout (one contiguous
+// slice, no *event indirection) keep the push/pop churn of a simulation —
+// two heap operations per executed event — cache-resident and free of
+// per-event allocations.
 type Scheduler struct {
 	now    Time
 	seq    uint64
-	events eventHeap
+	events []event
 	rng    *rand.Rand
 
 	// processed counts events executed so far (for diagnostics and
@@ -117,6 +113,57 @@ func (s *Scheduler) SetEventHook(f func(at Time)) { s.hook = f }
 // Pending reports how many events are queued.
 func (s *Scheduler) Pending() int { return len(s.events) }
 
+// push inserts ev and restores the heap order (sift-up).
+func (s *Scheduler) push(ev event) {
+	h := append(s.events, ev)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !h[i].before(&h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	s.events = h
+}
+
+// pop removes and returns the earliest event. The caller must have checked
+// that the queue is non-empty.
+func (s *Scheduler) pop() event {
+	h := s.events
+	root := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h[last] = event{} // release fn/r references
+	h = h[:last]
+	s.events = h
+	// Sift-down: promote the smallest of up to four children.
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= last {
+			break
+		}
+		min := first
+		end := first + 4
+		if end > last {
+			end = last
+		}
+		for c := first + 1; c < end; c++ {
+			if h[c].before(&h[min]) {
+				min = c
+			}
+		}
+		if !h[min].before(&h[i]) {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	return root
+}
+
 // At schedules fn to run at the given virtual time. Scheduling in the past
 // is clamped to the present (the event runs after already-queued events for
 // the current instant).
@@ -125,12 +172,38 @@ func (s *Scheduler) At(t Time, fn func()) {
 		t = s.now
 	}
 	s.seq++
-	heap.Push(&s.events, &event{at: t, seq: s.seq, fn: fn})
+	s.push(event{at: t, seq: s.seq, fn: fn})
 }
 
 // After schedules fn to run d time units from now.
 func (s *Scheduler) After(d Time, fn func()) {
 	s.At(s.now+d, fn)
+}
+
+// AtRunner schedules r.Run at the given virtual time, sharing the FIFO
+// sequence space with At: interleaved At and AtRunner calls for the same
+// instant fire in call order. Unlike At it captures nothing, so a pooled
+// Runner makes the schedule-execute cycle allocation-free.
+func (s *Scheduler) AtRunner(t Time, r Runner) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	s.push(event{at: t, seq: s.seq, r: r})
+}
+
+// run executes one popped event.
+func (s *Scheduler) run(ev *event) {
+	s.now = ev.at
+	if ev.fn != nil {
+		ev.fn()
+	} else {
+		ev.r.Run()
+	}
+	s.processed++
+	if s.hook != nil {
+		s.hook(s.now)
+	}
 }
 
 // ErrEventLimit is returned by Run when the event budget is exhausted,
@@ -145,20 +218,11 @@ var ErrEventLimit = errors.New("sim: event limit exceeded")
 func (s *Scheduler) RunUntil(deadline Time, maxEvents uint64) error {
 	executed := uint64(0)
 	for len(s.events) > 0 {
-		next := s.events[0]
-		if next.at > deadline {
+		if s.events[0].at > deadline {
 			break
 		}
-		popped, ok := heap.Pop(&s.events).(*event)
-		if !ok {
-			panic("sim: heap yielded non-event")
-		}
-		s.now = popped.at
-		popped.fn()
-		s.processed++
-		if s.hook != nil {
-			s.hook(s.now)
-		}
+		ev := s.pop()
+		s.run(&ev)
 		executed++
 		if maxEvents > 0 && executed >= maxEvents {
 			return fmt.Errorf("%w (%d events by t=%v)", ErrEventLimit, executed, s.now)
@@ -182,15 +246,7 @@ func (s *Scheduler) Step() bool {
 	if len(s.events) == 0 {
 		return false
 	}
-	popped, ok := heap.Pop(&s.events).(*event)
-	if !ok {
-		panic("sim: heap yielded non-event")
-	}
-	s.now = popped.at
-	popped.fn()
-	s.processed++
-	if s.hook != nil {
-		s.hook(s.now)
-	}
+	ev := s.pop()
+	s.run(&ev)
 	return true
 }

@@ -227,6 +227,12 @@ func (e Event) String() string {
 // give protocols access to the event stream. Protocols type-assert for it
 // in Init and stay silent when the runtime (e.g. internal/livenet) does
 // not provide one.
+//
+// Emitters must fill the Peer field explicitly: NoNode when the event has
+// no peer, the peer's ID otherwise. The runtime passes Peer through
+// verbatim — there is no zero-value rewrite, so an event genuinely about
+// node 0 keeps Peer 0 (an emitter that leaves Peer at its zero value is
+// therefore publishing "peer 0", not "no peer").
 type Emitter interface {
 	Emit(Event)
 }
