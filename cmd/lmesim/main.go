@@ -9,6 +9,8 @@
 //	lmesim -alg chandy-misra -topo line -n 12 -crash 6 -crash-at 2s -dur 20s
 //	lmesim -alg alg2 -n 24 -dur 5s -json                  # machine-readable telemetry
 //	lmesim -alg alg2 -n 24 -dur 5s -trace-out run.jsonl   # JSONL event trace (see lmetrace)
+//	lmesim -alg alg2 -n 24 -dur 5s -spans-out spans.jsonl # per-attempt CS spans (lmetrace -spans)
+//	lmesim -alg alg2 -n 24 -dur 5s -postmortem pm.json    # flight-recorder dump on violation
 package main
 
 import (
@@ -68,6 +70,8 @@ func run() error {
 		gantt    = flag.Duration("gantt", 0, "render an ASCII eating timeline of the final window (e.g. -gantt 500ms)")
 		jsonOut  = flag.Bool("json", false, "emit the run telemetry as a single JSON object instead of text")
 		traceOut = flag.String("trace-out", "", "write the full typed event stream as JSONL to this file (summarise with lmetrace)")
+		spansOut = flag.String("spans-out", "", "write per-attempt CS spans as JSONL to this file (inspect with lmetrace -spans)")
+		postmort = flag.String("postmortem", "", "on a safety violation, dump the event ring, open spans and wait-for graph to this file")
 		stats    = flag.Bool("stats", false, "print the counter/histogram registry after the run")
 	)
 	flag.Parse()
@@ -77,11 +81,12 @@ func run() error {
 		return err
 	}
 	sim, err := lme.NewSimulation(lme.Config{
-		Algorithm: lme.Algorithm(*algName),
-		Topology:  topology,
-		Seed:      *seed,
-		EatTime:   *eat,
-		ThinkMax:  *think,
+		Algorithm:      lme.Algorithm(*algName),
+		Topology:       topology,
+		Seed:           *seed,
+		EatTime:        *eat,
+		ThinkMax:       *think,
+		PostmortemPath: *postmort,
 	})
 	if err != nil {
 		return err
@@ -114,12 +119,33 @@ func run() error {
 		}
 	}
 	start := time.Now()
-	if err := sim.RunFor(*dur); err != nil {
-		return err
-	}
+	runErr := sim.RunFor(*dur)
 	wall := time.Since(start)
 	if err := sim.Bus().SinkErr(); err != nil {
 		return fmt.Errorf("trace sink: %w", err)
+	}
+	// Spans are written even when the run failed: a violated run's spans
+	// are exactly what the post-mortem reader wants next to the dump.
+	if *spansOut != "" {
+		f, err := os.Create(*spansOut)
+		if err != nil {
+			return err
+		}
+		w := bufio.NewWriter(f)
+		if err := sim.WriteSpans(w); err != nil {
+			f.Close()
+			return fmt.Errorf("spans: %w", err)
+		}
+		if err := w.Flush(); err != nil {
+			f.Close()
+			return fmt.Errorf("spans: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("spans: %w", err)
+		}
+	}
+	if runErr != nil {
+		return runErr
 	}
 
 	if *jsonOut {
@@ -160,6 +186,9 @@ func run() error {
 	if *stats {
 		fmt.Println()
 		fmt.Print(sim.MetricsSnapshot())
+		loss := sim.TraceLoss()
+		fmt.Printf("\ntrace loss   ring_overwritten=%d sink_dropped=%d\n",
+			loss.RingOverwritten, loss.SinkDropped)
 	}
 	if *gantt > 0 {
 		fmt.Println(sim.Gantt(*gantt, 96))

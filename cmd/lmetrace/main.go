@@ -3,16 +3,28 @@
 //
 // With no filter flags it prints a summary of the trace — time span,
 // per-kind counts, per-node event counts, and a per-message-type
-// send/deliver/drop table. With -print (or any filter) it re-renders the
-// selected events in the same human-readable form as lmesim -trace.
+// send/deliver/drop table. Any filter flag implies -print (the events
+// themselves are rendered); pass -summary to aggregate the matching
+// subset instead.
+//
+// The span views fold the whole trace through the span layer
+// (internal/span) instead of filtering raw events:
+//
+//	-spans          one line per CS attempt (phases, outcome, causality)
+//	-phases         the aggregate phase table and crash attribution
+//	-waitfor 1.5s   the wait-for graph as of a virtual time
 //
 // Examples:
 //
 //	lmesim -alg alg2 -n 24 -dur 5s -trace-out run.jsonl
 //	lmetrace run.jsonl                          # summary
 //	lmetrace -node 7 run.jsonl                  # everything node 7 did
-//	lmetrace -kind send -msg fork run.jsonl     # all fork sends
-//	lmetrace -from 1s -to 1.5s -print run.jsonl # a time window, rendered
+//	lmetrace -node 3,7 -kind send,deliver run.jsonl
+//	lmetrace -kind send -msg fork -summary run.jsonl
+//	lmetrace -from 1s -to 1.5s run.jsonl        # a time window, rendered
+//	lmetrace -spans run.jsonl                   # per-attempt CS spans
+//	lmetrace -phases run.jsonl                  # phase aggregates
+//	lmetrace -waitfor 1.5s run.jsonl            # who blocks whom at 1.5s
 package main
 
 import (
@@ -23,10 +35,13 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"lme/internal/core"
 	"lme/internal/sim"
+	"lme/internal/span"
 	"lme/internal/trace"
 )
 
@@ -37,17 +52,71 @@ func main() {
 	}
 }
 
+// parseNodes parses a comma-separated node-ID list ("" = no filter).
+func parseNodes(s string) (map[core.NodeID]bool, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[core.NodeID]bool)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, err := strconv.Atoi(part)
+		if err != nil || id < 0 {
+			return nil, fmt.Errorf("bad node id %q", part)
+		}
+		out[core.NodeID(id)] = true
+	}
+	if len(out) == 0 {
+		return nil, nil
+	}
+	return out, nil
+}
+
+// parseKinds parses a comma-separated event-kind list ("" = no filter).
+func parseKinds(s string) (map[trace.Kind]bool, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[trace.Kind]bool)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		var k trace.Kind
+		if err := k.UnmarshalText([]byte(part)); err != nil {
+			return nil, err
+		}
+		out[k] = true
+	}
+	if len(out) == 0 {
+		return nil, nil
+	}
+	return out, nil
+}
+
 func run() error {
 	var (
-		node    = flag.Int("node", -1, "only events involving this node (as actor or peer)")
-		kindStr = flag.String("kind", "", "only events of this kind (send|deliver|drop|state|link-up|link-down|move-start|move-stop|crash|doorway|recolor|note)")
-		msg     = flag.String("msg", "", "only message events of this normalised type (e.g. fork, req, switch)")
-		from    = flag.Duration("from", 0, "only events at or after this virtual time")
-		to      = flag.Duration("to", 0, "only events before this virtual time (0 = end of trace)")
-		print   = flag.Bool("print", false, "render matching events instead of summarising them")
+		nodeList = flag.String("node", "", "only events involving these nodes (comma-separated IDs, as actor or peer)")
+		kindList = flag.String("kind", "", "only events of these kinds (comma-separated: send|deliver|drop|state|link-up|link-down|move-start|move-stop|crash|doorway|recolor|note)")
+		msg      = flag.String("msg", "", "only message events of this normalised type (e.g. fork, req, switch)")
+		from     = flag.Duration("from", 0, "only events at or after this virtual time")
+		to       = flag.Duration("to", 0, "only events before this virtual time (0 = end of trace)")
+		print    = flag.Bool("print", false, "render matching events (implied by any filter flag)")
+		summ     = flag.Bool("summary", false, "summarise the matching events even when a filter is set")
+		spans    = flag.Bool("spans", false, "fold the trace into CS-attempt spans and print one line per attempt")
+		phases   = flag.Bool("phases", false, "fold the trace into spans and print the aggregate phase table")
+		waitfor  = flag.Duration("waitfor", 0, "print the wait-for graph (who is blocked on whom) as of this virtual time")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: lmetrace [flags] [trace.jsonl]\n\nReads stdin when no file is given.\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: lmetrace [flags] [trace.jsonl]\n\n"+
+			"Reads stdin when no file is given. Filter flags imply -print; use\n"+
+			"-summary to aggregate the filtered subset instead. The span views\n"+
+			"(-spans, -phases, -waitfor) consume the whole trace and ignore the\n"+
+			"filter flags.\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -65,21 +134,28 @@ func run() error {
 		in = f
 	}
 
-	var kind trace.Kind
-	filterKind := *kindStr != ""
-	if filterKind {
-		if err := kind.UnmarshalText([]byte(*kindStr)); err != nil {
-			return err
-		}
+	if *spans || *phases || *waitfor > 0 {
+		return spanView(in, *spans, *phases, *waitfor)
 	}
-	// Any filter flag implies the caller wants the events themselves.
-	listing := *print || filterKind || *node >= 0 || *msg != "" || *from > 0 || *to > 0
+
+	nodes, err := parseNodes(*nodeList)
+	if err != nil {
+		return err
+	}
+	kinds, err := parseKinds(*kindList)
+	if err != nil {
+		return err
+	}
+	// Any filter flag implies the caller wants the events themselves,
+	// unless -summary asks for aggregation of the subset.
+	filtered := kinds != nil || nodes != nil || *msg != "" || *from > 0 || *to > 0
+	listing := (*print || filtered) && !*summ
 
 	match := func(e trace.Event) bool {
-		if filterKind && e.Kind != kind {
+		if kinds != nil && !kinds[e.Kind] {
 			return false
 		}
-		if *node >= 0 && e.Node != core.NodeID(*node) && e.Peer != core.NodeID(*node) {
+		if nodes != nil && !nodes[e.Node] && !nodes[e.Peer] {
 			return false
 		}
 		if *msg != "" && e.Msg != *msg {
@@ -118,6 +194,106 @@ func run() error {
 		sum.print(os.Stdout)
 	}
 	return nil
+}
+
+// spanView folds the full trace through the span collector and renders
+// the requested derived view.
+func spanView(in io.Reader, listSpans, listPhases bool, waitAt time.Duration) error {
+	col := span.New()
+	cut := sim.FromDuration(waitAt)
+	dec := json.NewDecoder(bufio.NewReader(in))
+	line := 0
+	for {
+		var e trace.Event
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return fmt.Errorf("event %d: %w", line+1, err)
+		}
+		line++
+		if waitAt > 0 && e.At > cut {
+			break
+		}
+		col.Feed(e)
+	}
+
+	if waitAt > 0 {
+		edges := col.WaitEdges()
+		if len(edges) == 0 {
+			fmt.Printf("no wait-for edges at %v\n", waitAt)
+			return nil
+		}
+		fmt.Printf("wait-for graph at %v (blocked -> blocking):\n", waitAt)
+		for _, e := range edges {
+			fmt.Printf("  %3d -> %-3d  %s\n", e.From, e.To, e.Why)
+		}
+		return nil
+	}
+
+	col.Finalize(col.Now())
+	if listSpans {
+		for _, s := range col.Spans() {
+			printSpan(s)
+		}
+	}
+	if listPhases {
+		printPhases(col.Summary())
+	}
+	return nil
+}
+
+// printSpan renders one attempt on one line: identity, interval,
+// outcome, then the phase walk with causal closers.
+func printSpan(s span.Span) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "node %3d #%-3d %10v +%-10v %-7s", s.Node, s.Attempt,
+		sim.ToDuration(s.Start), sim.ToDuration(s.Dur()), s.Outcome)
+	if s.Demotions > 0 {
+		fmt.Fprintf(&b, " demotions=%d", s.Demotions)
+	}
+	if s.Recolors > 0 {
+		fmt.Fprintf(&b, " recolors=%d", s.Recolors)
+	}
+	for i, p := range s.Phases {
+		if i == 0 {
+			b.WriteString("  ")
+		} else {
+			b.WriteString(" → ")
+		}
+		name := p.Name
+		if p.Detail != "" {
+			name += ":" + p.Detail
+		}
+		fmt.Fprintf(&b, "%s %v", name, sim.ToDuration(p.Dur()))
+		if p.UnblockedBy != nil {
+			fmt.Fprintf(&b, " (by %s %d/%d)", p.UnblockedBy.Msg, p.UnblockedBy.From, p.UnblockedBy.Seq)
+		}
+	}
+	fmt.Println(b.String())
+}
+
+// printPhases renders the aggregate table of a span summary.
+func printPhases(sum span.Summary) {
+	fmt.Printf("attempts %d (ate %d, crashed %d, open %d), demotions %d\n",
+		sum.Attempts, sum.Ate, sum.Crashed, sum.Open, sum.Demotions)
+	if len(sum.Phases) > 0 {
+		fmt.Printf("\n%-16s %8s %12s %12s %12s\n", "phase", "count", "total", "mean", "max")
+		for _, ps := range sum.Phases {
+			mean := time.Duration(0)
+			if ps.Count > 0 {
+				mean = sim.ToDuration(ps.TotalUS / sim.Time(ps.Count))
+			}
+			fmt.Printf("%-16s %8d %12v %12v %12v\n", ps.Name, ps.Count,
+				sim.ToDuration(ps.TotalUS), mean, sim.ToDuration(ps.MaxUS))
+		}
+	}
+	for _, cr := range sum.Crashes {
+		fmt.Printf("\ncrash node %d at %v: max wait-chain hop %d, max graph distance %d, %d blocked\n",
+			cr.Crashed, sim.ToDuration(cr.At), cr.MaxHop, cr.MaxDist, len(cr.Blocked))
+		for _, b := range cr.Blocked {
+			fmt.Printf("  node %3d hop=%d dist=%d\n", b.Node, b.Hop, b.Dist)
+		}
+	}
 }
 
 // summary accumulates the default (no-filter) report.

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"testing"
+
+	"lme/internal/trace"
+)
+
+func TestParseNodes(t *testing.T) {
+	if m, err := parseNodes(""); err != nil || m != nil {
+		t.Fatalf("empty list: %v, %v", m, err)
+	}
+	m, err := parseNodes("3, 7,12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 3 || !m[3] || !m[7] || !m[12] {
+		t.Fatalf("parsed = %v", m)
+	}
+	// Stray commas are tolerated; a list of only separators is no filter.
+	if m, err := parseNodes(",,"); err != nil || m != nil {
+		t.Fatalf("separator-only list: %v, %v", m, err)
+	}
+	for _, bad := range []string{"x", "3,x", "-1", "3,-2", "1.5"} {
+		if _, err := parseNodes(bad); err == nil {
+			t.Fatalf("parseNodes(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseKinds(t *testing.T) {
+	if m, err := parseKinds(""); err != nil || m != nil {
+		t.Fatalf("empty list: %v, %v", m, err)
+	}
+	m, err := parseKinds("send, deliver,doorway")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 3 || !m[trace.KindSend] || !m[trace.KindDeliver] || !m[trace.KindDoorway] {
+		t.Fatalf("parsed = %v", m)
+	}
+	// Every schema kind parses by its stable name.
+	for _, k := range trace.Kinds() {
+		if _, err := parseKinds(k.String()); err != nil {
+			t.Fatalf("kind %v rejected: %v", k, err)
+		}
+	}
+	for _, bad := range []string{"sending", "send,bogus", "SEND"} {
+		if _, err := parseKinds(bad); err == nil {
+			t.Fatalf("parseKinds(%q) accepted", bad)
+		}
+	}
+}

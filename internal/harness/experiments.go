@@ -8,8 +8,8 @@ import (
 	"strings"
 
 	"lme/internal/baseline"
-	"lme/internal/core"
 	"lme/internal/coloring"
+	"lme/internal/core"
 	"lme/internal/fleet"
 	"lme/internal/graph"
 	"lme/internal/lme1"
@@ -17,6 +17,7 @@ import (
 	"lme/internal/manet"
 	"lme/internal/metrics"
 	"lme/internal/sim"
+	"lme/internal/span"
 	"lme/internal/workload"
 )
 
@@ -171,6 +172,9 @@ type table1Static struct {
 	mean, p95  sim.Time
 	msgPerMeal float64
 	violations int
+	// phases maps qualified phase names ("doorway:sdf") to total time,
+	// from the span layer's fold of the run's event stream.
+	phases map[string]sim.Time
 }
 
 // table1Mobile is one mobile replica's measurement slice for E1.
@@ -199,15 +203,29 @@ func Table1(q Quality, replicas int) (*Plan, error) {
 	for _, a := range algs {
 		a := a
 		p.Add("static/"+string(a), 21, replicas, func(ctx context.Context, seed uint64) (any, error) {
-			r, err := runStatic(ctx, a, pts, radius, seed, horizon, wl)
+			r, err := Build(Spec{
+				Seed: seed, Points: pts, Radius: radius,
+				NewProtocol: factoryFor(a, pts, radius),
+				Workload:    wl,
+				Spans:       true,
+			})
 			if err != nil {
 				return nil, err
 			}
+			if err := r.RunContext(ctx, horizon); err != nil {
+				return nil, fmt.Errorf("%s: %w", a, err)
+			}
+			r.FinalizeSpans()
 			st := r.Recorder.Stats()
+			phases := make(map[string]sim.Time)
+			for _, ps := range r.Spans.Summary().Phases {
+				phases[ps.Name] = ps.TotalUS
+			}
 			return table1Static{
 				mean: st.Mean, p95: st.P95,
 				msgPerMeal: r.MessagesPerMeal(),
 				violations: len(r.Checker.Violations()),
+				phases:     phases,
 			}, nil
 		})
 		if a != algCS { // Choy–Singh is a static-only baseline.
@@ -245,8 +263,8 @@ func Table1(q Quality, replicas int) (*Plan, error) {
 		t := &Table{
 			ID:    "E1",
 			Title: fmt.Sprintf("Table 1 measured on a connected geometric graph (n=%d, δ=%d)", n, graph.UnitDisk(pts, radius).MaxDegree()),
-			Header: []string{"algorithm", "FL (paper)", "FL (measured)", "RT (paper)",
-				"RT static mean", "RT static p95", "RT mobile mean", "msg/meal", "violations"},
+			Header: []string{"algorithm", "FL (paper)", "FL (measured)", "FL (spans)", "RT (paper)",
+				"RT static mean", "RT static p95", "RT mobile mean", "phase split", "msg/meal", "violations"},
 		}
 		for _, a := range algs {
 			static := "static/" + string(a)
@@ -254,17 +272,26 @@ func Table1(q Quality, replicas int) (*Plan, error) {
 			p95S := timeSample(rs, static, func(v any) sim.Time { return v.(table1Static).p95 })
 			msgS := rs.Sample(static, func(v any) float64 { return v.(table1Static).msgPerMeal })
 			violations := rs.SumInt(static, func(v any) int { return v.(table1Static).violations })
+			merged := map[string]sim.Time{}
+			for _, v := range rs.Values(static) {
+				for name, d := range v.(table1Static).phases {
+					merged[name] += d
+				}
+			}
 			mobileCell := any("n/a")
 			if a != algCS {
 				mobile := "mobile/" + string(a)
 				mobileCell = MSStat(timeSample(rs, mobile, func(v any) sim.Time { return v.(table1Mobile).mean }))
 				violations += rs.SumInt(mobile, func(v any) int { return v.(table1Mobile).violations })
 			}
-			radiusS := rs.Sample("crash/"+string(a), func(v any) float64 { return float64(v.(int)) })
-			t.AddRow(string(a), paperFL[a], MaxStat(radiusS), paperRT[a],
-				MSStat(meanS), MSStat(p95S), mobileCell, NumStat(msgS, 1), violations)
+			radiusS := rs.Sample("crash/"+string(a), func(v any) float64 { return float64(v.(crashLocality).radius) })
+			spanS := rs.Sample("crash/"+string(a), func(v any) float64 { return float64(v.(crashLocality).spanDist) })
+			t.AddRow(string(a), paperFL[a], MaxStat(radiusS), MaxStat(spanS), paperRT[a],
+				MSStat(meanS), MSStat(p95S), mobileCell, phaseSplit(merged), NumStat(msgS, 1), violations)
 		}
 		t.AddNote("FL (measured) = max graph distance from the crashed node to a node blocked for the rest of the run; saturated workload")
+		t.AddNote("FL (spans) = max graph distance to a node in the wait-for closure of the crash site (span-layer attribution of the same runs)")
+		t.AddNote("phase split = share of attempt time per span phase in the static run (doorway entries, recolouring, fork collection, eating)")
 		t.AddNote("msg/meal = protocol messages per critical-section entry in the static run")
 		t.AddNote("absolute times depend on the simulator's ν=10ms, τ=5ms; orderings and growth are the comparable quantities")
 		return t, nil
@@ -272,9 +299,45 @@ func Table1(q Quality, replicas int) (*Plan, error) {
 	return p, nil
 }
 
+// phaseSplit renders the share of total attempt time spent in each phase
+// group (doorway details merged), in the fixed taxonomy order.
+func phaseSplit(merged map[string]sim.Time) string {
+	groups := map[string]sim.Time{}
+	var total sim.Time
+	for name, d := range merged {
+		if i := strings.IndexByte(name, ':'); i >= 0 {
+			name = name[:i]
+		}
+		groups[name] += d
+		total += d
+	}
+	if total == 0 {
+		return ""
+	}
+	var parts []string
+	for _, name := range []string{span.PhaseDoorway, span.PhaseRecolor, span.PhaseCollect, span.PhaseEat} {
+		if d, ok := groups[name]; ok {
+			parts = append(parts, fmt.Sprintf("%s %.0f%%", name, 100*float64(d)/float64(total)))
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// crashLocality is one crash replica's measurement: the starvation-based
+// blocked radius (the Prober's view of who made no progress) and the span
+// layer's attribution of the same run (max communication-graph distance
+// and max wait-chain depth of nodes in the wait-for closure of the crash
+// site).
+type crashLocality struct {
+	radius   int
+	spanDist int
+	spanHop  int
+}
+
 // blockedRadius crashes the max-degree node of the layout under a
-// saturated workload and reports the empirical failure locality.
-func blockedRadius(ctx context.Context, a algName, pts []graph.Point, radius float64, seed uint64, horizon sim.Time) (int, error) {
+// saturated workload and reports the empirical failure locality, both
+// starvation-based and span-attributed.
+func blockedRadius(ctx context.Context, a algName, pts []graph.Point, radius float64, seed uint64, horizon sim.Time) (crashLocality, error) {
 	g := graph.UnitDisk(pts, radius)
 	victim := 0
 	for v := 1; v < g.N(); v++ {
@@ -286,17 +349,28 @@ func blockedRadius(ctx context.Context, a algName, pts []graph.Point, radius flo
 		Seed: seed, Points: pts, Radius: radius,
 		NewProtocol: factoryFor(a, pts, radius),
 		Workload:    workload.Config{EatTime: 4_000}, // saturated
+		Spans:       true,
 	})
 	if err != nil {
-		return 0, err
+		return crashLocality{}, err
 	}
 	crashAt := horizon / 4
 	r.World.CrashAt(core.NodeID(victim), crashAt)
 	if err := r.RunContext(ctx, horizon); err != nil {
-		return 0, fmt.Errorf("%s crash run: %w", a, err)
+		return crashLocality{}, fmt.Errorf("%s crash run: %w", a, err)
 	}
 	blocked := r.Prober.StarvedSince(crashAt + (horizon-crashAt)/3)
-	return metrics.BlockedRadius(r.World.CommGraph(), core.NodeID(victim), blocked), nil
+	out := crashLocality{radius: metrics.BlockedRadius(r.World.CommGraph(), core.NodeID(victim), blocked)}
+	r.FinalizeSpans()
+	for _, imp := range r.Spans.Impacts() {
+		if imp.MaxDist > out.spanDist {
+			out.spanDist = imp.MaxDist
+		}
+		if imp.MaxHop > out.spanHop {
+			out.spanHop = imp.MaxHop
+		}
+	}
+	return out, nil
 }
 
 // FailureLocality measures the blocked radius on lines and geometric
@@ -327,25 +401,30 @@ func FailureLocality(q Quality, replicas int) (*Plan, error) {
 	}
 	p.Reduce = func(rs *ResultSet) (*Table, error) {
 		t := &Table{
-			ID:     "E2",
-			Title:  "Empirical failure locality: blocked radius after one crash (saturated workload)",
-			Header: []string{"algorithm", "FL (paper)", "line radius", "geometric radius"},
+			ID:    "E2",
+			Title: "Empirical failure locality: blocked radius after one crash (saturated workload)",
+			Header: []string{"algorithm", "FL (paper)", "line radius", "line FL(spans)",
+				"geometric radius", "geo FL(spans)"},
 		}
 		runs := 0
 		for _, a := range algs {
-			var lineS, geoS fleet.Sample
+			var lineS, lineSpanS, geoS, geoSpanS fleet.Sample
 			for si := range seeds {
 				for _, v := range rs.Values(fmt.Sprintf("line/%s/%d", a, si)) {
-					lineS.Add(float64(v.(int)))
+					lineS.Add(float64(v.(crashLocality).radius))
+					lineSpanS.Add(float64(v.(crashLocality).spanDist))
 				}
 				for _, v := range rs.Values(fmt.Sprintf("geo/%s/%d", a, si)) {
-					geoS.Add(float64(v.(int)))
+					geoS.Add(float64(v.(crashLocality).radius))
+					geoSpanS.Add(float64(v.(crashLocality).spanDist))
 				}
 			}
 			runs = lineS.N()
-			t.AddRow(string(a), paperFL[a], MaxStat(lineS), MaxStat(geoS))
+			t.AddRow(string(a), paperFL[a], MaxStat(lineS), MaxStat(lineSpanS),
+				MaxStat(geoS), MaxStat(geoSpanS))
 		}
 		t.AddNote("radius is the worst case over %d seeded runs; n=%d; the paper predicts alg2 ≤ 2 and large radii for chandy-misra/alg1-greedy", runs, lineN)
+		t.AddNote("FL(spans) = max graph distance to a node whose open attempt sits in the wait-for closure of the crash site (span-layer attribution)")
 		return t, nil
 	}
 	return p, nil

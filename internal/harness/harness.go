@@ -8,6 +8,7 @@ package harness
 import (
 	"context"
 	"fmt"
+	"os"
 	"sync/atomic"
 
 	"lme/internal/core"
@@ -15,6 +16,7 @@ import (
 	"lme/internal/manet"
 	"lme/internal/metrics"
 	"lme/internal/sim"
+	"lme/internal/span"
 	"lme/internal/workload"
 )
 
@@ -42,6 +44,17 @@ type Spec struct {
 
 	// TraceRing sizes the world's retained event history (0 = none).
 	TraceRing int
+
+	// Spans attaches a span.Collector to the run's event bus, folding the
+	// event stream into CS-attempt spans, a wait-for graph and per-crash
+	// locality attribution (Run.Spans).
+	Spans bool
+
+	// PostmortemPath arms the flight recorder: on the first safety
+	// violation the trace-ring tail, every open span and the wait-for
+	// graph are dumped to this file. Requires Spans; a TraceRing makes
+	// the dump's ring section non-empty.
+	PostmortemPath string
 }
 
 // Run is an assembled simulation.
@@ -58,7 +71,14 @@ type Run struct {
 	// event bus.
 	Registry *metrics.Registry
 
-	started bool
+	// Spans folds the event stream into CS-attempt spans when
+	// Spec.Spans was set (nil otherwise). Call FinalizeSpans once the
+	// run is over, before reading Spans.Spans()/Impacts()/Summary().
+	Spans *span.Collector
+
+	started   bool
+	finalized bool
+	pmWritten bool
 }
 
 // Build assembles a run; call Start (or RunFor, which starts implicitly)
@@ -105,6 +125,37 @@ func Build(spec Spec) (*Run, error) {
 		Registry: metrics.NewRegistry(),
 	}
 	metrics.Instrument(w.Bus(), r.Registry)
+	if spec.Spans {
+		r.Spans = span.New()
+		// Seed the initial adjacency: links that exist from t=0 emit no
+		// KindLink events, so the collector cannot learn them from the
+		// stream the way an offline trace reader would guess from Sends.
+		g := graph.UnitDisk(spec.Points, cfg.Radius)
+		for u := 0; u < g.N(); u++ {
+			for _, v := range g.Neighbors(u) {
+				if u < v {
+					r.Spans.SeedLink(core.NodeID(u), core.NodeID(v))
+				}
+			}
+		}
+		r.Spans.Attach(w.Bus())
+		if spec.PostmortemPath != "" {
+			path := spec.PostmortemPath
+			r.Checker.SetOnViolation(func(v metrics.Violation) {
+				if r.pmWritten {
+					return
+				}
+				r.pmWritten = true
+				f, err := os.Create(path)
+				if err != nil {
+					return
+				}
+				defer f.Close()
+				ring := w.Bus().Recent(1 << 20)
+				_ = span.WritePostmortem(f, v.String(), v.At, ring, r.Spans)
+			})
+		}
+	}
 	w.Scheduler().SetEventHook(func(sim.Time) { totalEvents.Add(1) })
 	w.AddStateListener(r.Checker)
 	w.AddStateListener(r.Recorder)
@@ -174,6 +225,17 @@ func (r *Run) RunContext(ctx context.Context, d sim.Time) error {
 		}
 	}
 	return r.Checker.Err()
+}
+
+// FinalizeSpans closes every attempt still open at the current instant
+// and computes the per-crash locality attribution. Idempotent; a no-op
+// when the run was built without Spec.Spans.
+func (r *Run) FinalizeSpans() {
+	if r.Spans == nil || r.finalized {
+		return
+	}
+	r.finalized = true
+	r.Spans.Finalize(r.World.Scheduler().Now())
 }
 
 // TotalMeals counts critical-section entries across all nodes.

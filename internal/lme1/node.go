@@ -222,10 +222,10 @@ func (n *Node) startJourney() {
 		// Line 55: moved since last legal colour — recolour first.
 		n.viaRecolor = true
 		n.ph = phEnterADr
-		n.dws[adr].BeginEntry()
+		n.enterDoorway(adr)
 	default:
 		n.ph = phEnterADf
-		n.dws[adf].BeginEntry()
+		n.enterDoorway(adf)
 	}
 }
 
@@ -234,7 +234,7 @@ func (n *Node) onCross(d dwIndex) {
 	switch d {
 	case adr:
 		n.ph = phEnterSDr
-		n.dws[sdr].BeginEntry()
+		n.enterDoorway(sdr)
 	case sdr:
 		n.ph = phRecolor
 		n.startRecolor()
@@ -247,7 +247,7 @@ func (n *Node) onCross(d dwIndex) {
 			n.dws[adr].Exit()
 		}
 		n.ph = phEnterSDf
-		n.dws[sdf].BeginEntry()
+		n.enterDoorway(sdf)
 	case sdf:
 		n.ph = phBehindSDf
 		n.onCrossSDf()
@@ -511,7 +511,7 @@ func (n *Node) OnLinkDown(j core.NodeID) {
 			n.dws[d].Forget(j)
 		}
 		n.ph = phEnterSDf
-		n.dws[sdf].BeginEntry()
+		n.enterDoorway(sdf)
 		return
 	}
 	for d := dwIndex(0); d < numDoorways; d++ {
@@ -556,6 +556,12 @@ func (n *Node) exitAllDoorways() {
 		if n.dws[d].Behind() {
 			n.dws[d].Exit()
 		} else {
+			if n.dws[d].Entering() && n.emit != nil {
+				// Aborts are silent on the wire (nothing was announced)
+				// but the span layer must see the entry end, or the
+				// node would look parked at this doorway forever.
+				n.emit(trace.Event{Kind: trace.KindDoorway, Peer: trace.NoNode, New: "abort", Detail: d.String()})
+			}
 			n.dws[d].Abort()
 		}
 	}
@@ -664,6 +670,18 @@ func (n *Node) sortedSuspended() []core.NodeID {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
+}
+
+// enterDoorway publishes the doorway "enter" event and begins the entry
+// protocol. The event is emitted before BeginEntry so that when the entry
+// succeeds within the call (every neighbour already Outside), the stream
+// still shows enter ≤ cross — span consumers rely on that order to open a
+// doorway-wait phase before it closes.
+func (n *Node) enterDoorway(d dwIndex) {
+	if n.emit != nil {
+		n.emit(trace.Event{Kind: trace.KindDoorway, Peer: trace.NoNode, New: "enter", Detail: d.String()})
+	}
+	n.dws[d].BeginEntry()
 }
 
 // emitDoorway publishes a doorway position change (cross or exit) as a

@@ -300,7 +300,7 @@ func (n *Node) finishRecolor(ret int) {
 	}
 	n.env.Broadcast(msgUpdateColor{Color: n.myColor})
 	n.ph = phEnterADf
-	n.dws[adf].BeginEntry()
+	n.enterDoorway(adf)
 }
 
 // abort cancels a recolouring in progress (the mover's Line 52 handling).

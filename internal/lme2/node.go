@@ -265,6 +265,10 @@ func (n *Node) onLinkUpMoving(j core.NodeID) {
 	n.at[j] = false
 	n.higher[j] = true
 	if n.state == core.Eating {
+		// Line 44's safety demotion. The span layer counts the
+		// eating→hungry transition itself; the note names the newcomer
+		// that caused it, which the state event cannot carry.
+		n.tracef("demoted: yielded fork to static neighbour %d", j)
 		n.setState(core.Hungry)
 	}
 	for _, k := range n.sortedNeighbors() {

@@ -20,7 +20,11 @@ import (
 // trace. Regenerate deliberately (and only with a changelog entry) by
 // running this test with -run TestGoldenTraceHash -v after an intentional
 // semantic change; the failure message prints the new hash.
-const goldenTraceHash = "c83e378c6f7035ce05d84e6a37e334d522423037d30d49bc07894fcb26e1299f"
+//
+// Regenerated for the span layer: per-node send sequence numbers
+// ("mseq") on send/deliver/drop events, and doorway "enter"/"abort"
+// events bracketing lme1's BeginEntry/Abort calls.
+const goldenTraceHash = "f68745a763aa438ab1ce544270563364b3d08f5ce6cb380952cfa0ba2bcca4db"
 
 // runGoldenScenario builds and runs a fixed mid-size scenario that
 // exercises every substrate path: initial topology, waypoint mobility

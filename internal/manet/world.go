@@ -109,6 +109,11 @@ type node struct {
 	// delivery pending on this incarnation).
 	lastDelivery []sim.Time
 
+	// sendSeq is the node's monotone message counter; every accepted
+	// send is stamped with the next value so traces carry a causal
+	// send→deliver identity even across equal-time deliveries.
+	sendSeq uint64
+
 	// movement target; valid while moving.
 	target graph.Point
 	speed  float64 // plane units per second
@@ -415,6 +420,7 @@ type delivery struct {
 	msg      core.Message
 	sentAt   sim.Time
 	ep       uint64
+	seq      uint64
 	msgName  string
 	msgSize  int
 	observed bool
@@ -434,7 +440,7 @@ func (d *delivery) Run() {
 			}
 			w.emit(trace.Event{
 				Kind: trace.KindDrop, Node: d.to, Peer: d.from,
-				Msg: d.msgName, Size: d.msgSize, Detail: reason,
+				Msg: d.msgName, Size: d.msgSize, MsgSeq: d.seq, Detail: reason,
 			})
 		}
 	} else {
@@ -442,7 +448,8 @@ func (d *delivery) Run() {
 		if d.observed {
 			w.emit(trace.Event{
 				Kind: trace.KindDeliver, Node: d.to, Peer: d.from,
-				Msg: d.msgName, Size: d.msgSize, Delay: w.sched.Now() - d.sentAt,
+				Msg: d.msgName, Size: d.msgSize, MsgSeq: d.seq,
+				Delay: w.sched.Now() - d.sentAt,
 			})
 		}
 		dst.proto.OnMessage(d.from, d.msg)
@@ -461,6 +468,7 @@ func (w *World) send(from, to core.NodeID, msg core.Message) {
 		return
 	}
 	w.msgsSent++
+	src.sendSeq++
 	observed := w.bus.Active()
 	var msgName string
 	var msgSize int
@@ -468,7 +476,7 @@ func (w *World) send(from, to core.NodeID, msg core.Message) {
 		msgName, msgSize = w.namer.Name(msg)
 		w.emit(trace.Event{
 			Kind: trace.KindSend, Node: from, Peer: to,
-			Msg: msgName, Size: msgSize,
+			Msg: msgName, Size: msgSize, MsgSeq: src.sendSeq,
 		})
 	}
 	sentAt := w.sched.Now()
@@ -492,8 +500,8 @@ func (w *World) send(from, to core.NodeID, msg core.Message) {
 	}
 	*d = delivery{
 		w: w, from: from, to: to, msg: msg, sentAt: sentAt,
-		ep: src.linkEpoch[to], msgName: msgName, msgSize: msgSize,
-		observed: observed,
+		ep: src.linkEpoch[to], seq: src.sendSeq,
+		msgName: msgName, msgSize: msgSize, observed: observed,
 	}
 	w.sched.AtRunner(at, d)
 }

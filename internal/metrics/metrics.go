@@ -39,7 +39,21 @@ type SafetyChecker struct {
 	topo   Topology
 	eating map[core.NodeID]bool
 
-	violations []Violation
+	violations  []Violation
+	onViolation func(Violation)
+}
+
+// SetOnViolation installs a hook invoked synchronously on every recorded
+// violation, at the instant it is detected — the flight recorder's
+// trigger. A nil hook disables it.
+func (c *SafetyChecker) SetOnViolation(fn func(Violation)) { c.onViolation = fn }
+
+// record appends a violation and fires the hook.
+func (c *SafetyChecker) record(v Violation) {
+	c.violations = append(c.violations, v)
+	if c.onViolation != nil {
+		c.onViolation(v)
+	}
 }
 
 // NewSafetyChecker creates a checker over the given adjacency oracle.
@@ -57,7 +71,7 @@ func (c *SafetyChecker) OnStateChange(id core.NodeID, old, new core.State, at si
 	}
 	for _, nb := range c.topo.Neighbors(id) {
 		if c.eating[nb] {
-			c.violations = append(c.violations, Violation{A: id, B: nb, At: at})
+			c.record(Violation{A: id, B: nb, At: at})
 		}
 	}
 	c.eating[id] = true
@@ -66,7 +80,7 @@ func (c *SafetyChecker) OnStateChange(id core.NodeID, old, new core.State, at si
 // OnLink implements manet.LinkListener.
 func (c *SafetyChecker) OnLink(a, b core.NodeID, up bool, at sim.Time) {
 	if up && c.eating[a] && c.eating[b] {
-		c.violations = append(c.violations, Violation{A: a, B: b, At: at})
+		c.record(Violation{A: a, B: b, At: at})
 	}
 }
 

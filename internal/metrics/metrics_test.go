@@ -269,3 +269,73 @@ func TestProberStarvedSinceNeverAte(t *testing.T) {
 		t.Fatalf("fresh prober starved = %v", starved)
 	}
 }
+
+// TestProberBlockedPatienceBoundary pins the inclusive comparison: a wait
+// exactly equal to the patience counts as blocked, one instant shorter
+// does not.
+func TestProberBlockedPatienceBoundary(t *testing.T) {
+	p := NewProber()
+	p.OnStateChange(1, core.Thinking, core.Hungry, 100)
+	if blocked := p.Blocked(600, 500); len(blocked) != 1 || blocked[0] != 1 {
+		t.Fatalf("blocked at exact patience = %v, want [1]", blocked)
+	}
+	if blocked := p.Blocked(599, 500); len(blocked) != 0 {
+		t.Fatalf("blocked one instant early = %v, want none", blocked)
+	}
+	// Zero patience: any currently-hungry node is blocked.
+	if blocked := p.Blocked(100, 0); len(blocked) != 1 {
+		t.Fatalf("blocked with zero patience = %v", blocked)
+	}
+}
+
+// TestProberCrashedWhileHungry documents the crash-site convention: the
+// prober sees no state transition on a crash, so a node that dies hungry
+// stays in the blocked/starved sets — callers measuring locality exclude
+// the crash site themselves, which BlockedRadius does.
+func TestProberCrashedWhileHungry(t *testing.T) {
+	p := NewProber()
+	p.OnStateChange(4, core.Thinking, core.Hungry, 100)
+	// Node 4 crashes at 150: no further transitions arrive.
+	if blocked := p.Blocked(1_000, 500); len(blocked) != 1 || blocked[0] != 4 {
+		t.Fatalf("crashed-hungry node not reported blocked: %v", blocked)
+	}
+	if starved := p.StarvedSince(150); len(starved) != 1 || starved[0] != 4 {
+		t.Fatalf("crashed-hungry node not reported starved: %v", starved)
+	}
+	// The locality measurement excludes the crash site: a radius built
+	// from only the crashed node itself is 0.
+	g := graph.Line(6)
+	if r := BlockedRadius(g, 4, []core.NodeID{4}); r != 0 {
+		t.Fatalf("radius counting the crash site = %d", r)
+	}
+}
+
+// TestSafetyCheckerViolationHook: the flight recorder's trigger fires
+// synchronously on every recorded violation, on both detection paths
+// (state transition and link creation).
+func TestSafetyCheckerViolationHook(t *testing.T) {
+	topo := fixedTopo{0: {1}, 1: {0}}
+	c := NewSafetyChecker(topo)
+	var got []Violation
+	c.SetOnViolation(func(v Violation) { got = append(got, v) })
+	c.OnStateChange(0, core.Hungry, core.Eating, 10)
+	c.OnStateChange(1, core.Hungry, core.Eating, 15)
+	if len(got) != 1 || got[0].A != 1 || got[0].B != 0 || got[0].At != 15 {
+		t.Fatalf("hook saw %v", got)
+	}
+	c.OnLink(0, 1, true, 20) // both still eating: the link path fires too
+	if len(got) != 2 || got[1].At != 20 {
+		t.Fatalf("hook saw %v", got)
+	}
+	// The hook observes what Violations records, in order.
+	vs := c.Violations()
+	if len(vs) != len(got) || vs[0] != got[0] || vs[1] != got[1] {
+		t.Fatalf("hook/record divergence: %v vs %v", got, vs)
+	}
+	// Detaching the hook stops callbacks but not recording.
+	c.SetOnViolation(nil)
+	c.OnStateChange(0, core.Eating, core.Eating, 25)
+	if len(got) != 2 {
+		t.Fatalf("detached hook fired: %v", got)
+	}
+}

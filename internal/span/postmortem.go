@@ -1,0 +1,43 @@
+package span
+
+import (
+	"encoding/json"
+	"io"
+
+	"lme/internal/sim"
+	"lme/internal/trace"
+)
+
+// PostmortemSchema identifies the flight recorder's dump layout; bump on
+// breaking changes.
+const PostmortemSchema = "lme/postmortem/v1"
+
+// Postmortem is the flight recorder's dump, written automatically when
+// the safety checker trips: the tail of the trace ring (the last events
+// leading up to the violation), every attempt still in flight, and the
+// wait-for graph at the instant of the violation.
+type Postmortem struct {
+	Schema  string        `json:"schema"`
+	Reason  string        `json:"reason"`
+	At      sim.Time      `json:"at_us"`
+	Ring    []trace.Event `json:"ring"`
+	Open    []Span        `json:"open_spans"`
+	WaitFor []Edge        `json:"wait_for"`
+}
+
+// WritePostmortem assembles and writes the dump as indented JSON. The
+// collector is read, not mutated, so the run can continue (later
+// violations are typically echoes of the first).
+func WritePostmortem(w io.Writer, reason string, at sim.Time, ring []trace.Event, c *Collector) error {
+	pm := Postmortem{
+		Schema:  PostmortemSchema,
+		Reason:  reason,
+		At:      at,
+		Ring:    ring,
+		Open:    c.OpenSpans(),
+		WaitFor: c.WaitEdges(),
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(pm)
+}

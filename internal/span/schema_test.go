@@ -1,0 +1,220 @@
+// Schema-compatibility golden tests: every trace kind, a fully-populated
+// span record and a postmortem dump round-trip through their JSONL
+// encodings into hand-pinned mirror structs decoded with
+// DisallowUnknownFields. Adding, renaming or removing a wire field fails
+// here first, so consumers of recorded traces (cmd/lmetrace, CI
+// artifacts) never meet an unannounced schema drift — update the mirrors
+// and bump the schema constant deliberately.
+package span
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"lme/internal/trace"
+)
+
+// eventWire pins the JSONL field set of trace.Event (schema names, not Go
+// names). Pointer fields distinguish absent from zero.
+type eventWire struct {
+	Seq    uint64 `json:"seq"`
+	At     int64  `json:"at"`
+	Kind   string `json:"kind"`
+	Node   int32  `json:"node"`
+	Peer   *int32 `json:"peer"`
+	Msg    string `json:"msg"`
+	Size   int    `json:"size"`
+	MsgSeq uint64 `json:"mseq"`
+	Delay  int64  `json:"delay"`
+	Old    string `json:"old"`
+	New    string `json:"new"`
+	Detail string `json:"detail"`
+}
+
+// phaseWire, msgRefWire, spanWire, edgeWire, blockedWire, impactWire and
+// postmortemWire pin the lme/span/v1 and lme/postmortem/v1 layouts.
+type msgRefWire struct {
+	From int32  `json:"from"`
+	Seq  uint64 `json:"seq"`
+	Msg  string `json:"msg"`
+}
+
+type phaseWire struct {
+	Name        string      `json:"name"`
+	Detail      string      `json:"detail"`
+	Start       int64       `json:"start_us"`
+	End         int64       `json:"end_us"`
+	UnblockedBy *msgRefWire `json:"unblocked_by"`
+}
+
+type spanWire struct {
+	Node      int32       `json:"node"`
+	Attempt   int         `json:"attempt"`
+	Start     int64       `json:"start_us"`
+	End       int64       `json:"end_us"`
+	Outcome   string      `json:"outcome"`
+	Demotions int         `json:"demotions"`
+	Recolors  int         `json:"recolors"`
+	Phases    []phaseWire `json:"phases"`
+}
+
+type edgeWire struct {
+	From int32  `json:"from"`
+	To   int32  `json:"to"`
+	Why  string `json:"why"`
+}
+
+type postmortemWire struct {
+	Schema  string      `json:"schema"`
+	Reason  string      `json:"reason"`
+	At      int64       `json:"at_us"`
+	Ring    []eventWire `json:"ring"`
+	Open    []spanWire  `json:"open_spans"`
+	WaitFor []edgeWire  `json:"wait_for"`
+}
+
+// strictDecode unmarshals data into target, failing on any field the
+// mirror struct does not declare.
+func strictDecode(t *testing.T, data []byte, target any) {
+	t.Helper()
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(target); err != nil {
+		t.Fatalf("schema drift: %v\nencoded: %s", err, data)
+	}
+}
+
+// sampleEvents returns one fully-populated event per kind.
+func sampleEvents() []trace.Event {
+	return []trace.Event{
+		{Kind: trace.KindSend, At: 10, Node: 1, Peer: 2, Msg: "req", Size: 16, MsgSeq: 3},
+		{Kind: trace.KindDeliver, At: 20, Node: 2, Peer: 1, Msg: "req", Size: 16, MsgSeq: 3, Delay: 10},
+		{Kind: trace.KindDrop, At: 30, Node: 2, Peer: 1, Msg: "fork", Size: 8, MsgSeq: 4, Detail: "link down"},
+		{Kind: trace.KindState, At: 40, Node: 3, Peer: trace.NoNode, Old: "thinking", New: "hungry"},
+		{Kind: trace.KindLinkUp, At: 50, Node: 0, Peer: 4, Detail: "4"},
+		{Kind: trace.KindLinkDown, At: 60, Node: 0, Peer: 4},
+		{Kind: trace.KindMoveStart, At: 70, Node: 4, Peer: trace.NoNode, Detail: "(0.10,0.20)"},
+		{Kind: trace.KindMoveStop, At: 80, Node: 4, Peer: trace.NoNode, Detail: "(0.30,0.40)"},
+		{Kind: trace.KindCrash, At: 90, Node: 5, Peer: trace.NoNode},
+		{Kind: trace.KindDoorway, At: 100, Node: 6, Peer: trace.NoNode, New: "cross", Detail: "SD^r"},
+		{Kind: trace.KindRecolor, At: 110, Node: 6, Peer: trace.NoNode, Detail: "2"},
+		{Kind: trace.KindNote, At: 120, Node: 7, Peer: trace.NoNode, Detail: "demoted while eating"},
+	}
+}
+
+// TestEventSchemaRoundTrip encodes one event of every kind, strict-decodes
+// it against the pinned mirror, and round-trips it back through
+// trace.Event for value equality (including the NoNode/peer-0 sentinel
+// handling).
+func TestEventSchemaRoundTrip(t *testing.T) {
+	events := sampleEvents()
+	if want := trace.Kinds(); len(events) != len(want) {
+		t.Fatalf("sample set covers %d kinds, schema has %d — extend sampleEvents", len(events), len(want))
+	}
+	covered := map[trace.Kind]bool{}
+	for _, e := range events {
+		covered[e.Kind] = true
+		data, err := json.Marshal(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wire eventWire
+		strictDecode(t, data, &wire)
+		if wire.Kind != e.Kind.String() {
+			t.Fatalf("kind %v encoded as %q", e.Kind, wire.Kind)
+		}
+		var back trace.Event
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back != e {
+			t.Fatalf("round trip mutated the event:\n in  %+v\n out %+v", e, back)
+		}
+	}
+	for _, k := range trace.Kinds() {
+		if !covered[k] {
+			t.Fatalf("kind %v has no sample event", k)
+		}
+	}
+	// A genuine peer 0 must survive (the sentinel is NoNode, not 0).
+	e := trace.Event{Kind: trace.KindSend, At: 1, Node: 3, Peer: 0, Msg: "req", MsgSeq: 1}
+	data, _ := json.Marshal(e)
+	var back trace.Event
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Peer != 0 {
+		t.Fatalf("peer 0 decoded as %d", back.Peer)
+	}
+}
+
+// sampleSpan is a record with every field populated.
+func sampleSpan() Span {
+	return Span{
+		Node: 4, Attempt: 2, Start: 1000, End: 9000,
+		Outcome: OutcomeAte, Demotions: 1, Recolors: 2,
+		Phases: []Phase{
+			{Name: PhaseDoorway, Detail: "AD^r", Start: 1000, End: 2000},
+			{Name: PhaseCollect, Start: 2000, End: 5000,
+				UnblockedBy: &MsgRef{From: 7, Seq: 12, Msg: "fork"}},
+			{Name: PhaseEat, Start: 5000, End: 9000},
+		},
+	}
+}
+
+// TestSpanSchemaRoundTrip pins the lme/span/v1 JSONL record layout.
+func TestSpanSchemaRoundTrip(t *testing.T) {
+	s := sampleSpan()
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wire spanWire
+	strictDecode(t, data, &wire)
+	if wire.Outcome != OutcomeAte || len(wire.Phases) != 3 || wire.Phases[1].UnblockedBy == nil {
+		t.Fatalf("mirror = %+v", wire)
+	}
+	var back Span
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, s) {
+		t.Fatalf("round trip mutated the span:\n in  %+v\n out %+v", s, back)
+	}
+}
+
+// TestPostmortemSchemaRoundTrip assembles a dump via WritePostmortem (the
+// flight recorder's real writer) and strict-decodes it against the pinned
+// lme/postmortem/v1 mirror.
+func TestPostmortemSchemaRoundTrip(t *testing.T) {
+	c := New()
+	c.SeedLink(0, 1)
+	feed(c,
+		evState(0, "thinking", "hungry", 10),
+		evSend(0, 1, "req", 1, 20),
+	)
+	var buf bytes.Buffer
+	err := WritePostmortem(&buf, "nodes 0 and 1 eating simultaneously at 30", 30,
+		sampleEvents(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wire postmortemWire
+	strictDecode(t, buf.Bytes(), &wire)
+	if wire.Schema != PostmortemSchema {
+		t.Fatalf("schema = %q", wire.Schema)
+	}
+	if len(wire.Ring) != len(sampleEvents()) || len(wire.Open) != 1 || len(wire.WaitFor) != 1 {
+		t.Fatalf("dump sections: ring=%d open=%d waitfor=%d",
+			len(wire.Ring), len(wire.Open), len(wire.WaitFor))
+	}
+	var back Postmortem
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Reason == "" || back.At != 30 || back.Open[0].Node != 0 {
+		t.Fatalf("postmortem = %+v", back)
+	}
+}

@@ -1,0 +1,222 @@
+// Package span folds the typed event stream of internal/trace into
+// causal CS-attempt spans: one record per hungry→eat→exit episode per
+// node, subdivided into the phases the paper's response-time theorems
+// reason about (doorway entry wait, recolouring, fork collection,
+// eating) and annotated with the exact message delivery that closed each
+// phase (the per-node send sequence number KindSend stamps and
+// KindDeliver carries back).
+//
+// On top of the spans the Collector maintains two derived structures:
+//
+//   - a wait-for graph — who is blocked on whom right now, combining
+//     fork-wait edges (an unanswered fork request) with doorway-wait
+//     edges (a node at a doorway entry blocked by a neighbour behind
+//     that doorway);
+//   - an empirical failure-locality attribution — for every crash, the
+//     set of nodes still transitively waiting on the crash site at the
+//     end of the run, with their wait-chain hop count and their
+//     communication-graph distance, turning the paper's locality-2
+//     vs locality-4 distinction into a measured number.
+//
+// The Collector is a plain event-at-a-time fold: attach it to a live
+// trace.Bus, or Feed it a recorded JSONL trace (cmd/lmetrace does both
+// views offline). Like the bus it is single-threaded.
+package span
+
+import (
+	"sort"
+
+	"lme/internal/core"
+	"lme/internal/sim"
+)
+
+// Schema identifies the span JSONL layout (one Span object per line);
+// bump on breaking changes.
+const Schema = "lme/span/v1"
+
+// The phase taxonomy. Every instant of an open attempt belongs to
+// exactly one phase; protocols without doorways or recolouring spend
+// their whole pre-eating wait in PhaseCollect.
+const (
+	// PhaseDoorway: waiting at the entry of the doorway named by the
+	// phase's Detail (lme1's adr/sdr/adf/sdf).
+	PhaseDoorway = "doorway"
+	// PhaseRecolor: executing the recolouring module (behind SD^r).
+	PhaseRecolor = "recolor"
+	// PhaseCollect: collecting forks (or, before any doorway event,
+	// whatever entry work the protocol does).
+	PhaseCollect = "collect"
+	// PhaseEat: inside the critical section.
+	PhaseEat = "eat"
+)
+
+// The attempt outcomes.
+const (
+	// OutcomeAte: the attempt completed a critical section and exited.
+	OutcomeAte = "ate"
+	// OutcomeCrashed: the node crash-failed while the attempt was open.
+	OutcomeCrashed = "crashed"
+	// OutcomeOpen: the run ended with the attempt still in progress.
+	OutcomeOpen = "open"
+)
+
+// MsgRef names one message by its sender and the sender's monotone
+// per-node sequence number — the causal identity the transport stamps on
+// send and carries through delivery.
+type MsgRef struct {
+	From core.NodeID `json:"from"`
+	Seq  uint64      `json:"seq"`
+	Msg  string      `json:"msg,omitempty"`
+}
+
+// Phase is one sub-interval of an attempt. Zero-length phases (opened
+// and closed at the same instant, e.g. a doorway crossed within the
+// entry call) are dropped.
+type Phase struct {
+	Name string `json:"name"`
+	// Detail refines the name (the doorway for PhaseDoorway).
+	Detail string   `json:"detail,omitempty"`
+	Start  sim.Time `json:"start_us"`
+	End    sim.Time `json:"end_us"`
+	// UnblockedBy names the message delivery whose processing closed
+	// the phase, when the closing transition happened at the instant of
+	// a delivery to this node (the simulation is single-threaded, so
+	// same-instant means caused-by). Absent when the phase was closed
+	// by a timer, a link change or the run's end.
+	UnblockedBy *MsgRef `json:"unblocked_by,omitempty"`
+}
+
+// Dur is the phase's length.
+func (p Phase) Dur() sim.Time { return p.End - p.Start }
+
+// Span is one CS attempt of one node: opened on thinking→hungry, closed
+// on eating→thinking (OutcomeAte), on crash, or at the end of the run.
+// A safety demotion (eating→hungry under mobility) does not close the
+// attempt; it increments Demotions and resumes collection.
+type Span struct {
+	Node    core.NodeID `json:"node"`
+	Attempt int         `json:"attempt"` // 1-based per node
+	Start   sim.Time    `json:"start_us"`
+	End     sim.Time    `json:"end_us"`
+	Outcome string      `json:"outcome"`
+	// Demotions counts eating→hungry reversals inside this attempt.
+	Demotions int `json:"demotions,omitempty"`
+	// Recolors counts completed recolouring runs inside this attempt.
+	Recolors int     `json:"recolors,omitempty"`
+	Phases   []Phase `json:"phases"`
+}
+
+// Dur is the attempt's total length.
+func (s Span) Dur() sim.Time { return s.End - s.Start }
+
+// PhaseDur sums the lengths of this attempt's phases with the given
+// name ("doorway" sums across all doorways).
+func (s Span) PhaseDur(name string) sim.Time {
+	var total sim.Time
+	for _, p := range s.Phases {
+		if p.Name == name {
+			total += p.Dur()
+		}
+	}
+	return total
+}
+
+// Edge is one wait-for relation at an instant: From is blocked, To is
+// the node it waits on. Why is "fork" (an unanswered fork request) or
+// "doorway:<name>" (From at the entry of a doorway To is behind).
+type Edge struct {
+	From core.NodeID `json:"from"`
+	To   core.NodeID `json:"to"`
+	Why  string      `json:"why"`
+}
+
+// BlockedNode is one victim of a crash: a node whose open attempt was
+// still transitively waiting on the crash site when measured.
+type BlockedNode struct {
+	Node core.NodeID `json:"node"`
+	// Hop is the node's depth in the wait-for chain rooted at the
+	// crashed node (1 = waited on it directly).
+	Hop int `json:"hop"`
+	// Dist is the node's hop distance from the crash site in the
+	// communication graph — the paper's failure-locality measure.
+	// -1 when the graph is unknown (offline traces without link events).
+	Dist int `json:"dist"`
+}
+
+// CrashImpact is the empirical failure-locality attribution of one
+// crash: every node whose span the crash measurably lengthened (open at
+// the end of the run, hungry since before the measurement cutoff, and
+// in the wait-for closure of the crash site), with the maxima the
+// harness tables report.
+type CrashImpact struct {
+	Crashed core.NodeID   `json:"crashed"`
+	At      sim.Time      `json:"at_us"`
+	Blocked []BlockedNode `json:"blocked,omitempty"`
+	// MaxHop is the deepest wait-chain, MaxDist the farthest blocked
+	// node in communication-graph hops (the measured failure locality).
+	// Both 0 when nothing was blocked.
+	MaxHop  int `json:"max_hop"`
+	MaxDist int `json:"max_dist"`
+}
+
+// PhaseStat aggregates one phase name across every finished span.
+type PhaseStat struct {
+	Name    string   `json:"name"`
+	Count   int      `json:"count"`
+	TotalUS sim.Time `json:"total_us"`
+	MaxUS   sim.Time `json:"max_us"`
+}
+
+// Summary is the spans section of lme.Report (schema lme/run/v2): the
+// attempt and phase aggregates plus the per-crash locality attribution.
+type Summary struct {
+	Attempts  int           `json:"attempts"`
+	Ate       int           `json:"ate"`
+	Crashed   int           `json:"crashed"`
+	Open      int           `json:"open"`
+	Demotions int           `json:"demotions"`
+	Phases    []PhaseStat   `json:"phases"`
+	Crashes   []CrashImpact `json:"crashes,omitempty"`
+}
+
+// Summarize aggregates finished spans and crash impacts into the report
+// section. Phase names are qualified with their detail ("doorway:sdf")
+// and sorted.
+func Summarize(spans []Span, crashes []CrashImpact) Summary {
+	sum := Summary{Crashes: crashes}
+	byName := make(map[string]*PhaseStat)
+	for _, s := range spans {
+		sum.Attempts++
+		switch s.Outcome {
+		case OutcomeAte:
+			sum.Ate++
+		case OutcomeCrashed:
+			sum.Crashed++
+		case OutcomeOpen:
+			sum.Open++
+		}
+		sum.Demotions += s.Demotions
+		for _, p := range s.Phases {
+			name := p.Name
+			if p.Detail != "" {
+				name += ":" + p.Detail
+			}
+			st := byName[name]
+			if st == nil {
+				st = &PhaseStat{Name: name}
+				byName[name] = st
+			}
+			st.Count++
+			st.TotalUS += p.Dur()
+			if d := p.Dur(); d > st.MaxUS {
+				st.MaxUS = d
+			}
+		}
+	}
+	sum.Phases = make([]PhaseStat, 0, len(byName))
+	for _, st := range byName {
+		sum.Phases = append(sum.Phases, *st)
+	}
+	sort.Slice(sum.Phases, func(i, j int) bool { return sum.Phases[i].Name < sum.Phases[j].Name })
+	return sum
+}

@@ -52,7 +52,8 @@ const (
 	KindMoveStop
 	// KindCrash: Node crash-failed.
 	KindCrash
-	// KindDoorway: Node crossed (New="cross") or exited (New="exit") the
+	// KindDoorway: Node began entering (New="enter"), crossed ("cross"),
+	// exited ("exit") or aborted an entry in progress of ("abort") the
 	// doorway named in Detail.
 	KindDoorway
 	// KindRecolor: Node finished a recolouring run; Detail carries the
@@ -140,6 +141,10 @@ type Event struct {
 	Msg string `json:"msg,omitempty"`
 	// Size is the in-memory payload size in bytes (send/deliver/drop).
 	Size int `json:"size,omitempty"`
+	// MsgSeq is the sender's monotone per-node message sequence number
+	// (1-based), stamped on send and carried through deliver/drop, so a
+	// causal consumer can name the exact message that closed a wait.
+	MsgSeq uint64 `json:"mseq,omitempty"`
 	// Delay is the transit time of a delivered message.
 	Delay sim.Time `json:"delay,omitempty"`
 	// Old and New are state names for KindState ("thinking", "hungry",
@@ -253,6 +258,13 @@ type Bus struct {
 	total uint64
 	subs  []subscriber
 
+	// overwritten counts ring slots recycled before anyone read them;
+	// sinkDropped counts events the JSONL sink failed to record (the
+	// failed encode itself plus everything skipped after the sticky
+	// error). Both were silent losses before they were counted.
+	overwritten uint64
+	sinkDropped uint64
+
 	enc     *json.Encoder
 	sinkErr error
 }
@@ -298,6 +310,9 @@ func (b *Bus) Publish(e Event) {
 	b.total++
 	e.Seq = b.total
 	if b.ring != nil {
+		if b.total > uint64(len(b.ring)) {
+			b.overwritten++
+		}
 		b.ring[int((b.total-1)%uint64(len(b.ring)))] = e
 	}
 	for i := range b.subs {
@@ -307,14 +322,26 @@ func (b *Bus) Publish(e Event) {
 		}
 	}
 	if b.enc != nil {
-		if err := b.enc.Encode(e); err != nil && b.sinkErr == nil {
+		if b.sinkErr != nil {
+			b.sinkDropped++
+		} else if err := b.enc.Encode(e); err != nil {
 			b.sinkErr = err
+			b.sinkDropped++
 		}
 	}
 }
 
 // Total reports how many events have been published.
 func (b *Bus) Total() uint64 { return b.total }
+
+// Overwritten reports how many retained events the ring has recycled:
+// history older than the last ringCap events is gone. Zero on a bus
+// without a ring.
+func (b *Bus) Overwritten() uint64 { return b.overwritten }
+
+// SinkDropped reports how many events the JSONL sink lost — the encode
+// that raised SinkErr and every event published after it.
+func (b *Bus) SinkDropped() uint64 { return b.sinkDropped }
 
 // Active reports whether anything observes the stream; publishers may use
 // it to skip building events whose construction is not free.

@@ -26,6 +26,7 @@ package lme
 import (
 	"context"
 	"fmt"
+	"io"
 	"sort"
 	"time"
 
@@ -38,6 +39,7 @@ import (
 	"lme/internal/manet"
 	"lme/internal/metrics"
 	"lme/internal/sim"
+	"lme/internal/span"
 	"lme/internal/trace"
 	"lme/internal/workload"
 )
@@ -225,6 +227,11 @@ type Config struct {
 	// ID colours — the paper's distributed pre-colouring (Ch. 5/7).
 	// Ignored by the other algorithms.
 	InitialRecoloring bool
+
+	// PostmortemPath arms the flight recorder: on the first mutual
+	// exclusion violation the tail of the event ring, every open CS
+	// attempt and the wait-for graph are dumped to this file.
+	PostmortemPath string
 }
 
 // Simulation is an assembled run.
@@ -258,14 +265,20 @@ func NewSimulation(cfg Config) (*Simulation, error) {
 		seed = 1
 	}
 	spec := harness.Spec{
-		Seed:        seed,
-		Points:      cfg.Topology.Points,
-		Radius:      cfg.Topology.Radius,
-		NewProtocol: factory,
-		Workload:    wl,
+		Seed:           seed,
+		Points:         cfg.Topology.Points,
+		Radius:         cfg.Topology.Radius,
+		NewProtocol:    factory,
+		Workload:       wl,
+		Spans:          true,
+		PostmortemPath: cfg.PostmortemPath,
 	}
 	if cfg.MaxMessageDelay > 0 {
 		spec.MaxDelay = sim.FromDuration(cfg.MaxMessageDelay)
+	}
+	if cfg.PostmortemPath != "" {
+		// The dump's ring section needs retained history.
+		spec.TraceRing = 4096
 	}
 	run, err := harness.Build(spec)
 	if err != nil {
@@ -497,7 +510,8 @@ func (s *Simulation) Bus() *trace.Bus { return s.run.World.Bus() }
 
 // ReportSchema identifies the JSON layout of Report; bump on breaking
 // changes so downstream diffing tools can refuse mixed comparisons.
-const ReportSchema = "lme/run/v1"
+// v2 added the spans section and the trace loss counters.
+const ReportSchema = "lme/run/v2"
 
 // Report is the machine-readable summary of a run: the telemetry object
 // behind lmesim -json, designed to be schema-stable so CI and benchmark
@@ -529,9 +543,24 @@ type Report struct {
 	// validates the ν bound.
 	LinkDelay metrics.HistogramSnapshot `json:"link_delay"`
 
+	// Spans is the span layer's fold of the run: CS-attempt and phase
+	// aggregates plus the per-crash failure-locality attribution.
+	Spans *span.Summary `json:"spans,omitempty"`
+
+	// Trace reports event-stream integrity: how much of the run the
+	// observability layer actually saw.
+	Trace TraceReport `json:"trace"`
+
 	// Counters is the raw registry dump for everything not broken out
 	// above.
 	Counters map[string]uint64 `json:"counters"`
+}
+
+// TraceReport counts events the trace layer lost: ring slots recycled
+// before anyone read them and events a failed JSONL sink never wrote.
+type TraceReport struct {
+	RingOverwritten uint64 `json:"ring_overwritten"`
+	SinkDropped     uint64 `json:"sink_dropped"`
 }
 
 // ResponseReport summarises hungry→eating latencies (Definition 1).
@@ -564,7 +593,8 @@ type MessageTypeReport struct {
 }
 
 // Report assembles the machine-readable run summary. wall is the measured
-// wall-clock duration of the run (pass 0 if unknown).
+// wall-clock duration of the run (pass 0 if unknown). Report finalises
+// the span layer, so call it after the run is over.
 func (s *Simulation) Report(wall time.Duration) Report {
 	res := s.Results()
 	reg := s.run.Registry
@@ -593,6 +623,9 @@ func (s *Simulation) Report(wall time.Duration) Report {
 		starved = []int{}
 	}
 	snap := reg.Snapshot()
+	s.run.FinalizeSpans()
+	spanSum := s.run.Spans.Summary()
+	bus := s.run.World.Bus()
 	rep := Report{
 		Schema:      ReportSchema,
 		Algorithm:   string(s.alg),
@@ -618,7 +651,12 @@ func (s *Simulation) Report(wall time.Duration) Report {
 			ByType:    byType,
 		},
 		LinkDelay: snap.Histograms[metrics.HistLinkDelay],
-		Counters:  snap.Counters,
+		Spans:     &spanSum,
+		Trace: TraceReport{
+			RingOverwritten: bus.Overwritten(),
+			SinkDropped:     bus.SinkDropped(),
+		},
+		Counters: snap.Counters,
 	}
 	if wall > 0 {
 		rep.WallMS = float64(wall.Microseconds()) / 1000
@@ -631,4 +669,26 @@ func (s *Simulation) Report(wall time.Duration) Report {
 // -stats output).
 func (s *Simulation) MetricsSnapshot() metrics.RegistrySnapshot {
 	return s.run.Registry.Snapshot()
+}
+
+// WriteSpans finalises the span layer (closing attempts still open at
+// the current instant) and writes one JSON span object per line —
+// schema span.Schema. Call after the run is over.
+func (s *Simulation) WriteSpans(w io.Writer) error {
+	s.run.FinalizeSpans()
+	return s.run.Spans.WriteJSONL(w)
+}
+
+// SpanSummary finalises the span layer and returns the attempt/phase
+// aggregates and per-crash locality attribution.
+func (s *Simulation) SpanSummary() span.Summary {
+	s.run.FinalizeSpans()
+	return s.run.Spans.Summary()
+}
+
+// TraceLoss reports how many events the trace layer lost (ring
+// overwrites, failed sink writes).
+func (s *Simulation) TraceLoss() TraceReport {
+	bus := s.run.World.Bus()
+	return TraceReport{RingOverwritten: bus.Overwritten(), SinkDropped: bus.SinkDropped()}
 }
