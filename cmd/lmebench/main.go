@@ -69,6 +69,9 @@ func run() error {
 		parallel   = flag.Int("parallel", 0, "worker count for the fleet pool; 0 = all cores")
 		replicas   = flag.Int("replicas", 1, "independent seeded runs per measurement cell")
 		micro      = flag.Bool("micro", false, "run the substrate microbenchmarks instead of the experiments")
+		check      = flag.Bool("check", false, "with -micro: compare against the committed baseline and fail on large regressions")
+		baseline   = flag.String("baseline", "BENCH_micro.json", "baseline file for -micro -check")
+		checkTol   = flag.Float64("check-tol", 2.0, "regression factor tolerated by -micro -check (ns/op may grow up to this multiple)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -104,7 +107,14 @@ func run() error {
 	}
 
 	if *micro {
-		return runMicro(*jsonOut)
+		var base string
+		if *check {
+			base = *baseline
+		}
+		return runMicro(*jsonOut, base, *checkTol)
+	}
+	if *check {
+		return fmt.Errorf("-check requires -micro")
 	}
 
 	want := map[string]bool{}
@@ -186,16 +196,21 @@ type microResult struct {
 }
 
 // microDoc is the lmebench -micro -json document (the layout of
-// BENCH_micro.json).
+// BENCH_micro.json). ObservedVsDark is the EndToEndObserved/EndToEndDark
+// ns/op ratio — the end-to-end price of full observability — present
+// whenever both benchmarks ran.
 type microDoc struct {
-	Schema  string        `json:"schema"`
-	Results []microResult `json:"results"`
+	Schema         string        `json:"schema"`
+	Results        []microResult `json:"results"`
+	ObservedVsDark float64       `json:"observed_vs_dark,omitempty"`
 }
 
 // runMicro runs the substrate microbenchmarks of internal/microbench via
 // testing.Benchmark — the same bodies `go test -bench` runs in
 // internal/sim and internal/manet — and reports ns/op and allocs/op.
-func runMicro(jsonOut bool) error {
+// When baseline names a committed BENCH_micro.json, the fresh numbers
+// are compared against its results and large regressions fail the run.
+func runMicro(jsonOut bool, baseline string, tol float64) error {
 	doc := microDoc{Schema: MicroSchema, Results: []microResult{}}
 	for _, bench := range microbench.All() {
 		r := testing.Benchmark(bench.Fn)
@@ -212,10 +227,76 @@ func runMicro(jsonOut bool) error {
 				res.Name, res.Iterations, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
 		}
 	}
+	var dark, observed float64
+	for _, r := range doc.Results {
+		switch r.Name {
+		case "EndToEndDark":
+			dark = r.NsPerOp
+		case "EndToEndObserved":
+			observed = r.NsPerOp
+		}
+	}
+	if dark > 0 && observed > 0 {
+		doc.ObservedVsDark = observed / dark
+		if !jsonOut {
+			fmt.Printf("observed-vs-dark   %.2fx (dark %.1f ns/op, observed %.1f ns/op)\n",
+				doc.ObservedVsDark, dark, observed)
+		}
+	}
 	if jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		return enc.Encode(doc)
+		if err := enc.Encode(doc); err != nil {
+			return err
+		}
+	}
+	if baseline != "" {
+		return checkMicro(doc, baseline, tol)
+	}
+	return nil
+}
+
+// checkMicro compares fresh microbenchmark numbers against the committed
+// baseline's results array. ns/op may grow by the tolerance factor before
+// the check fails — microbenchmarks on shared CI machines are noisy, so
+// this is a smoke detector for order-of-magnitude regressions, not a
+// tachometer. allocs/op is compared exactly (with one alloc of slack):
+// allocation counts are deterministic, and a new allocation on a hot path
+// is precisely what the encoding fast path exists to prevent.
+func checkMicro(doc microDoc, baseline string, tol float64) error {
+	raw, err := os.ReadFile(baseline)
+	if err != nil {
+		return fmt.Errorf("-check: %w", err)
+	}
+	var base microDoc
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("-check: parse %s: %w", baseline, err)
+	}
+	want := make(map[string]microResult, len(base.Results))
+	for _, r := range base.Results {
+		want[r.Name] = r
+	}
+	var regressions []string
+	for _, r := range doc.Results {
+		b, ok := want[r.Name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "check: %-18s no baseline (new benchmark), skipped\n", r.Name)
+			continue
+		}
+		status := "ok"
+		if b.NsPerOp > 0 && r.NsPerOp > b.NsPerOp*tol {
+			status = fmt.Sprintf("REGRESSION: %.1f ns/op vs baseline %.1f (>%.1fx)", r.NsPerOp, b.NsPerOp, tol)
+		} else if r.AllocsPerOp > b.AllocsPerOp+1 {
+			status = fmt.Sprintf("REGRESSION: %d allocs/op vs baseline %d", r.AllocsPerOp, b.AllocsPerOp)
+		}
+		fmt.Fprintf(os.Stderr, "check: %-18s %s\n", r.Name, status)
+		if status != "ok" {
+			regressions = append(regressions, r.Name)
+		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("-check: %d benchmark(s) regressed vs %s: %s",
+			len(regressions), baseline, strings.Join(regressions, ", "))
 	}
 	return nil
 }

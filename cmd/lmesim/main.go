@@ -96,6 +96,11 @@ func run() error {
 			fmt.Printf("%12v  %s\n", at, line)
 		})
 	}
+	// traceClose drains the bus's batch buffer and the bufio layer and
+	// closes the file, reporting the first failure anywhere in the chain;
+	// it runs on error paths too, so a violated run still leaves as much
+	// trace on disk as was written.
+	var traceClose func() error
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {
@@ -103,10 +108,16 @@ func run() error {
 		}
 		w := bufio.NewWriter(f)
 		sim.Bus().SetSink(w)
-		defer func() {
-			w.Flush()
-			f.Close()
-		}()
+		traceClose = func() error {
+			err := sim.Bus().Flush()
+			if e := w.Flush(); err == nil {
+				err = e
+			}
+			if e := f.Close(); err == nil {
+				err = e
+			}
+			return err
+		}
 	}
 	if *movers > 0 {
 		if err := sim.Roam(moverIDs(*n, *movers), *speed, *dur*3/4); err != nil {
@@ -121,8 +132,18 @@ func run() error {
 	start := time.Now()
 	runErr := sim.RunFor(*dur)
 	wall := time.Since(start)
-	if err := sim.Bus().SinkErr(); err != nil {
-		return fmt.Errorf("trace sink: %w", err)
+	// A sink failure must not pass silently — the trace file is
+	// truncated. Warn immediately (so the report below still prints) and
+	// exit non-zero at the end.
+	var sinkErr error
+	if traceClose != nil {
+		if err := traceClose(); err != nil {
+			if n := sim.TraceLoss().SinkDropped; n > 0 {
+				err = fmt.Errorf("%w (%d events dropped)", err, n)
+			}
+			fmt.Fprintf(os.Stderr, "lmesim: warning: trace sink: %v; %s is truncated\n", err, *traceOut)
+			sinkErr = fmt.Errorf("trace output truncated (see warning above)")
+		}
 	}
 	// Spans are written even when the run failed: a violated run's spans
 	// are exactly what the post-mortem reader wants next to the dump.
@@ -163,7 +184,7 @@ func run() error {
 		if doc.Violations > 0 {
 			return fmt.Errorf("%d mutual exclusion violations", doc.Violations)
 		}
-		return nil
+		return sinkErr
 	}
 
 	res := sim.Results()
@@ -196,7 +217,7 @@ func run() error {
 	if res.SafetyViolations > 0 {
 		return fmt.Errorf("%d mutual exclusion violations", res.SafetyViolations)
 	}
-	return nil
+	return sinkErr
 }
 
 // moverIDs picks min(movers, n) distinct node IDs spread evenly over

@@ -124,7 +124,7 @@ func Build(spec Spec) (*Run, error) {
 		Timeline: metrics.NewTimeline(),
 		Registry: metrics.NewRegistry(),
 	}
-	metrics.Instrument(w.Bus(), r.Registry)
+	metrics.Instrument(w.Bus(), r.Registry, w.TypeNamer())
 	if spec.Spans {
 		r.Spans = span.New()
 		// Seed the initial adjacency: links that exist from t=0 emit no

@@ -100,8 +100,12 @@ type Node struct {
 
 	// emit publishes protocol events (doorway crossings, recolouring
 	// results, diagnostics) to the runtime's trace bus; nil when the
-	// runtime does not implement trace.Emitter.
-	emit func(trace.Event)
+	// runtime does not implement trace.Emitter. wants is the runtime's
+	// per-kind interest mask (trace.Interest) — consulted before
+	// assembling an event so dark kinds cost nothing; set whenever emit
+	// is, defaulting to always-true for runtimes without the mask.
+	emit  func(trace.Event)
+	wants func(trace.Kind) bool
 
 	state core.State
 	ph    phase
@@ -167,6 +171,10 @@ func (n *Node) Init(env core.Env) {
 	n.env = env
 	if em, ok := env.(trace.Emitter); ok {
 		n.emit = em.Emit
+		n.wants = func(trace.Kind) bool { return true }
+		if in, ok := env.(trace.Interest); ok {
+			n.wants = in.Wants
+		}
 	}
 	me := env.ID()
 	n.myColor = n.cfg.InitialColor(me)
@@ -556,7 +564,7 @@ func (n *Node) exitAllDoorways() {
 		if n.dws[d].Behind() {
 			n.dws[d].Exit()
 		} else {
-			if n.dws[d].Entering() && n.emit != nil {
+			if n.dws[d].Entering() && n.emit != nil && n.wants(trace.KindDoorway) {
 				// Aborts are silent on the wire (nothing was announced)
 				// but the span layer must see the entry end, or the
 				// node would look parked at this doorway forever.
@@ -678,7 +686,7 @@ func (n *Node) sortedSuspended() []core.NodeID {
 // still shows enter ≤ cross — span consumers rely on that order to open a
 // doorway-wait phase before it closes.
 func (n *Node) enterDoorway(d dwIndex) {
-	if n.emit != nil {
+	if n.emit != nil && n.wants(trace.KindDoorway) {
 		n.emit(trace.Event{Kind: trace.KindDoorway, Peer: trace.NoNode, New: "enter", Detail: d.String()})
 	}
 	n.dws[d].BeginEntry()
@@ -687,7 +695,7 @@ func (n *Node) enterDoorway(d dwIndex) {
 // emitDoorway publishes a doorway position change (cross or exit) as a
 // typed event.
 func (n *Node) emitDoorway(d dwIndex, cross bool) {
-	if n.emit == nil {
+	if n.emit == nil || !n.wants(trace.KindDoorway) {
 		return
 	}
 	action := "exit"
@@ -699,7 +707,7 @@ func (n *Node) emitDoorway(d dwIndex, cross bool) {
 
 // tracef publishes a free-form protocol diagnostic on the trace bus.
 func (n *Node) tracef(format string, args ...any) {
-	if n.emit == nil {
+	if n.emit == nil || !n.wants(trace.KindNote) {
 		return
 	}
 	n.emit(trace.Event{Kind: trace.KindNote, Peer: trace.NoNode, Detail: fmt.Sprintf(format, args...)})

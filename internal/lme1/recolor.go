@@ -295,7 +295,7 @@ func (n *Node) finishRecolor(ret int) {
 	rec.queue = nil
 	n.myColor = -ret - 1
 	n.needsRecolor = false
-	if n.emit != nil {
+	if n.emit != nil && n.wants(trace.KindRecolor) {
 		n.emit(trace.Event{Kind: trace.KindRecolor, Peer: trace.NoNode, Detail: fmt.Sprint(n.myColor)})
 	}
 	n.env.Broadcast(msgUpdateColor{Color: n.myColor})

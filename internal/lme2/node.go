@@ -58,8 +58,11 @@ type Node struct {
 	cfg Config
 
 	// emit publishes protocol diagnostics to the runtime's trace bus;
-	// nil when the runtime does not implement trace.Emitter.
-	emit func(trace.Event)
+	// nil when the runtime does not implement trace.Emitter. wants is
+	// the runtime's per-kind interest mask, consulted before formatting
+	// diagnostics; set whenever emit is (always-true fallback).
+	emit  func(trace.Event)
+	wants func(trace.Kind) bool
 
 	state core.State
 
@@ -104,6 +107,10 @@ func (n *Node) Init(env core.Env) {
 	n.env = env
 	if em, ok := env.(trace.Emitter); ok {
 		n.emit = em.Emit
+		n.wants = func(trace.Kind) bool { return true }
+		if in, ok := env.(trace.Interest); ok {
+			n.wants = in.Wants
+		}
 	}
 	me := env.ID()
 	n.nbrs = append(n.nbrs[:0], env.Neighbors()...) // copy: Neighbors is a view
@@ -394,7 +401,7 @@ func (n *Node) sortedSuspended() []core.NodeID {
 
 // tracef publishes a free-form protocol diagnostic on the trace bus.
 func (n *Node) tracef(format string, args ...any) {
-	if n.emit == nil {
+	if n.emit == nil || !n.wants(trace.KindNote) {
 		return
 	}
 	n.emit(trace.Event{Kind: trace.KindNote, Peer: trace.NoNode, Detail: fmt.Sprintf(format, args...)})

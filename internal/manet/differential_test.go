@@ -69,7 +69,7 @@ func differentialTrace(t *testing.T, seed uint64, brute bool) []byte {
 	if err := w.Scheduler().RunUntil(600_000, 2_000_000); err != nil {
 		t.Fatal(err)
 	}
-	if err := w.Bus().SinkErr(); err != nil {
+	if err := w.Bus().Flush(); err != nil {
 		t.Fatal(err)
 	}
 	return buf.Bytes()

@@ -49,6 +49,9 @@ func TestEmitPeerPassthrough(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	if err := w.Bus().Flush(); err != nil {
+		t.Fatal(err)
+	}
 	if len(seen) != 2 {
 		t.Fatalf("subscriber saw %d note events, want 2", len(seen))
 	}

@@ -76,7 +76,7 @@ func runGoldenScenario(t *testing.T, sink io.Writer) {
 	if err := w.Scheduler().RunUntil(1_500_000, 5_000_000); err != nil {
 		t.Fatal(err)
 	}
-	if err := w.Bus().SinkErr(); err != nil {
+	if err := w.Bus().Flush(); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -196,6 +196,11 @@ func NewWorld(cfg Config) *World {
 // observe the whole run.
 func (w *World) Bus() *trace.Bus { return w.bus }
 
+// TypeNamer exposes the world's message-type cache — the mint of the
+// MsgID values traffic events carry. Consumers (metrics.Instrument) use
+// it to resolve dense type IDs back to schema names.
+func (w *World) TypeNamer() *trace.TypeNamer { return w.namer }
+
 // Scheduler exposes the world's event loop for workloads and harnesses.
 func (w *World) Scheduler() *sim.Scheduler { return w.sched }
 
@@ -251,11 +256,11 @@ func (w *World) setMoving(n *node, moving bool) {
 		return
 	}
 	n.moving = moving
-	if w.bus.Active() {
-		kind := trace.KindMoveStop
-		if moving {
-			kind = trace.KindMoveStart
-		}
+	kind := trace.KindMoveStop
+	if moving {
+		kind = trace.KindMoveStart
+	}
+	if w.bus.Wants(kind) {
 		w.emit(trace.Event{
 			Kind: kind, Node: n.id, Peer: trace.NoNode,
 			Detail: fmt.Sprintf("(%.3f,%.3f)", n.pos.X, n.pos.Y),
@@ -403,7 +408,9 @@ func (w *World) Crash(id core.NodeID) {
 	n.crashed = true
 	w.setMoving(n, false)
 	n.moveID++ // cancel pending movement ticks
-	w.emit(trace.Event{Kind: trace.KindCrash, Node: id, Peer: trace.NoNode})
+	if w.bus.Wants(trace.KindCrash) {
+		w.emit(trace.Event{Kind: trace.KindCrash, Node: id, Peer: trace.NoNode})
+	}
 }
 
 // CrashAt schedules a crash of id at time t.
@@ -423,6 +430,7 @@ type delivery struct {
 	seq      uint64
 	msgName  string
 	msgSize  int
+	msgID    trace.MsgType
 	observed bool
 }
 
@@ -433,22 +441,23 @@ func (d *delivery) Run() {
 	src, dst := w.nodes[d.from], w.nodes[d.to]
 	if dst.crashed || src.linkEpoch[d.to] != d.ep || !dst.adj[d.from] {
 		// Destroyed with the link, or receiver dead.
-		if d.observed {
+		if d.observed && w.bus.Wants(trace.KindDrop) {
 			reason := "link-changed"
 			if dst.crashed {
 				reason = "receiver-crashed"
 			}
 			w.emit(trace.Event{
 				Kind: trace.KindDrop, Node: d.to, Peer: d.from,
-				Msg: d.msgName, Size: d.msgSize, MsgSeq: d.seq, Detail: reason,
+				Msg: d.msgName, Size: d.msgSize, MsgSeq: d.seq, MsgID: d.msgID,
+				Detail: reason,
 			})
 		}
 	} else {
 		w.msgsDelivered++
-		if d.observed {
+		if d.observed && w.bus.Wants(trace.KindDeliver) {
 			w.emit(trace.Event{
 				Kind: trace.KindDeliver, Node: d.to, Peer: d.from,
-				Msg: d.msgName, Size: d.msgSize, MsgSeq: d.seq,
+				Msg: d.msgName, Size: d.msgSize, MsgSeq: d.seq, MsgID: d.msgID,
 				Delay: w.sched.Now() - d.sentAt,
 			})
 		}
@@ -469,15 +478,19 @@ func (w *World) send(from, to core.NodeID, msg core.Message) {
 	}
 	w.msgsSent++
 	src.sendSeq++
-	observed := w.bus.Active()
+	observed := w.bus.Wants(trace.KindSend) ||
+		w.bus.Wants(trace.KindDeliver) || w.bus.Wants(trace.KindDrop)
 	var msgName string
 	var msgSize int
+	var msgID trace.MsgType
 	if observed {
-		msgName, msgSize = w.namer.Name(msg)
-		w.emit(trace.Event{
-			Kind: trace.KindSend, Node: from, Peer: to,
-			Msg: msgName, Size: msgSize, MsgSeq: src.sendSeq,
-		})
+		msgName, msgSize, msgID = w.namer.Info(msg)
+		if w.bus.Wants(trace.KindSend) {
+			w.emit(trace.Event{
+				Kind: trace.KindSend, Node: from, Peer: to,
+				Msg: msgName, Size: msgSize, MsgSeq: src.sendSeq, MsgID: msgID,
+			})
+		}
 	}
 	sentAt := w.sched.Now()
 	delay := w.cfg.MinDelay
@@ -501,7 +514,7 @@ func (w *World) send(from, to core.NodeID, msg core.Message) {
 	*d = delivery{
 		w: w, from: from, to: to, msg: msg, sentAt: sentAt,
 		ep: src.linkEpoch[to], seq: src.sendSeq,
-		msgName: msgName, msgSize: msgSize, observed: observed,
+		msgName: msgName, msgSize: msgSize, msgID: msgID, observed: observed,
 	}
 	w.sched.AtRunner(at, d)
 }
@@ -520,10 +533,12 @@ func (w *World) setLink(a, b core.NodeID, up bool) {
 		na.insertNeighbor(b)
 		nb.insertNeighbor(a)
 		movingSide := w.pickMovingSide(na, nb)
-		w.emit(trace.Event{
-			Kind: trace.KindLinkUp, Node: a, Peer: b,
-			Detail: fmt.Sprint(movingSide),
-		})
+		if w.bus.Wants(trace.KindLinkUp) {
+			w.emit(trace.Event{
+				Kind: trace.KindLinkUp, Node: a, Peer: b,
+				Detail: fmt.Sprint(movingSide),
+			})
+		}
 		// Deliver the static-side indication first: in the paper's
 		// link-level protocol the static node reacts by sending its
 		// status (colour and doorway positions) to the newcomer.
@@ -542,7 +557,9 @@ func (w *World) setLink(a, b core.NodeID, up bool) {
 		nb.removeNeighbor(a)
 		na.lastDelivery[b] = 0
 		nb.lastDelivery[a] = 0
-		w.emit(trace.Event{Kind: trace.KindLinkDown, Node: a, Peer: b})
+		if w.bus.Wants(trace.KindLinkDown) {
+			w.emit(trace.Event{Kind: trace.KindLinkDown, Node: a, Peer: b})
+		}
 		if !na.crashed {
 			na.proto.OnLinkDown(b)
 		}
@@ -616,10 +633,12 @@ func (w *World) setState(n *node, s core.State) {
 	}
 	old := n.state
 	n.state = s
-	w.emit(trace.Event{
-		Kind: trace.KindState, Node: n.id, Peer: trace.NoNode,
-		Old: old.String(), New: s.String(),
-	})
+	if w.bus.Wants(trace.KindState) {
+		w.emit(trace.Event{
+			Kind: trace.KindState, Node: n.id, Peer: trace.NoNode,
+			Old: old.String(), New: s.String(),
+		})
+	}
 	for _, l := range w.stateListeners {
 		l.OnStateChange(n.id, old, s, w.sched.Now())
 	}
@@ -632,8 +651,9 @@ type env struct {
 }
 
 var (
-	_ core.Env      = (*env)(nil)
-	_ trace.Emitter = (*env)(nil)
+	_ core.Env       = (*env)(nil)
+	_ trace.Emitter  = (*env)(nil)
+	_ trace.Interest = (*env)(nil)
 )
 
 func (e *env) ID() core.NodeID { return e.n.id }
@@ -649,6 +669,12 @@ func (e *env) Emit(ev trace.Event) {
 	ev.Node = e.n.id
 	e.w.emit(ev)
 }
+
+// Wants implements trace.Interest: protocols ask before assembling an
+// event whose strings cost something to build (notef diagnostics,
+// doorway details), and skip the work when no ring, sink, or subscriber
+// would see that kind.
+func (e *env) Wants(k trace.Kind) bool { return e.w.bus.Wants(k) }
 
 func (e *env) Now() sim.Time { return e.w.sched.Now() }
 

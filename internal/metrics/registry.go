@@ -10,14 +10,54 @@ import (
 	"lme/internal/trace"
 )
 
+// msgClass indexes the dense per-message-type tables: one counter slice
+// per traffic direction, addressed by the TypeNamer's MsgType ID.
+type msgClass int
+
+const (
+	classSent msgClass = iota
+	classDelivered
+	classDropped
+	numClasses
+)
+
+// classPrefix maps each class to the string-counter prefix its dense
+// counts fold into.
+var classPrefix = [numClasses]string{
+	classSent:      PrefixSent,
+	classDelivered: PrefixDelivered,
+	classDropped:   PrefixDropped,
+}
+
+// fastCounters are the fixed counters Instrument bumps on every event.
+// They live as plain fields so the hot path is one add, no map probe;
+// fold() drains them into the string map before any read.
+type fastCounters struct {
+	sent, delivered, dropped uint64
+	bytesSent                uint64
+	csEntries                uint64
+	linkUps, linkDowns       uint64
+	moves, crashes, recolors uint64
+}
+
 // Registry is the per-run counter and histogram store behind the
 // machine-readable telemetry: per-message-type traffic counts, the
 // link-delay histogram that validates the ν bound, and whatever a
 // consumer adds. Like the bus it belongs to the simulation's single
 // thread; snapshot after the run.
+//
+// The counters Instrument maintains take a dense fast path — fixed
+// fields plus per-message-type slices indexed by the world's TypeNamer
+// ID — and are folded into the string map lazily, so every read API
+// (Counter, CountersWithPrefix, Snapshot) reports exactly the names and
+// values the per-event map updates used to produce.
 type Registry struct {
 	counters map[string]uint64
 	hists    map[string]*Histogram
+
+	fast   fastCounters
+	namer  *trace.TypeNamer
+	byType [numClasses][]uint64
 }
 
 // NewRegistry returns an empty registry.
@@ -35,7 +75,61 @@ func (r *Registry) Add(name string, n uint64) { r.counters[name] += n }
 func (r *Registry) Inc(name string) { r.counters[name]++ }
 
 // Counter reads the named counter (0 if never written).
-func (r *Registry) Counter(name string) uint64 { return r.counters[name] }
+func (r *Registry) Counter(name string) uint64 {
+	r.fold()
+	return r.counters[name]
+}
+
+// incMsg bumps the per-message-type counter for one traffic event:
+// slice-indexed when the event carries a minted MsgID and a namer is
+// attached, string-keyed otherwise (events from emitters that never
+// touch the TypeNamer).
+func (r *Registry) incMsg(class msgClass, e trace.Event) {
+	if e.MsgID == 0 || r.namer == nil {
+		r.counters[classPrefix[class]+e.Msg]++
+		return
+	}
+	t := &r.byType[class]
+	for int(e.MsgID) > len(*t) {
+		*t = append(*t, 0)
+	}
+	(*t)[e.MsgID-1]++
+}
+
+// fold drains the dense fast-path counters into the string map. Reads
+// call it first, so the map view is always complete; counters that never
+// fired stay absent, exactly as with per-event map updates.
+func (r *Registry) fold() {
+	f := &r.fast
+	drain := func(name string, v *uint64) {
+		if *v != 0 {
+			r.counters[name] += *v
+			*v = 0
+		}
+	}
+	drain(CtrSent, &f.sent)
+	drain(CtrDelivered, &f.delivered)
+	drain(CtrDropped, &f.dropped)
+	drain(CtrBytesSent, &f.bytesSent)
+	drain(CtrCSEntries, &f.csEntries)
+	drain(CtrLinkUps, &f.linkUps)
+	drain(CtrLinkDowns, &f.linkDowns)
+	drain(CtrMoves, &f.moves)
+	drain(CtrCrashes, &f.crashes)
+	drain(CtrRecolorRns, &f.recolors)
+	if r.namer == nil {
+		return
+	}
+	for class := range r.byType {
+		counts := r.byType[class]
+		for i, n := range counts {
+			if n != 0 {
+				r.counters[classPrefix[class]+r.namer.TypeName(trace.MsgType(i+1))] += n
+				counts[i] = 0
+			}
+		}
+	}
+}
 
 // Histogram returns the named histogram, creating it with the given
 // bucket bounds on first use. Bounds passed on later calls are ignored.
@@ -52,6 +146,7 @@ func (r *Registry) Histogram(name string, bounds []sim.Time) *Histogram {
 // keyed by the remainder of the name. Used to regroup the per-type
 // message counters ("sent.req" → "req").
 func (r *Registry) CountersWithPrefix(prefix string) map[string]uint64 {
+	r.fold()
 	out := make(map[string]uint64)
 	for name, v := range r.counters {
 		if rest, ok := strings.CutPrefix(name, prefix); ok {
@@ -63,6 +158,7 @@ func (r *Registry) CountersWithPrefix(prefix string) map[string]uint64 {
 
 // Snapshot captures the registry as a JSON-marshalable value.
 func (r *Registry) Snapshot() RegistrySnapshot {
+	r.fold()
 	s := RegistrySnapshot{
 		Counters:   make(map[string]uint64, len(r.counters)),
 		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
@@ -218,36 +314,40 @@ func DefaultDelayBounds() []sim.Time {
 // Instrument subscribes the registry to the bus: every published event
 // updates the appropriate counters, giving each run per-message-type
 // accounting and the link-delay histogram without the world knowing about
-// the registry.
-func Instrument(bus *trace.Bus, r *Registry) {
+// the registry. The namer is the world's TypeNamer — the mint of the
+// MsgID values traffic events carry; it routes per-type counts to the
+// dense tables. A nil namer falls back to string-keyed counting.
+func Instrument(bus *trace.Bus, r *Registry, namer *trace.TypeNamer) {
+	r.namer = namer
 	delays := r.Histogram(HistLinkDelay, DefaultDelayBounds())
+	eating := core.Eating.String()
 	bus.Subscribe(func(e trace.Event) {
 		switch e.Kind {
 		case trace.KindSend:
-			r.Inc(CtrSent)
-			r.Inc(PrefixSent + e.Msg)
-			r.Add(CtrBytesSent, uint64(e.Size))
+			r.fast.sent++
+			r.fast.bytesSent += uint64(e.Size)
+			r.incMsg(classSent, e)
 		case trace.KindDeliver:
-			r.Inc(CtrDelivered)
-			r.Inc(PrefixDelivered + e.Msg)
+			r.fast.delivered++
+			r.incMsg(classDelivered, e)
 			delays.Observe(e.Delay)
 		case trace.KindDrop:
-			r.Inc(CtrDropped)
-			r.Inc(PrefixDropped + e.Msg)
+			r.fast.dropped++
+			r.incMsg(classDropped, e)
 		case trace.KindState:
-			if e.New == core.Eating.String() {
-				r.Inc(CtrCSEntries)
+			if e.New == eating {
+				r.fast.csEntries++
 			}
 		case trace.KindLinkUp:
-			r.Inc(CtrLinkUps)
+			r.fast.linkUps++
 		case trace.KindLinkDown:
-			r.Inc(CtrLinkDowns)
+			r.fast.linkDowns++
 		case trace.KindMoveStart:
-			r.Inc(CtrMoves)
+			r.fast.moves++
 		case trace.KindCrash:
-			r.Inc(CtrCrashes)
+			r.fast.crashes++
 		case trace.KindRecolor:
-			r.Inc(CtrRecolorRns)
+			r.fast.recolors++
 		}
 	}, trace.KindSend, trace.KindDeliver, trace.KindDrop, trace.KindState,
 		trace.KindLinkUp, trace.KindLinkDown, trace.KindMoveStart,

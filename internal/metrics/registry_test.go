@@ -71,7 +71,7 @@ func TestHistogramEmptySnapshot(t *testing.T) {
 func TestInstrument(t *testing.T) {
 	bus := trace.NewBus(0)
 	r := NewRegistry()
-	Instrument(bus, r)
+	Instrument(bus, r, nil)
 
 	bus.Publish(trace.Event{Kind: trace.KindSend, Node: 0, Peer: 1, Msg: "req", Size: 8})
 	bus.Publish(trace.Event{Kind: trace.KindSend, Node: 1, Peer: 0, Msg: "fork", Size: 16})
@@ -119,6 +119,62 @@ func TestInstrument(t *testing.T) {
 	out := snap.String()
 	if !strings.Contains(out, CtrSent) || !strings.Contains(out, HistLinkDelay) {
 		t.Errorf("snapshot rendering missing names:\n%s", out)
+	}
+}
+
+// Synthetic message types for the dense-counter test; the TypeNamer
+// normalises them to "req" and "fork".
+type (
+	msgReq  struct{ _ [8]byte }
+	msgFork struct{ _ [16]byte }
+)
+
+// TestInstrumentDenseIDs drives traffic events that carry minted MsgIDs
+// and checks the dense per-type tables fold back into exactly the same
+// string counters the map path produces — including mixed streams where
+// some events carry an ID and some do not.
+func TestInstrumentDenseIDs(t *testing.T) {
+	bus := trace.NewBus(0)
+	r := NewRegistry()
+	namer := trace.NewTypeNamer()
+	Instrument(bus, r, namer)
+
+	reqName, reqSize, reqID := namer.Info(msgReq{})
+	forkName, forkSize, forkID := namer.Info(msgFork{})
+	if reqName != "req" || forkName != "fork" {
+		t.Fatalf("normalised names = %q, %q", reqName, forkName)
+	}
+
+	bus.Publish(trace.Event{Kind: trace.KindSend, Node: 0, Peer: 1, Msg: reqName, Size: reqSize, MsgID: reqID})
+	bus.Publish(trace.Event{Kind: trace.KindSend, Node: 1, Peer: 0, Msg: forkName, Size: forkSize, MsgID: forkID})
+	bus.Publish(trace.Event{Kind: trace.KindSend, Node: 0, Peer: 1, Msg: reqName, Size: reqSize, MsgID: reqID})
+	bus.Publish(trace.Event{Kind: trace.KindDeliver, Node: 1, Peer: 0, Msg: reqName, Size: reqSize, MsgID: reqID, Delay: 400})
+	bus.Publish(trace.Event{Kind: trace.KindDrop, Node: 0, Peer: 1, Msg: forkName, Size: forkSize, MsgID: forkID})
+	// An emitter that never touched the namer: MsgID 0 takes the string path.
+	bus.Publish(trace.Event{Kind: trace.KindSend, Node: 2, Peer: 3, Msg: "probe", Size: 4})
+
+	checks := map[string]uint64{
+		CtrSent:         4,
+		CtrDelivered:    1,
+		CtrDropped:      1,
+		CtrBytesSent:    uint64(2*reqSize + forkSize + 4),
+		"sent.req":      2,
+		"sent.fork":     1,
+		"sent.probe":    1,
+		"delivered.req": 1,
+		"dropped.fork":  1,
+	}
+	for name, want := range checks {
+		if got := r.Counter(name); got != want {
+			t.Errorf("counter %q = %d, want %d", name, got, want)
+		}
+	}
+	if _, ok := r.CountersWithPrefix(PrefixDelivered)["fork"]; ok {
+		t.Error("delivered.fork should be absent, not zero")
+	}
+	// Folding must drain: a second read sees the same totals, not doubles.
+	if got := r.Counter("sent.req"); got != 2 {
+		t.Errorf("second read of sent.req = %d, want 2", got)
 	}
 }
 

@@ -25,13 +25,19 @@ type Benchmark struct {
 	Fn   func(b *testing.B)
 }
 
-// All lists the substrate microbenchmarks in reporting order.
+// All lists the substrate and observability microbenchmarks in reporting
+// order.
 func All() []Benchmark {
 	return []Benchmark{
 		{Name: "SchedulerChurn", Fn: SchedulerChurn},
 		{Name: "MobilitySweep", Fn: MobilitySweep},
 		{Name: "BroadcastFanout", Fn: BroadcastFanout},
 		{Name: "NeighborsView", Fn: NeighborsView},
+		{Name: "TraceSinkThroughput", Fn: TraceSinkThroughput},
+		{Name: "PublishFanout", Fn: PublishFanout},
+		{Name: "SpanFold", Fn: SpanFold},
+		{Name: "EndToEndDark", Fn: EndToEndDark},
+		{Name: "EndToEndObserved", Fn: EndToEndObserved},
 	}
 }
 

@@ -1,0 +1,221 @@
+// Observability microbenchmarks: what a run pays when it is watched.
+// TraceSinkThroughput measures the JSONL encoding path of the trace bus,
+// PublishFanout the subscriber dispatch, SpanFold the span collector's
+// event fold, and the EndToEnd pair the full simulation with and without
+// every observer attached — the observed-vs-dark delta lmebench -micro
+// reports.
+package microbench
+
+import (
+	"io"
+	"testing"
+
+	"lme/internal/core"
+	"lme/internal/graph"
+	"lme/internal/manet"
+	"lme/internal/metrics"
+	"lme/internal/sim"
+	"lme/internal/span"
+	"lme/internal/trace"
+)
+
+// eventMix returns a representative slice of trace events, weighted
+// roughly like a real run's stream: mostly traffic (send/deliver), some
+// state transitions, the occasional link, doorway and note event.
+func eventMix() []trace.Event {
+	return []trace.Event{
+		{At: 1_000, Kind: trace.KindSend, Node: 3, Peer: 7, Msg: "req", Size: 24, MsgSeq: 41},
+		{At: 1_200, Kind: trace.KindDeliver, Node: 7, Peer: 3, Msg: "req", Size: 24, MsgSeq: 41, Delay: 200},
+		{At: 1_250, Kind: trace.KindSend, Node: 7, Peer: 3, Msg: "fork", Size: 16, MsgSeq: 42},
+		{At: 1_400, Kind: trace.KindDeliver, Node: 3, Peer: 7, Msg: "fork", Size: 16, MsgSeq: 42, Delay: 150},
+		{At: 1_500, Kind: trace.KindState, Node: 3, Peer: trace.NoNode, Old: "hungry", New: "eating"},
+		{At: 1_700, Kind: trace.KindSend, Node: 3, Peer: 0, Msg: "notification", Size: 32, MsgSeq: 43},
+		{At: 1_900, Kind: trace.KindDeliver, Node: 0, Peer: 3, Msg: "notification", Size: 32, MsgSeq: 43, Delay: 200},
+		{At: 2_000, Kind: trace.KindState, Node: 3, Peer: trace.NoNode, Old: "eating", New: "thinking"},
+		{At: 2_100, Kind: trace.KindLinkUp, Node: 2, Peer: 9, Detail: "9"},
+		{At: 2_200, Kind: trace.KindDoorway, Node: 5, Peer: trace.NoNode, New: "cross", Detail: "adr"},
+		{At: 2_300, Kind: trace.KindDrop, Node: 9, Peer: 2, Msg: "req", Size: 24, MsgSeq: 7, Detail: "link-changed"},
+		{At: 2_400, Kind: trace.KindNote, Node: 5, Peer: trace.NoNode, Detail: "recolor run 3: palette {1,4,6}"},
+	}
+}
+
+// TraceSinkThroughput measures the JSONL sink encoding path: one op is
+// one event published to a bus whose only consumer is a byte sink. This
+// is the per-event cost every -trace-out run pays.
+func TraceSinkThroughput(b *testing.B) {
+	mix := eventMix()
+	bus := trace.NewBus(0)
+	bus.SetSink(io.Discard)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bus.Publish(mix[i%len(mix)])
+	}
+	b.StopTimer()
+	if err := bus.Flush(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// PublishFanout measures subscriber dispatch: one op is one event
+// published to a bus with a realistic observer population — a
+// metrics-style multi-kind subscriber, a span-style all-kinds subscriber,
+// two single-kind subscribers and a retained-history ring.
+func PublishFanout(b *testing.B) {
+	mix := eventMix()
+	bus := trace.NewBus(1024)
+	var sink uint64
+	bus.Subscribe(func(e trace.Event) { sink += uint64(e.Size) },
+		trace.KindSend, trace.KindDeliver, trace.KindDrop, trace.KindState,
+		trace.KindLinkUp, trace.KindLinkDown, trace.KindMoveStart,
+		trace.KindCrash, trace.KindRecolor)
+	bus.Subscribe(func(e trace.Event) { sink += uint64(e.Node) })
+	bus.Subscribe(func(e trace.Event) { sink++ }, trace.KindState)
+	bus.Subscribe(func(e trace.Event) { sink++ }, trace.KindDoorway)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bus.Publish(mix[i%len(mix)])
+	}
+	b.StopTimer()
+	if sink == 0 {
+		b.Fatal("subscribers saw nothing")
+	}
+}
+
+// spanEvents synthesises the event stream of a few hundred complete CS
+// attempts across 8 nodes: hungry, doorway enter/cross, fork request and
+// delivery, eating, thinking — the shapes the collector folds all day.
+func spanEvents() []trace.Event {
+	var evs []trace.Event
+	at := sim.Time(0)
+	seq := uint64(0)
+	emit := func(e trace.Event) {
+		at += 37
+		seq++
+		e.At, e.Seq = at, seq
+		evs = append(evs, e)
+	}
+	const nodes = 8
+	for round := 0; round < 40; round++ {
+		for n := core.NodeID(0); n < nodes; n++ {
+			peer := (n + 1) % nodes
+			emit(trace.Event{Kind: trace.KindState, Node: n, Peer: trace.NoNode, Old: "thinking", New: "hungry"})
+			emit(trace.Event{Kind: trace.KindDoorway, Node: n, Peer: trace.NoNode, New: "enter", Detail: "adr"})
+			emit(trace.Event{Kind: trace.KindDoorway, Node: n, Peer: trace.NoNode, New: "cross", Detail: "adr"})
+			emit(trace.Event{Kind: trace.KindSend, Node: n, Peer: peer, Msg: "req", Size: 24, MsgSeq: uint64(round*8) + uint64(n)})
+			emit(trace.Event{Kind: trace.KindDeliver, Node: n, Peer: peer, Msg: "fork", Size: 16, MsgSeq: uint64(round*8) + uint64(n), Delay: 120})
+			emit(trace.Event{Kind: trace.KindState, Node: n, Peer: trace.NoNode, Old: "hungry", New: "eating"})
+			emit(trace.Event{Kind: trace.KindDoorway, Node: n, Peer: trace.NoNode, New: "exit", Detail: "adr"})
+			emit(trace.Event{Kind: trace.KindState, Node: n, Peer: trace.NoNode, Old: "eating", New: "thinking"})
+		}
+	}
+	return evs
+}
+
+// SpanFold measures the span collector's event-at-a-time fold: one op is
+// one event fed. The collector restarts at each pass over the stream so
+// its state stays bounded.
+func SpanFold(b *testing.B) {
+	evs := spanEvents()
+	c := span.New()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % len(evs)
+		if j == 0 {
+			c = span.New()
+		}
+		c.Feed(evs[j])
+	}
+	b.StopTimer()
+	if c.Now() == 0 {
+		b.Fatal("collector folded nothing")
+	}
+}
+
+// churnTick drives the end-to-end scenario: a rotating node broadcasts
+// and cycles its dining state every 2ms of virtual time, generating the
+// send/deliver/state stream a saturated protocol run produces.
+func churnWorkload(w *manet.World, protos []*nullProto) {
+	var payload struct{ A, B int64 }
+	i := 0
+	var tick func()
+	tick = func() {
+		p := protos[i%len(protos)]
+		switch i % 3 {
+		case 0:
+			p.env.SetState(core.Hungry)
+		case 1:
+			p.env.Broadcast(payload)
+			p.env.SetState(core.Eating)
+		case 2:
+			p.env.SetState(core.Thinking)
+		}
+		i++
+		w.Scheduler().After(2_000, tick)
+	}
+	w.Scheduler().After(1_000, tick)
+}
+
+// endToEndWorld builds the observed-vs-dark scenario: a 64-node world
+// with the churn workload attached. observe=false runs dark (no ring, no
+// subscribers, no sink); observe=true attaches the full observability
+// stack of an instrumented run — retained ring, metrics registry, span
+// collector and a JSONL sink.
+func endToEndWorld(b *testing.B, observe bool) *manet.World {
+	cfg := manet.DefaultConfig()
+	cfg.Seed = 17
+	cfg.Radius = 0.2
+	if observe {
+		cfg.TraceRing = 4096
+	}
+	w := manet.NewWorld(cfg)
+	protos := make([]*nullProto, 64)
+	r := sim.NewScheduler(5).Rand()
+	for i := range protos {
+		protos[i] = &nullProto{}
+		id := w.AddNode(graph.Point{X: r.Float64(), Y: r.Float64()})
+		w.SetProtocol(id, protos[i])
+	}
+	if observe {
+		reg := metrics.NewRegistry()
+		metrics.Instrument(w.Bus(), reg, w.TypeNamer())
+		col := span.New()
+		col.Attach(w.Bus())
+		w.Bus().SetSink(io.Discard)
+	}
+	if err := w.Start(); err != nil {
+		b.Fatal(err)
+	}
+	churnWorkload(w, protos)
+	return w
+}
+
+// EndToEndDark measures the unobserved baseline: one op is 100ms of
+// virtual time of the churn scenario with nothing attached to the bus.
+func EndToEndDark(b *testing.B) {
+	runEndToEnd(b, endToEndWorld(b, false))
+}
+
+// EndToEndObserved is EndToEndDark with the full observability stack
+// attached (ring + metrics + span collector + JSONL sink). The ratio of
+// the two is the observed-vs-dark delta lmebench -micro prints.
+func EndToEndObserved(b *testing.B) {
+	runEndToEnd(b, endToEndWorld(b, true))
+}
+
+func runEndToEnd(b *testing.B, w *manet.World) {
+	const chunk = sim.Time(100_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Scheduler().RunUntil(w.Scheduler().Now()+chunk, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if err := w.Bus().Flush(); err != nil {
+		b.Fatal(err)
+	}
+}

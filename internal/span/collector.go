@@ -1,7 +1,6 @@
 package span
 
 import (
-	"encoding/json"
 	"io"
 	"sort"
 
@@ -539,11 +538,23 @@ func (c *Collector) OpenSpans() []Span {
 
 // WriteJSONL writes every finished span as one JSON object per line.
 // After Finalize the output is deterministic for a deterministic run:
-// same seed, byte-identical file.
+// same seed, byte-identical file. Spans are encoded with the
+// hand-written AppendJSON and handed to the writer in batches.
 func (c *Collector) WriteJSONL(w io.Writer) error {
-	enc := json.NewEncoder(w)
+	const batch = 32 << 10
+	buf := make([]byte, 0, batch+4096)
 	for _, s := range c.closed {
-		if err := enc.Encode(s); err != nil {
+		buf = s.AppendJSON(buf)
+		buf = append(buf, '\n')
+		if len(buf) >= batch {
+			if _, err := w.Write(buf); err != nil {
+				return err
+			}
+			buf = buf[:0]
+		}
+	}
+	if len(buf) > 0 {
+		if _, err := w.Write(buf); err != nil {
 			return err
 		}
 	}

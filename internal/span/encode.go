@@ -1,0 +1,152 @@
+// Zero-reflection JSON encoding for span and post-mortem records,
+// mirroring internal/trace's encode.go: hand-written append-style
+// encoders that are byte-identical to what encoding/json produces for
+// the same values, so the per-seed span JSONL files and post-mortem
+// dumps never change while the reflection cost disappears from the
+// write path. The differential tests in encode_test.go hold the two
+// encoders together; trace.AppendJSONString supplies the string escaping.
+package span
+
+import (
+	"strconv"
+
+	"lme/internal/trace"
+)
+
+// AppendJSON appends the message reference's JSON object encoding.
+func (m MsgRef) AppendJSON(buf []byte) []byte {
+	buf = append(buf, `{"from":`...)
+	buf = strconv.AppendInt(buf, int64(m.From), 10)
+	buf = append(buf, `,"seq":`...)
+	buf = strconv.AppendUint(buf, m.Seq, 10)
+	if m.Msg != "" {
+		buf = append(buf, `,"msg":`...)
+		buf = trace.AppendJSONString(buf, m.Msg)
+	}
+	return append(buf, '}')
+}
+
+// AppendJSON appends the phase's JSON object encoding.
+func (p Phase) AppendJSON(buf []byte) []byte {
+	buf = append(buf, `{"name":`...)
+	buf = trace.AppendJSONString(buf, p.Name)
+	if p.Detail != "" {
+		buf = append(buf, `,"detail":`...)
+		buf = trace.AppendJSONString(buf, p.Detail)
+	}
+	buf = append(buf, `,"start_us":`...)
+	buf = strconv.AppendInt(buf, int64(p.Start), 10)
+	buf = append(buf, `,"end_us":`...)
+	buf = strconv.AppendInt(buf, int64(p.End), 10)
+	if p.UnblockedBy != nil {
+		buf = append(buf, `,"unblocked_by":`...)
+		buf = p.UnblockedBy.AppendJSON(buf)
+	}
+	return append(buf, '}')
+}
+
+// AppendJSON appends the span's JSON object encoding — one line of the
+// span JSONL schema. A nil Phases slice encodes as null, an empty one as
+// [], exactly as encoding/json treats the field (it has no omitempty).
+func (s Span) AppendJSON(buf []byte) []byte {
+	buf = append(buf, `{"node":`...)
+	buf = strconv.AppendInt(buf, int64(s.Node), 10)
+	buf = append(buf, `,"attempt":`...)
+	buf = strconv.AppendInt(buf, int64(s.Attempt), 10)
+	buf = append(buf, `,"start_us":`...)
+	buf = strconv.AppendInt(buf, int64(s.Start), 10)
+	buf = append(buf, `,"end_us":`...)
+	buf = strconv.AppendInt(buf, int64(s.End), 10)
+	buf = append(buf, `,"outcome":`...)
+	buf = trace.AppendJSONString(buf, s.Outcome)
+	if s.Demotions != 0 {
+		buf = append(buf, `,"demotions":`...)
+		buf = strconv.AppendInt(buf, int64(s.Demotions), 10)
+	}
+	if s.Recolors != 0 {
+		buf = append(buf, `,"recolors":`...)
+		buf = strconv.AppendInt(buf, int64(s.Recolors), 10)
+	}
+	buf = append(buf, `,"phases":`...)
+	if s.Phases == nil {
+		buf = append(buf, `null`...)
+	} else {
+		buf = append(buf, '[')
+		for i, p := range s.Phases {
+			if i > 0 {
+				buf = append(buf, ',')
+			}
+			buf = p.AppendJSON(buf)
+		}
+		buf = append(buf, ']')
+	}
+	return append(buf, '}')
+}
+
+// AppendJSON appends the wait-for edge's JSON object encoding.
+func (e Edge) AppendJSON(buf []byte) []byte {
+	buf = append(buf, `{"from":`...)
+	buf = strconv.AppendInt(buf, int64(e.From), 10)
+	buf = append(buf, `,"to":`...)
+	buf = strconv.AppendInt(buf, int64(e.To), 10)
+	buf = append(buf, `,"why":`...)
+	buf = trace.AppendJSONString(buf, e.Why)
+	return append(buf, '}')
+}
+
+// appendEvents appends a []trace.Event encoded as encoding/json would:
+// null for nil, otherwise the events' own AppendJSON forms.
+func appendEvents(buf []byte, evs []trace.Event) []byte {
+	if evs == nil {
+		return append(buf, `null`...)
+	}
+	buf = append(buf, '[')
+	for i, e := range evs {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = e.AppendJSON(buf)
+	}
+	return append(buf, ']')
+}
+
+// AppendJSON appends the post-mortem's compact JSON object encoding
+// (WritePostmortem indents it afterwards). None of the slice fields
+// carry omitempty, so nil encodes as null and empty as [].
+func (pm Postmortem) AppendJSON(buf []byte) []byte {
+	buf = append(buf, `{"schema":`...)
+	buf = trace.AppendJSONString(buf, pm.Schema)
+	buf = append(buf, `,"reason":`...)
+	buf = trace.AppendJSONString(buf, pm.Reason)
+	buf = append(buf, `,"at_us":`...)
+	buf = strconv.AppendInt(buf, int64(pm.At), 10)
+	buf = append(buf, `,"ring":`...)
+	buf = appendEvents(buf, pm.Ring)
+	buf = append(buf, `,"open_spans":`...)
+	if pm.Open == nil {
+		buf = append(buf, `null`...)
+	} else {
+		buf = append(buf, '[')
+		for i, s := range pm.Open {
+			if i > 0 {
+				buf = append(buf, ',')
+			}
+			buf = s.AppendJSON(buf)
+		}
+		buf = append(buf, ']')
+	}
+	buf = append(buf, `,"wait_for":`...)
+	if pm.WaitFor == nil {
+		buf = append(buf, `null`...)
+	} else {
+		buf = append(buf, '[')
+		for i, e := range pm.WaitFor {
+			if i > 0 {
+				buf = append(buf, ',')
+			}
+			buf = e.AppendJSON(buf)
+		}
+		buf = append(buf, ']')
+	}
+	return append(buf, '}')
+}

@@ -1,6 +1,7 @@
 package span
 
 import (
+	"bytes"
 	"encoding/json"
 	"io"
 
@@ -27,7 +28,9 @@ type Postmortem struct {
 
 // WritePostmortem assembles and writes the dump as indented JSON. The
 // collector is read, not mutated, so the run can continue (later
-// violations are typically echoes of the first).
+// violations are typically echoes of the first). The document is
+// encoded compactly with AppendJSON and reindented with json.Indent —
+// byte-identical to the json.Encoder/SetIndent output this replaced.
 func WritePostmortem(w io.Writer, reason string, at sim.Time, ring []trace.Event, c *Collector) error {
 	pm := Postmortem{
 		Schema:  PostmortemSchema,
@@ -37,7 +40,13 @@ func WritePostmortem(w io.Writer, reason string, at sim.Time, ring []trace.Event
 		Open:    c.OpenSpans(),
 		WaitFor: c.WaitEdges(),
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(pm)
+	compact := pm.AppendJSON(nil)
+	var out bytes.Buffer
+	out.Grow(2 * len(compact))
+	if err := json.Indent(&out, compact, "", "  "); err != nil {
+		return err
+	}
+	out.WriteByte('\n')
+	_, err := w.Write(out.Bytes())
+	return err
 }

@@ -1,0 +1,134 @@
+// Zero-reflection JSON encoding for trace events. AppendJSON is the hot
+// path every -trace-out run funnels through; it is hand-written but
+// byte-identical to what encoding/json produced for the same Event
+// (including the HTML escaping and the genuine-peer-0 field placement),
+// so the golden trace hash, the schema tests and every downstream JSONL
+// consumer see exactly the bytes they always saw. The differential and
+// fuzz tests in encode_test.go hold the two encoders together.
+package trace
+
+import (
+	"strconv"
+	"unicode/utf8"
+)
+
+const hexDigits = "0123456789abcdef"
+
+// AppendJSONString appends s to dst as a JSON string literal,
+// byte-identical to encoding/json's default (HTML-escaping) encoder:
+// short escapes for quote, backslash, \b \f \n \r \t, \u00XX for the
+// remaining control characters, \u003c/\u003e/\u0026 for the HTML
+// characters, U+2028/U+2029 escaped as \u202X, and one
+// U+FFFD replacement rune per invalid UTF-8 byte. internal/span reuses
+// it for the span and post-mortem records.
+func AppendJSONString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if b := s[i]; b < utf8.RuneSelf {
+			if b >= ' ' && b != '"' && b != '\\' && b != '<' && b != '>' && b != '&' {
+				i++
+				continue
+			}
+			dst = append(dst, s[start:i]...)
+			switch b {
+			case '"', '\\':
+				dst = append(dst, '\\', b)
+			case '\b':
+				dst = append(dst, '\\', 'b')
+			case '\f':
+				dst = append(dst, '\\', 'f')
+			case '\n':
+				dst = append(dst, '\\', 'n')
+			case '\r':
+				dst = append(dst, '\\', 'r')
+			case '\t':
+				dst = append(dst, '\\', 't')
+			default:
+				// < > & and the control characters without short escapes.
+				dst = append(dst, '\\', 'u', '0', '0', hexDigits[b>>4], hexDigits[b&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		c, size := utf8.DecodeRuneInString(s[i:])
+		if c == utf8.RuneError && size == 1 {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, `\ufffd`...)
+			i++
+			start = i
+			continue
+		}
+		if c == '\u2028' || c == '\u2029' {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', '2', '0', '2', hexDigits[c&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	dst = append(dst, s[start:]...)
+	return append(dst, '"')
+}
+
+// AppendJSON appends the event's JSON object encoding to buf and returns
+// the extended slice. The output is byte-for-byte what encoding/json
+// produced through the old MarshalJSON wrapper structs: required fields
+// first (seq, at, kind, node), the optional fields in declaration order
+// under omitempty rules, an absent peer for NoNode, and — preserving the
+// embedded-struct field ordering of the old genuine-peer-0 detour — a
+// trailing "peer":0 when the event really concerns node 0.
+func (e Event) AppendJSON(buf []byte) []byte {
+	buf = append(buf, `{"seq":`...)
+	buf = strconv.AppendUint(buf, e.Seq, 10)
+	buf = append(buf, `,"at":`...)
+	buf = strconv.AppendInt(buf, int64(e.At), 10)
+	buf = append(buf, `,"kind":`...)
+	if e.Kind > 0 && int(e.Kind) < len(kindNames) {
+		buf = append(buf, '"')
+		buf = append(buf, kindNames[e.Kind]...)
+		buf = append(buf, '"')
+	} else {
+		buf = AppendJSONString(buf, e.Kind.String())
+	}
+	buf = append(buf, `,"node":`...)
+	buf = strconv.AppendInt(buf, int64(e.Node), 10)
+	if e.Peer != NoNode && e.Peer != 0 {
+		buf = append(buf, `,"peer":`...)
+		buf = strconv.AppendInt(buf, int64(e.Peer), 10)
+	}
+	if e.Msg != "" {
+		buf = append(buf, `,"msg":`...)
+		buf = AppendJSONString(buf, e.Msg)
+	}
+	if e.Size != 0 {
+		buf = append(buf, `,"size":`...)
+		buf = strconv.AppendInt(buf, int64(e.Size), 10)
+	}
+	if e.MsgSeq != 0 {
+		buf = append(buf, `,"mseq":`...)
+		buf = strconv.AppendUint(buf, e.MsgSeq, 10)
+	}
+	if e.Delay != 0 {
+		buf = append(buf, `,"delay":`...)
+		buf = strconv.AppendInt(buf, int64(e.Delay), 10)
+	}
+	if e.Old != "" {
+		buf = append(buf, `,"old":`...)
+		buf = AppendJSONString(buf, e.Old)
+	}
+	if e.New != "" {
+		buf = append(buf, `,"new":`...)
+		buf = AppendJSONString(buf, e.New)
+	}
+	if e.Detail != "" {
+		buf = append(buf, `,"detail":`...)
+		buf = AppendJSONString(buf, e.Detail)
+	}
+	if e.Peer == 0 {
+		buf = append(buf, `,"peer":0`...)
+	}
+	return append(buf, '}')
+}

@@ -1,0 +1,218 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"unicode/utf8"
+
+	"lme/internal/core"
+	"lme/internal/sim"
+)
+
+// oracleWire mirrors Event's wire shape for the differential oracle: the
+// retired reflection-based encoding, kept only in this test so the
+// hand-written AppendJSON is forever checked against what encoding/json
+// would produce.
+type oracleWire struct {
+	Seq    uint64      `json:"seq"`
+	At     sim.Time    `json:"at"`
+	Kind   Kind        `json:"kind"`
+	Node   core.NodeID `json:"node"`
+	Peer   core.NodeID `json:"peer,omitempty"`
+	Msg    string      `json:"msg,omitempty"`
+	Size   int         `json:"size,omitempty"`
+	MsgSeq uint64      `json:"mseq,omitempty"`
+	Delay  sim.Time    `json:"delay,omitempty"`
+	Old    string      `json:"old,omitempty"`
+	New    string      `json:"new,omitempty"`
+	Detail string      `json:"detail,omitempty"`
+}
+
+// oracleJSON reproduces the old MarshalJSON byte-for-byte: NoNode peers
+// dropped via omitempty, genuine peer 0 preserved through the embedded
+// wrapper struct (whose field ordering put it last).
+func oracleJSON(t *testing.T, e Event) []byte {
+	t.Helper()
+	w := oracleWire{
+		Seq: e.Seq, At: e.At, Kind: e.Kind, Node: e.Node, Peer: e.Peer,
+		Msg: e.Msg, Size: e.Size, MsgSeq: e.MsgSeq, Delay: e.Delay,
+		Old: e.Old, New: e.New, Detail: e.Detail,
+	}
+	var (
+		out []byte
+		err error
+	)
+	if w.Peer == NoNode {
+		w.Peer = 0 // omitempty drops it
+		out, err = json.Marshal(w)
+	} else if w.Peer == 0 {
+		type wire0 struct {
+			oracleWire
+			Peer core.NodeID `json:"peer"`
+		}
+		out, err = json.Marshal(wire0{oracleWire: w, Peer: 0})
+	} else {
+		out, err = json.Marshal(w)
+	}
+	if err != nil {
+		t.Fatalf("oracle marshal: %v", err)
+	}
+	return out
+}
+
+// differentialEvents covers every kind with its natural field set plus
+// the edge cases the encoder special-cases: genuine peer 0, NoNode,
+// negative IDs and sizes, zero-valued optionals, extreme numbers, and
+// strings exercising every escape class encoding/json knows.
+func differentialEvents() []Event {
+	evs := []Event{
+		{Seq: 1, At: 1000, Kind: KindSend, Node: 3, Peer: 7, Msg: "req", Size: 24, MsgSeq: 41},
+		{Seq: 2, At: 1200, Kind: KindDeliver, Node: 7, Peer: 3, Msg: "req", Size: 24, MsgSeq: 41, Delay: 200},
+		{Seq: 3, At: 1300, Kind: KindDrop, Node: 9, Peer: 2, Msg: "fork", Size: 16, MsgSeq: 7, Detail: "link-changed"},
+		{Seq: 4, At: 1400, Kind: KindState, Node: 2, Peer: NoNode, Old: "hungry", New: "eating"},
+		{Seq: 5, At: 1500, Kind: KindLinkUp, Node: 2, Peer: 9, Detail: "9"},
+		{Seq: 6, At: 1600, Kind: KindLinkDown, Node: 2, Peer: 9},
+		{Seq: 7, At: 1700, Kind: KindMoveStart, Node: 4, Peer: NoNode, Detail: "(0.123,0.456)"},
+		{Seq: 8, At: 1800, Kind: KindMoveStop, Node: 4, Peer: NoNode, Detail: "(0.789,0.012)"},
+		{Seq: 9, At: 1900, Kind: KindCrash, Node: 6, Peer: NoNode},
+		{Seq: 10, At: 2000, Kind: KindDoorway, Node: 5, Peer: NoNode, New: "cross", Detail: "adr"},
+		{Seq: 11, At: 2100, Kind: KindRecolor, Node: 5, Peer: NoNode, Detail: "3"},
+		{Seq: 12, At: 2200, Kind: KindNote, Node: 5, Peer: NoNode, Detail: "recolor run 3: palette {1,4,6}"},
+		// Genuine peer 0: must survive, in the wrapper struct's position.
+		{Seq: 13, At: 2300, Kind: KindSend, Node: 3, Peer: 0, Msg: "fork", Size: 16, MsgSeq: 2, Delay: 500},
+		{Seq: 14, At: 2400, Kind: KindDeliver, Node: 0, Peer: 3, Msg: "fork", Size: 16, MsgSeq: 2, Delay: 500},
+		// Peer 0 with every optional empty: peer is the only optional.
+		{Seq: 15, At: 2500, Kind: KindCrash, Node: 0, Peer: 0},
+		// Zero values everywhere (invalid kind 0 renders as kind(0)).
+		{},
+		// Negative node/size, zero at, huge numbers.
+		{Seq: 1<<64 - 1, At: -1, Kind: KindNote, Node: -7, Peer: NoNode, Size: -3, Detail: "negative"},
+		{Seq: 17, At: 1<<63 - 1, Kind: KindSend, Node: 1 << 30, Peer: 2, Msg: "m", Size: 1 << 40, MsgSeq: 1<<64 - 1, Delay: 1<<63 - 1},
+		// Out-of-range kind values.
+		{Seq: 18, At: 1, Kind: Kind(200), Node: 1, Peer: NoNode},
+		{Seq: 19, At: 1, Kind: numKinds, Node: 1, Peer: NoNode},
+	}
+	escapes := []string{
+		`plain`,
+		`quote " backslash \ slash /`,
+		"tab\tnewline\ncarriage\rreturn",
+		"backspace\bformfeed\f",
+		"control\x00\x01\x1f\x7fchars",
+		"html <b>&amp;</b>",
+		"unicode π 語 🜚 mixed",
+		"line separators \u2028 and \u2029",
+		"invalid utf8 \xff\xfe tail \xc3",
+		"truncated rune \xe2\x82",
+		strings.Repeat("long ", 100) + "tail",
+		"",
+	}
+	for i, s := range escapes {
+		evs = append(evs, Event{Seq: uint64(100 + i), At: sim.Time(i), Kind: KindNote, Node: 1, Peer: NoNode, Detail: s})
+		evs = append(evs, Event{Seq: uint64(200 + i), At: sim.Time(i), Kind: KindState, Node: 0, Peer: 0, Old: s, New: s, Msg: s})
+	}
+	return evs
+}
+
+// TestAppendJSONDifferential is the golden differential test of the
+// tentpole: AppendJSON must be byte-identical to the encoding/json
+// oracle for every kind and every escape class.
+func TestAppendJSONDifferential(t *testing.T) {
+	for _, e := range differentialEvents() {
+		got := e.AppendJSON(nil)
+		want := oracleJSON(t, e)
+		if !bytes.Equal(got, want) {
+			t.Errorf("AppendJSON diverged for %+v:\n got %s\nwant %s", e, got, want)
+		}
+		// json.Marshal routes through MarshalJSON and then compacts with
+		// HTML escaping; byte-identity there proves Events embedded in
+		// larger documents (post-mortems, reports) are unchanged too.
+		viaMarshal, err := json.Marshal(e)
+		if err != nil {
+			t.Fatalf("json.Marshal(%+v): %v", e, err)
+		}
+		if !bytes.Equal(viaMarshal, want) {
+			t.Errorf("json.Marshal diverged for %+v:\n got %s\nwant %s", e, viaMarshal, want)
+		}
+	}
+}
+
+// TestAppendJSONAppends: AppendJSON must extend the buffer it is given,
+// not replace it — the batch sink depends on it.
+func TestAppendJSONAppends(t *testing.T) {
+	e := Event{Seq: 1, Kind: KindNote, Node: 2, Peer: NoNode, Detail: "x"}
+	buf := []byte("prefix")
+	out := e.AppendJSON(buf)
+	if !bytes.HasPrefix(out, []byte("prefix{")) {
+		t.Fatalf("AppendJSON did not append: %s", out)
+	}
+	if !bytes.Equal(out[len("prefix"):], e.AppendJSON(nil)) {
+		t.Fatalf("appended encoding differs from fresh encoding")
+	}
+}
+
+// decodedString is what a JSON round trip turns s into: invalid UTF-8 is
+// encoded as one U+FFFD per broken byte, everything else survives.
+func decodedString(s string) string {
+	if utf8.ValidString(s) {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); {
+		c, size := utf8.DecodeRuneInString(s[i:])
+		if c == utf8.RuneError && size == 1 {
+			b.WriteRune(utf8.RuneError)
+			i++
+			continue
+		}
+		b.WriteString(s[i : i+size])
+		i += size
+	}
+	return b.String()
+}
+
+// FuzzAppendJSONRoundTrip holds AppendJSON to the encoding/json oracle
+// on arbitrary field values and round-trips the bytes through
+// UnmarshalJSON: for valid kinds the decoded event must equal the
+// original (modulo UTF-8 replacement), for out-of-schema kinds the
+// decoder must reject the line rather than guess.
+func FuzzAppendJSONRoundTrip(f *testing.F) {
+	f.Add(uint64(1), int64(1000), uint8(1), 3, 7, "req", 24, uint64(41), int64(200), "old", "new", "detail")
+	f.Add(uint64(7), int64(0), uint8(2), 0, 0, "fork", 16, uint64(2), int64(500), "", "", "")
+	f.Add(uint64(0), int64(-5), uint8(0), -1, -1, "", 0, uint64(0), int64(0), "", "", "")
+	f.Add(uint64(9), int64(9), uint8(12), 5, -1, "", 0, uint64(0), int64(0), "", "", "a\x00b<&>\xff\u2028")
+	f.Add(uint64(3), int64(3), uint8(250), 1, 2, "m", -9, uint64(1), int64(-1), "\t", "\\", "\"")
+	f.Fuzz(func(t *testing.T, seq uint64, at int64, kind uint8, node, peer int,
+		msg string, size int, mseq uint64, delay int64, oldS, newS, detail string) {
+		e := Event{
+			Seq: seq, At: sim.Time(at), Kind: Kind(kind),
+			Node: core.NodeID(node), Peer: core.NodeID(peer),
+			Msg: msg, Size: size, MsgSeq: mseq, Delay: sim.Time(delay),
+			Old: oldS, New: newS, Detail: detail,
+		}
+		got := e.AppendJSON(nil)
+		if want := oracleJSON(t, e); !bytes.Equal(got, want) {
+			t.Fatalf("AppendJSON diverged:\n got %s\nwant %s", got, want)
+		}
+		var back Event
+		err := back.UnmarshalJSON(got)
+		if e.Kind == 0 || e.Kind >= numKinds {
+			if err == nil {
+				t.Fatalf("decoder accepted out-of-schema kind %d", e.Kind)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("round trip decode of %s: %v", got, err)
+		}
+		want := e
+		want.Msg = decodedString(e.Msg)
+		want.Old = decodedString(e.Old)
+		want.New = decodedString(e.New)
+		want.Detail = decodedString(e.Detail)
+		if back != want {
+			t.Fatalf("round trip changed the event:\n got %+v\nwant %+v\nwire %s", back, want, got)
+		}
+	})
+}

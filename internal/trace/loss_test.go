@@ -28,16 +28,19 @@ func TestBusOverwrittenCounter(t *testing.T) {
 	}
 }
 
-// TestBusSinkDroppedCounter: the failed encode and everything published
-// after the sticky error count as dropped.
+// TestBusSinkDroppedCounter: the batch whose write failed and everything
+// published after the sticky error count as dropped.
 func TestBusSinkDroppedCounter(t *testing.T) {
 	b := NewBus(0)
 	if got := b.SinkDropped(); got != 0 {
 		t.Fatalf("fresh SinkDropped = %d", got)
 	}
 	b.SetSink(failWriter{})
-	b.Publish(Event{Kind: KindNote}) // raises the sticky error
-	b.Publish(Event{Kind: KindNote}) // skipped
+	b.Publish(Event{Kind: KindNote}) // batched, lost when the flush fails
+	if err := b.Flush(); err == nil {
+		t.Fatal("Flush to a failing writer reported success")
+	}
+	b.Publish(Event{Kind: KindNote}) // skipped: sticky error
 	b.Publish(Event{Kind: KindNote}) // skipped
 	if got := b.SinkDropped(); got != 3 {
 		t.Fatalf("SinkDropped = %d, want 3", got)

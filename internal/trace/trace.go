@@ -9,10 +9,12 @@
 // cmd/lmetrace and CI diffing).
 //
 // The bus is allocation-lean by design: an Event is a flat value struct,
-// publishing copies it into a preallocated ring slot, and message type
-// names and sizes are resolved through a per-world cache instead of
-// per-message reflection. A bus with no ring, no subscribers and no sink
-// reduces Publish to two branch tests.
+// publishing copies it into a preallocated ring slot, subscriber dispatch
+// indexes a per-kind slice built at Subscribe time, and the JSONL sink
+// encodes with the hand-written AppendJSON into a reusable batch buffer
+// (see encode.go) instead of reflection. A bus with no ring, no
+// subscribers and no sink reduces Publish to a few branch tests, and
+// Wants lets publishers skip even building events nobody consumes.
 package trace
 
 import (
@@ -139,6 +141,10 @@ type Event struct {
 	Peer core.NodeID `json:"peer,omitempty"`
 	// Msg is the normalised message type name (send/deliver/drop).
 	Msg string `json:"msg,omitempty"`
+	// MsgID is the dense TypeNamer ID behind Msg, or 0 when the event
+	// carries no message. It is in-process routing state for counters —
+	// never part of the wire format.
+	MsgID MsgType `json:"-"`
 	// Size is the in-memory payload size in bytes (send/deliver/drop).
 	Size int `json:"size,omitempty"`
 	// MsgSeq is the sender's monotone per-node message sequence number
@@ -158,22 +164,10 @@ type Event struct {
 
 // MarshalJSON hides the NoNode sentinel: a Peer of NoNode is encoded as
 // the field's absence, matching omitempty's treatment of the other
-// optional fields.
+// optional fields. It delegates to the hand-written AppendJSON;
+// encoding/json survives only as the oracle of the differential tests.
 func (e Event) MarshalJSON() ([]byte, error) {
-	type wire Event // break recursion
-	w := wire(e)
-	if w.Peer == NoNode {
-		w.Peer = 0 // omitempty drops it; 0 is reserved below
-	} else if w.Peer == 0 {
-		// A genuine peer 0 must survive the round trip: bias by
-		// encoding through a pointerized shape instead.
-		type wire0 struct {
-			wire
-			Peer core.NodeID `json:"peer"`
-		}
-		return json.Marshal(wire0{wire: w, Peer: 0})
-	}
-	return json.Marshal(w)
+	return e.AppendJSON(make([]byte, 0, 160)), nil
 }
 
 // UnmarshalJSON restores the NoNode sentinel for an absent peer field.
@@ -242,31 +236,50 @@ type Emitter interface {
 	Emit(Event)
 }
 
-// subscriber is one registered consumer with its kind filter.
-type subscriber struct {
-	fn    func(Event)
-	kinds [numKinds]bool
-	all   bool
+// Interest is the optional companion of Emitter that exposes the bus's
+// per-kind interest mask. Protocols type-assert for it next to Emitter
+// and skip the fmt work of building an event when Wants says nobody
+// would see it; emitting regardless stays correct, just slower.
+type Interest interface {
+	Wants(Kind) bool
 }
 
-// Bus is the event stream: a bounded ring of recent events, a subscriber
-// list, and an optional JSONL sink. It is not safe for concurrent use —
-// like the scheduler it belongs to the simulation's single thread of
-// control.
+// sinkFlushBytes is the batch threshold of the JSONL sink: encoded
+// events accumulate in a scratch buffer and reach the writer in chunks
+// of roughly this size (plus whatever an explicit Flush drains).
+const sinkFlushBytes = 32 << 10
+
+// Bus is the event stream: a bounded ring of recent events, kind-indexed
+// subscriber lists, and an optional batched JSONL sink. It is not safe
+// for concurrent use — like the scheduler it belongs to the simulation's
+// single thread of control.
 type Bus struct {
 	ring  []Event
 	total uint64
-	subs  []subscriber
+
+	// subs[k] lists the consumers of kind k in subscription order;
+	// subscribers registered for every kind appear in each list. Slot 0
+	// serves events whose kind is out of schema range — only the
+	// every-kind subscribers see those. Publish dispatches with one
+	// index instead of scanning a filter per subscriber.
+	subs  [numKinds][]func(Event)
+	nsubs int
 
 	// overwritten counts ring slots recycled before anyone read them;
-	// sinkDropped counts events the JSONL sink failed to record (the
-	// failed encode itself plus everything skipped after the sticky
-	// error). Both were silent losses before they were counted.
+	// sinkDropped counts events the JSONL sink failed to record (every
+	// event of a batch whose write failed, plus everything skipped after
+	// the sticky error). Both were silent losses before they were counted.
 	overwritten uint64
 	sinkDropped uint64
 
-	enc     *json.Encoder
-	sinkErr error
+	// The JSONL sink: events are encoded with AppendJSON into sinkBuf
+	// and written in sinkFlushBytes batches. sinkPending counts the
+	// events buffered but not yet written, so a failed batch write can
+	// account for every event it lost.
+	sinkW       io.Writer
+	sinkBuf     []byte
+	sinkPending uint64
+	sinkErr     error
 }
 
 // NewBus creates a bus that retains the last ringCap events (0 disables
@@ -279,33 +292,73 @@ func NewBus(ringCap int) *Bus {
 	return b
 }
 
-// Subscribe registers fn for the given kinds (none = every kind).
+// Subscribe registers fn for the given kinds (none = every kind). A kind
+// repeated in the list still delivers each event once.
 func (b *Bus) Subscribe(fn func(Event), kinds ...Kind) {
-	s := subscriber{fn: fn, all: len(kinds) == 0}
+	b.nsubs++
+	if len(kinds) == 0 {
+		for k := range b.subs {
+			b.subs[k] = append(b.subs[k], fn)
+		}
+		return
+	}
+	var seen [numKinds]bool
 	for _, k := range kinds {
-		if k > 0 && k < numKinds {
-			s.kinds[k] = true
+		if k > 0 && k < numKinds && !seen[k] {
+			seen[k] = true
+			b.subs[k] = append(b.subs[k], fn)
 		}
 	}
-	b.subs = append(b.subs, s)
 }
 
 // SetSink attaches a JSONL writer: every subsequent event is encoded as
-// one JSON object per line. A nil writer detaches the sink. Encoding
-// errors are sticky; check SinkErr after the run.
+// one JSON object per line, buffered, and written in batches — call
+// Flush (or SetSink again) to drain the tail. A nil writer detaches the
+// sink; anything still buffered is flushed to the old writer first.
+// Write errors are sticky; check SinkErr (or Flush's result) after the
+// run.
 func (b *Bus) SetSink(w io.Writer) {
-	if w == nil {
-		b.enc = nil
-		return
+	b.flushSink()
+	b.sinkW = w
+	if w != nil && cap(b.sinkBuf) == 0 {
+		b.sinkBuf = make([]byte, 0, sinkFlushBytes+4096)
 	}
-	b.enc = json.NewEncoder(w)
 }
 
 // SinkErr reports the first error the JSONL sink encountered, if any.
 func (b *Bus) SinkErr() error { return b.sinkErr }
 
+// Flush writes any batched sink output to the writer and reports the
+// sticky sink error, so one `if err := bus.Flush(); err != nil` covers
+// both the final batch and any earlier failure. A bus without a sink
+// flushes to nothing and reports nil.
+func (b *Bus) Flush() error {
+	b.flushSink()
+	return b.sinkErr
+}
+
+// flushSink drains the batch buffer. A short write counts as an error
+// (io.ErrShortWrite); on any error the whole pending batch is recorded
+// as dropped, since none of its lines can be trusted to have reached
+// stable storage in full.
+func (b *Bus) flushSink() {
+	if len(b.sinkBuf) == 0 {
+		return
+	}
+	n, err := b.sinkW.Write(b.sinkBuf)
+	if err == nil && n < len(b.sinkBuf) {
+		err = io.ErrShortWrite
+	}
+	if err != nil {
+		b.sinkErr = err
+		b.sinkDropped += b.sinkPending
+	}
+	b.sinkBuf = b.sinkBuf[:0]
+	b.sinkPending = 0
+}
+
 // Publish assigns the event its sequence number and fans it out to the
-// ring, the subscribers and the sink.
+// ring, the subscribers of its kind and the sink.
 func (b *Bus) Publish(e Event) {
 	b.total++
 	e.Seq = b.total
@@ -315,18 +368,23 @@ func (b *Bus) Publish(e Event) {
 		}
 		b.ring[int((b.total-1)%uint64(len(b.ring)))] = e
 	}
-	for i := range b.subs {
-		s := &b.subs[i]
-		if s.all || s.kinds[e.Kind] {
-			s.fn(e)
-		}
+	k := e.Kind
+	if k >= numKinds {
+		k = 0 // out-of-range kinds reach only the every-kind subscribers
 	}
-	if b.enc != nil {
+	for _, fn := range b.subs[k] {
+		fn(e)
+	}
+	if b.sinkW != nil {
 		if b.sinkErr != nil {
 			b.sinkDropped++
-		} else if err := b.enc.Encode(e); err != nil {
-			b.sinkErr = err
-			b.sinkDropped++
+			return
+		}
+		b.sinkBuf = e.AppendJSON(b.sinkBuf)
+		b.sinkBuf = append(b.sinkBuf, '\n')
+		b.sinkPending++
+		if len(b.sinkBuf) >= sinkFlushBytes {
+			b.flushSink()
 		}
 	}
 }
@@ -339,14 +397,29 @@ func (b *Bus) Total() uint64 { return b.total }
 // without a ring.
 func (b *Bus) Overwritten() uint64 { return b.overwritten }
 
-// SinkDropped reports how many events the JSONL sink lost — the encode
-// that raised SinkErr and every event published after it.
+// SinkDropped reports how many events the JSONL sink lost — the batch
+// whose write raised SinkErr and every event published after it.
 func (b *Bus) SinkDropped() uint64 { return b.sinkDropped }
 
 // Active reports whether anything observes the stream; publishers may use
 // it to skip building events whose construction is not free.
 func (b *Bus) Active() bool {
-	return b.ring != nil || len(b.subs) > 0 || b.enc != nil
+	return b.ring != nil || b.nsubs > 0 || b.sinkW != nil
+}
+
+// Wants reports whether an event of kind k would reach any consumer —
+// the ring and the sink take every kind, subscribers only theirs.
+// Publishers use it to skip assembling the string-bearing events
+// (fmt-formatted details) nobody would see; publishing regardless stays
+// correct.
+func (b *Bus) Wants(k Kind) bool {
+	if b.ring != nil || b.sinkW != nil {
+		return true
+	}
+	if k >= numKinds {
+		k = 0
+	}
+	return len(b.subs[k]) > 0
 }
 
 // Recent returns up to n of the most recent retained events, oldest
@@ -370,17 +443,25 @@ func (b *Bus) Recent(n int) []Event {
 	return out
 }
 
-// TypeNamer caches the normalised name and shallow byte size of message
-// payload types, so per-message classification costs one map lookup
-// instead of reflection. Not safe for concurrent use; give each world its
-// own.
+// MsgType is the dense per-world ID of a message payload type, minted by
+// TypeNamer in first-seen order (1-based; 0 means "no message"). Dense
+// IDs let per-type counters index a slice on the hot path instead of
+// concatenating strings and probing a map per event.
+type MsgType uint32
+
+// TypeNamer caches the normalised name, shallow byte size and dense ID
+// of message payload types, so per-message classification costs one map
+// lookup instead of reflection. Not safe for concurrent use; give each
+// world its own.
 type TypeNamer struct {
 	names map[reflect.Type]typeInfo
+	byID  []string // byID[id-1] is the normalised name behind MsgType id
 }
 
 type typeInfo struct {
 	name string
 	size int
+	id   MsgType
 }
 
 // NewTypeNamer returns an empty cache.
@@ -390,14 +471,50 @@ func NewTypeNamer() *TypeNamer {
 
 // Name returns the normalised type name and in-memory size of msg.
 func (tn *TypeNamer) Name(msg any) (string, int) {
-	t := reflect.TypeOf(msg)
-	if info, ok := tn.names[t]; ok {
-		return info.name, info.size
-	}
-	info := typeInfo{name: NormalizeTypeName(fmt.Sprintf("%T", msg)), size: int(t.Size())}
-	tn.names[t] = info
+	info := tn.info(msg)
 	return info.name, info.size
 }
+
+// Info is Name plus the dense MsgType ID minted for the normalised name.
+// Distinct Go types that normalise to the same name (e.g. "lme1.msgFork"
+// and "baseline.cmFork") share one ID, so ID and name stay bijective.
+func (tn *TypeNamer) Info(msg any) (name string, size int, id MsgType) {
+	info := tn.info(msg)
+	return info.name, info.size, info.id
+}
+
+func (tn *TypeNamer) info(msg any) typeInfo {
+	t := reflect.TypeOf(msg)
+	if info, ok := tn.names[t]; ok {
+		return info
+	}
+	info := typeInfo{name: NormalizeTypeName(fmt.Sprintf("%T", msg)), size: int(t.Size())}
+	for i, n := range tn.byID {
+		if n == info.name {
+			info.id = MsgType(i + 1)
+			break
+		}
+	}
+	if info.id == 0 {
+		tn.byID = append(tn.byID, info.name)
+		info.id = MsgType(len(tn.byID))
+	}
+	tn.names[t] = info
+	return info
+}
+
+// TypeName returns the normalised name behind a minted ID, or "" for 0
+// and IDs never minted.
+func (tn *TypeNamer) TypeName(id MsgType) string {
+	if id == 0 || int(id) > len(tn.byID) {
+		return ""
+	}
+	return tn.byID[id-1]
+}
+
+// NumTypes reports how many distinct message-type IDs have been minted;
+// valid IDs are 1..NumTypes.
+func (tn *TypeNamer) NumTypes() int { return len(tn.byID) }
 
 // NormalizeTypeName reduces a Go type name to the schema's message-type
 // identifier: package path and pointer markers stripped, the conventional

@@ -107,7 +107,7 @@ func TestJSONLSinkRoundTrip(t *testing.T) {
 	for _, e := range published {
 		b.Publish(e)
 	}
-	if err := b.SinkErr(); err != nil {
+	if err := b.Flush(); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
@@ -147,8 +147,15 @@ func TestSinkErrSticky(t *testing.T) {
 	b.SetSink(failWriter{})
 	b.Publish(Event{Kind: KindNote})
 	b.Publish(Event{Kind: KindNote})
+	// The sink batches: the write (and its failure) happens at flush.
+	if err := b.Flush(); err == nil || !strings.Contains(err.Error(), "disk full") {
+		t.Fatalf("Flush = %v, want the writer's error", err)
+	}
 	if err := b.SinkErr(); err == nil || !strings.Contains(err.Error(), "disk full") {
 		t.Fatalf("SinkErr = %v, want the writer's error", err)
+	}
+	if err := b.Flush(); err == nil {
+		t.Fatal("sticky error cleared by a later Flush")
 	}
 }
 
