@@ -15,6 +15,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"flag"
@@ -24,11 +25,15 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"lme/internal/fleet"
 	"lme/internal/harness"
 	"lme/internal/microbench"
+	"lme/internal/progress"
 )
 
 func main() {
@@ -44,12 +49,15 @@ const BenchSchema = "lme/bench/v2"
 
 // benchResult is one experiment's slice of the -json document: the table
 // (rows carry the measured trajectories, e.g. E10's msg/meal column) plus
-// the cost of producing it.
+// the cost of producing it. The trace-loss counters are per-experiment
+// deltas and appear only when events were actually lost.
 type benchResult struct {
 	harness.Table
-	ElapsedMS    float64 `json:"elapsed_ms"`
-	SchedEvents  uint64  `json:"sched_events"`
-	EventsPerSec float64 `json:"events_per_sec"`
+	ElapsedMS       float64 `json:"elapsed_ms"`
+	SchedEvents     uint64  `json:"sched_events"`
+	EventsPerSec    float64 `json:"events_per_sec"`
+	RingOverwritten uint64  `json:"ring_overwritten,omitempty"`
+	SinkDropped     uint64  `json:"sink_dropped,omitempty"`
 }
 
 // benchDoc is the lmebench -json document.
@@ -74,6 +82,9 @@ func run() error {
 		checkTol   = flag.Float64("check-tol", 2.0, "regression factor tolerated by -micro -check (ns/op may grow up to this multiple)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		progFlag   = flag.Bool("progress", false, "print a live heartbeat (jobs done, events/s, heap, trace loss) to stderr")
+		progOut    = flag.String("progress-out", "", "write lme/progress/v1 heartbeat records as JSONL to this file")
+		progEach   = flag.Duration("progress-every", 2*time.Second, "wall-clock interval between heartbeats")
 	)
 	flag.Parse()
 	if *replicas < 1 {
@@ -132,6 +143,74 @@ func run() error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	engine := harness.Engine{Workers: *parallel, Replicas: *replicas, Context: ctx}
+
+	// The fleet heartbeat: a wall-clock ticker goroutine owns the
+	// reporter (the sources it samples — events processed, trace loss,
+	// the jobs counter — are all atomics, so worker goroutines never
+	// touch the reporter itself).
+	var stopProgress func() error
+	if *progFlag || *progOut != "" {
+		cfg := progress.Config{Interval: *progEach, Label: "bench"}
+		if *progFlag {
+			cfg.Human = os.Stderr
+		}
+		closeFile := func() error { return nil }
+		if *progOut != "" {
+			f, err := os.Create(*progOut)
+			if err != nil {
+				return err
+			}
+			w := bufio.NewWriter(f)
+			cfg.JSONL = w
+			closeFile = func() error {
+				if err := w.Flush(); err != nil {
+					f.Close()
+					return err
+				}
+				return f.Close()
+			}
+		}
+		var jobsDone atomic.Int64
+		engine.OnResult = func(fleet.Result) { jobsDone.Add(1) }
+		rep := progress.New(cfg, progress.Sources{
+			Events: harness.EventsProcessed,
+			Loss:   harness.TraceLoss,
+			Jobs:   func() (done, total int) { return int(jobsDone.Load()), 0 },
+		})
+		done := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t := time.NewTicker(*progEach)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					rep.Tick()
+				case <-done:
+					return
+				}
+			}
+		}()
+		stopProgress = func() error {
+			close(done)
+			wg.Wait()
+			rep.Final()
+			err := rep.Err()
+			if e := closeFile(); err == nil {
+				err = e
+			}
+			return err
+		}
+		defer func() {
+			if stopProgress != nil {
+				if err := stopProgress(); err != nil {
+					fmt.Fprintln(os.Stderr, "lmebench: warning: progress stream:", err)
+				}
+			}
+		}()
+	}
 	workers := *parallel
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -147,6 +226,7 @@ func run() error {
 			continue
 		}
 		eventsBefore := harness.EventsProcessed()
+		overBefore, dropBefore := harness.TraceLoss()
 		start := time.Now()
 		tbl, err := engine.Run(exp, quality)
 		if err != nil {
@@ -154,12 +234,15 @@ func run() error {
 		}
 		elapsed := time.Since(start)
 		events := harness.EventsProcessed() - eventsBefore
+		overAfter, dropAfter := harness.TraceLoss()
 		ran++
 		if *jsonOut {
 			res := benchResult{
-				Table:       *tbl,
-				ElapsedMS:   float64(elapsed.Microseconds()) / 1000,
-				SchedEvents: events,
+				Table:           *tbl,
+				ElapsedMS:       float64(elapsed.Microseconds()) / 1000,
+				SchedEvents:     events,
+				RingOverwritten: overAfter - overBefore,
+				SinkDropped:     dropAfter - dropBefore,
 			}
 			if elapsed > 0 {
 				res.EventsPerSec = float64(events) / elapsed.Seconds()

@@ -73,6 +73,9 @@ func run() error {
 		spansOut = flag.String("spans-out", "", "write per-attempt CS spans as JSONL to this file (inspect with lmetrace -spans)")
 		postmort = flag.String("postmortem", "", "on a safety violation, dump the event ring, open spans and wait-for graph to this file")
 		stats    = flag.Bool("stats", false, "print the counter/histogram registry after the run")
+		progFlag = flag.Bool("progress", false, "print a live heartbeat to stderr while the run executes")
+		progOut  = flag.String("progress-out", "", "write lme/progress/v1 heartbeat records as JSONL to this file")
+		progEach = flag.Duration("progress-every", 2*time.Second, "wall-clock interval between heartbeats")
 	)
 	flag.Parse()
 
@@ -87,9 +90,47 @@ func run() error {
 		EatTime:        *eat,
 		ThinkMax:       *think,
 		PostmortemPath: *postmort,
+		// Without -spans-out, a postmortem (whose dump lists open spans)
+		// or a -gantt chart (which needs interval history) nothing reads
+		// retained records, so stream-fold them: observability memory
+		// stays O(nodes) however long the run is.
+		FoldSpans: *spansOut == "" && *postmort == "" && *gantt == 0,
 	})
 	if err != nil {
 		return err
+	}
+	// progressClose flushes the heartbeat stream after the run; set when
+	// any -progress* flag armed the reporter.
+	var progressClose func() error
+	if *progFlag || *progOut != "" {
+		cfg := lme.ProgressConfig{Every: *progEach, Label: *algName}
+		if *progFlag {
+			cfg.Human = os.Stderr
+		}
+		closeFile := func() error { return nil }
+		if *progOut != "" {
+			f, err := os.Create(*progOut)
+			if err != nil {
+				return err
+			}
+			w := bufio.NewWriter(f)
+			cfg.JSONL = w
+			closeFile = func() error {
+				if err := w.Flush(); err != nil {
+					f.Close()
+					return err
+				}
+				return f.Close()
+			}
+		}
+		sim.EnableProgress(cfg)
+		progressClose = func() error {
+			err := sim.FlushProgress()
+			if e := closeFile(); err == nil {
+				err = e
+			}
+			return err
+		}
 	}
 	if *trace {
 		sim.SetTracer(func(at time.Duration, line string) {
@@ -132,6 +173,11 @@ func run() error {
 	start := time.Now()
 	runErr := sim.RunFor(*dur)
 	wall := time.Since(start)
+	if progressClose != nil {
+		if err := progressClose(); err != nil {
+			fmt.Fprintf(os.Stderr, "lmesim: warning: progress stream: %v\n", err)
+		}
+	}
 	// A sink failure must not pass silently — the trace file is
 	// truncated. Warn immediately (so the report below still prints) and
 	// exit non-zero at the end.

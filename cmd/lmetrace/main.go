@@ -25,6 +25,7 @@
 //	lmetrace -spans run.jsonl                   # per-attempt CS spans
 //	lmetrace -phases run.jsonl                  # phase aggregates
 //	lmetrace -waitfor 1.5s run.jsonl            # who blocks whom at 1.5s
+//	lmetrace -progress progress.jsonl           # render a -progress-out stream
 package main
 
 import (
@@ -40,6 +41,7 @@ import (
 	"time"
 
 	"lme/internal/core"
+	"lme/internal/progress"
 	"lme/internal/sim"
 	"lme/internal/span"
 	"lme/internal/trace"
@@ -110,6 +112,7 @@ func run() error {
 		spans    = flag.Bool("spans", false, "fold the trace into CS-attempt spans and print one line per attempt")
 		phases   = flag.Bool("phases", false, "fold the trace into spans and print the aggregate phase table")
 		waitfor  = flag.Duration("waitfor", 0, "print the wait-for graph (who is blocked on whom) as of this virtual time")
+		progress = flag.Bool("progress", false, "render an lme/progress/v1 heartbeat stream (lmesim/lmebench -progress-out) instead of a trace")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: lmetrace [flags] [trace.jsonl]\n\n"+
@@ -134,6 +137,9 @@ func run() error {
 		in = f
 	}
 
+	if *progress {
+		return progressView(in)
+	}
 	if *spans || *phases || *waitfor > 0 {
 		return spanView(in, *spans, *phases, *waitfor)
 	}
@@ -389,4 +395,48 @@ func (s *summary) print(w io.Writer) {
 			fmt.Fprintf(w, "  node %3d %8d\n", id, s.byNode[id])
 		}
 	}
+}
+
+// progressView renders an lme/progress/v1 heartbeat stream: each record
+// as its human one-liner, then a run roll-up (peak rates, peak heap,
+// total trace loss) from the final/last record.
+func progressView(in io.Reader) error {
+	dec := json.NewDecoder(bufio.NewReader(in))
+	var (
+		last           progress.Record
+		n              int
+		peakEv, peakUS float64
+		peakHeap       uint64
+	)
+	for {
+		var rec progress.Record
+		if err := dec.Decode(&rec); err == io.EOF {
+			break
+		} else if err != nil {
+			return fmt.Errorf("record %d: %w", n+1, err)
+		}
+		if rec.Schema != progress.Schema {
+			return fmt.Errorf("record %d: schema %q, want %q", n+1, rec.Schema, progress.Schema)
+		}
+		n++
+		last = rec
+		peakEv = max(peakEv, rec.EventsPerSec)
+		peakUS = max(peakUS, rec.SimUSPerSec)
+		peakHeap = max(peakHeap, rec.HeapBytes)
+		fmt.Println(rec.HumanLine())
+	}
+	if n == 0 {
+		return fmt.Errorf("no progress records")
+	}
+	fmt.Printf("\nrecords %d, wall %.1fs, events %d\n", n, last.WallMS/1000, last.Events)
+	fmt.Printf("peak %.0f ev/s", peakEv)
+	if peakUS > 0 {
+		fmt.Printf(" (×%.1f real time)", peakUS/1e6)
+	}
+	fmt.Printf(", peak heap %d bytes\n", peakHeap)
+	if last.RingOverwritten > 0 || last.SinkDropped > 0 {
+		fmt.Printf("trace loss: %d ring-overwritten, %d sink-dropped\n",
+			last.RingOverwritten, last.SinkDropped)
+	}
+	return nil
 }

@@ -71,6 +71,11 @@ type Pool struct {
 	// Queue bounds the dispatch channel; ≤0 selects 2×Workers. A small
 	// bound keeps memory flat when a plan holds thousands of jobs.
 	Queue int
+	// OnResult, when set, is invoked once per completed (or skipped)
+	// job, from whichever worker goroutine ran it — it MUST be safe for
+	// concurrent invocation (live progress counters use atomics). It
+	// observes results, never mutates them.
+	OnResult func(Result)
 }
 
 // Execute runs every job and returns their results in job order. The
@@ -145,6 +150,9 @@ func (p Pool) Execute(ctx context.Context, jobs []Job) ([]Result, error) {
 				}
 				v, err := runJob(runCtx, it.job)
 				results[it.idx] = Result{Job: it.job, Value: v, Err: err}
+				if p.OnResult != nil {
+					p.OnResult(results[it.idx])
+				}
 				if err != nil {
 					fail(fmt.Errorf("%s (replica %d, seed %#x): %w",
 						it.job.Key, it.job.Replica, it.job.Seed, err))

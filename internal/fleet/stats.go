@@ -3,6 +3,8 @@ package fleet
 import (
 	"math"
 	"sort"
+
+	"lme/internal/metrics"
 )
 
 // Sample accumulates the replica measurements behind one table cell and
@@ -111,3 +113,49 @@ func (s *Sample) StdErr() float64 {
 // CI95 returns the half-width of the normal-approximation 95% confidence
 // interval of the mean: 1.96 standard errors.
 func (s *Sample) CI95() float64 { return 1.96 * s.StdErr() }
+
+// SketchCell accumulates replica quantile sketches behind one percentile
+// table cell by merging their exact wire snapshots. Because sketch
+// merging is insertion-order independent and the snapshots are exact,
+// the pooled quantiles depend only on the replica set — never on worker
+// count or completion order — and describe the pooled underlying sample
+// (every response time across every replica), not a quantile of
+// per-replica quantiles.
+type SketchCell struct {
+	s *metrics.Sketch
+}
+
+// Add merges one replica's snapshot into the cell.
+func (c *SketchCell) Add(snap metrics.SketchSnapshot) {
+	sk := metrics.FromSnapshot(snap)
+	if c.s == nil {
+		c.s = sk
+		return
+	}
+	c.s.Merge(sk)
+}
+
+// Count reports the pooled observation count.
+func (c *SketchCell) Count() uint64 {
+	if c.s == nil {
+		return 0
+	}
+	return c.s.Count()
+}
+
+// Quantile returns the pooled q-quantile (0 when empty), within the
+// sketch's relative accuracy of the exact pooled nearest-rank value.
+func (c *SketchCell) Quantile(q float64) float64 {
+	if c.s == nil {
+		return 0
+	}
+	return c.s.QuantileFloat(q)
+}
+
+// Mean returns the exact pooled mean (0 when empty).
+func (c *SketchCell) Mean() float64 {
+	if c.s == nil {
+		return 0
+	}
+	return c.s.Mean()
+}

@@ -24,8 +24,8 @@ type probeProto struct {
 
 	entryAt sim.Time
 	waiting bool
-	samples []sim.Time
-	crossed func() // notifies the external driver
+	lat     *metrics.Sketch // shared traversal-latency sketch, streamed
+	crossed func()          // notifies the external driver
 }
 
 var _ core.Protocol = (*probeProto)(nil)
@@ -40,7 +40,7 @@ func (p *probeProto) Init(env core.Env) {
 		func() {
 			if p.waiting {
 				p.waiting = false
-				p.samples = append(p.samples, p.env.Now()-p.entryAt)
+				p.lat.Observe(p.env.Now() - p.entryAt)
 			}
 			if p.crossed != nil {
 				p.crossed()
@@ -93,15 +93,18 @@ func (p *probeProto) State() core.State { return core.Thinking }
 
 // doorwayProbe runs n mutually-adjacent probes that repeatedly enter the
 // double doorway, hold it for hold time units, and exit; it returns the
-// traversal latency statistics. seed drives the link-delay draws.
+// traversal latency statistics. seed drives the link-delay draws. All
+// probes stream into one shared sketch (the world is single-threaded),
+// so aggregation is O(buckets) — no per-sample slices.
 func doorwayProbe(n int, hold, horizon sim.Time, seed uint64) (metrics.Stats, error) {
 	cfg := manet.DefaultConfig()
 	cfg.Seed = seed
 	cfg.Radius = 1.0
 	w := manet.NewWorld(cfg)
+	lat := metrics.NewSketch()
 	probes := make([]*probeProto, n)
 	for i := 0; i < n; i++ {
-		probes[i] = &probeProto{}
+		probes[i] = &probeProto{lat: lat}
 		w.SetProtocol(w.AddNode(CliquePoints(n)[i]), probes[i])
 	}
 	if err := w.Start(); err != nil {
@@ -122,9 +125,5 @@ func doorwayProbe(n int, hold, horizon sim.Time, seed uint64) (metrics.Stats, er
 	if err := sched.RunUntil(horizon, 0); err != nil {
 		return metrics.Stats{}, err
 	}
-	var all []sim.Time
-	for _, p := range probes {
-		all = append(all, p.samples...)
-	}
-	return metrics.Summarize(all), nil
+	return lat.Stats(), nil
 }

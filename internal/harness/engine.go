@@ -19,6 +19,11 @@ type Engine struct {
 	Replicas int
 	// Context cancels in-flight execution when done; nil means none.
 	Context context.Context
+	// OnResult, when set, observes each completed replica job from the
+	// worker goroutine that ran it (fleet.Pool.OnResult semantics: must
+	// be safe for concurrent invocation). lmebench uses it to drive the
+	// live progress counter.
+	OnResult func(fleet.Result)
 }
 
 // Run executes one experiment at the given quality and renders its
@@ -40,7 +45,8 @@ func (g Engine) Run(e Experiment, q Quality) (*Table, error) {
 	if plan.Reduce == nil {
 		return nil, fmt.Errorf("harness: experiment %q plan has no reduction", e.ID)
 	}
-	results, err := fleet.Pool{Workers: g.Workers}.Execute(g.Context, plan.Jobs)
+	lossOverBefore, lossDropBefore := TraceLoss()
+	results, err := fleet.Pool{Workers: g.Workers, OnResult: g.OnResult}.Execute(g.Context, plan.Jobs)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", e.ID, err)
 	}
@@ -50,6 +56,10 @@ func (g Engine) Run(e Experiment, q Quality) (*Table, error) {
 	}
 	if tbl.Replicas == 0 {
 		tbl.Replicas = replicas
+	}
+	lossOver, lossDrop := TraceLoss()
+	if over, drop := lossOver-lossOverBefore, lossDrop-lossDropBefore; over > 0 || drop > 0 {
+		tbl.AddNote("trace loss during this experiment: %d ring-overwritten, %d sink-dropped events", over, drop)
 	}
 	return tbl, nil
 }

@@ -15,6 +15,7 @@ import (
 	"lme/internal/graph"
 	"lme/internal/manet"
 	"lme/internal/metrics"
+	"lme/internal/progress"
 	"lme/internal/sim"
 	"lme/internal/span"
 	"lme/internal/workload"
@@ -50,6 +51,20 @@ type Spec struct {
 	// locality attribution (Run.Spans).
 	Spans bool
 
+	// SpanFold selects the collector's streaming fold mode: closed spans
+	// collapse immediately into the per-phase/per-node aggregates and are
+	// discarded, bounding span memory by O(nodes) instead of O(run).
+	// Summary, open spans, the wait-for graph and the crash attribution
+	// are unaffected; Spans()/WriteJSONL are unavailable. Implies Spans.
+	// The eating timeline (Run.Timeline, the Gantt source) is also
+	// skipped: it is O(meals) retained history.
+	SpanFold bool
+
+	// RetainSamples keeps the response recorder's exact per-sample
+	// slices (Recorder.Samples/NodeSamples) alongside its streaming
+	// sketch — the full-fidelity O(run) path, off by default.
+	RetainSamples bool
+
 	// PostmortemPath arms the flight recorder: on the first safety
 	// violation the trace-ring tail, every open span and the wait-for
 	// graph are dumped to this file. Requires Spans; a TraceRing makes
@@ -79,6 +94,14 @@ type Run struct {
 	started   bool
 	finalized bool
 	pmWritten bool
+
+	// progress, when attached, is ticked at every RunContext slice
+	// boundary and fed the run's gauges.
+	progress *progress.Reporter
+
+	// lossSeen tracks how much of the bus's trace-loss counters this run
+	// has already folded into the process-wide totals.
+	lossSeen struct{ overwritten, dropped uint64 }
 }
 
 // Build assembles a run; call Start (or RunFor, which starts implicitly)
@@ -115,18 +138,30 @@ func Build(spec Spec) (*Run, error) {
 		defaults.Participants = wcfg.Participants
 		wcfg = defaults
 	}
+	var recOpts []metrics.RecorderOption
+	if spec.RetainSamples {
+		recOpts = append(recOpts, metrics.Retain())
+	}
 	r := &Run{
 		World:    w,
 		Driver:   workload.New(w, wcfg),
 		Checker:  metrics.NewSafetyChecker(w),
-		Recorder: metrics.NewResponseRecorder(),
+		Recorder: metrics.NewResponseRecorder(recOpts...),
 		Prober:   metrics.NewProber(),
-		Timeline: metrics.NewTimeline(),
 		Registry: metrics.NewRegistry(),
 	}
+	if !spec.SpanFold {
+		// The eating timeline (Gantt source) keeps one interval per meal
+		// — O(run) retained history, so streaming fold mode skips it.
+		r.Timeline = metrics.NewTimeline()
+	}
 	metrics.Instrument(w.Bus(), r.Registry, w.TypeNamer())
-	if spec.Spans {
-		r.Spans = span.New()
+	if spec.Spans || spec.SpanFold {
+		if spec.SpanFold {
+			r.Spans = span.NewStreaming()
+		} else {
+			r.Spans = span.New()
+		}
 		// Seed the initial adjacency: links that exist from t=0 emit no
 		// KindLink events, so the collector cannot learn them from the
 		// stream the way an offline trace reader would guess from Sends.
@@ -160,7 +195,9 @@ func Build(spec Spec) (*Run, error) {
 	w.AddStateListener(r.Checker)
 	w.AddStateListener(r.Recorder)
 	w.AddStateListener(r.Prober)
-	w.AddStateListener(r.Timeline)
+	if r.Timeline != nil {
+		w.AddStateListener(r.Timeline)
+	}
 	w.AddStateListener(r.Driver)
 	w.AddLinkListener(r.Checker)
 	w.AddMoveListener(r.Recorder)
@@ -220,11 +257,45 @@ func (r *Run) RunContext(ctx context.Context, d sim.Time) error {
 		// RunUntil errors when it exhausts the budget, so on success
 		// strictly fewer events ran and the remainder stays positive.
 		remaining -= sched.Processed() - before
+		if r.progress != nil {
+			r.progress.Tick()
+		}
 		if sched.Now() >= deadline {
 			break
 		}
 	}
+	r.foldTraceLoss()
 	return r.Checker.Err()
+}
+
+// AttachProgress binds a heartbeat reporter to this run's gauges; it is
+// ticked at every RunContext slice boundary (wall-clock gated, so the
+// per-slice cost is two time loads when quiet). Call Reporter.Final
+// after the run for the closing record.
+func (r *Run) AttachProgress(cfg progress.Config) *progress.Reporter {
+	sched := r.World.Scheduler()
+	bus := r.World.Bus()
+	src := progress.Sources{
+		Now:    sched.Now,
+		Events: sched.Processed,
+		Loss:   func() (uint64, uint64) { return bus.Overwritten(), bus.SinkDropped() },
+	}
+	if r.Spans != nil {
+		src.OpenSpans = r.Spans.OpenCount
+	}
+	r.progress = progress.New(cfg, src)
+	return r.progress
+}
+
+// foldTraceLoss accumulates this run's bus loss counters into the
+// process-wide totals, counting each loss exactly once across repeated
+// RunContext calls.
+func (r *Run) foldTraceLoss() {
+	bus := r.World.Bus()
+	ov, dr := bus.Overwritten(), bus.SinkDropped()
+	totalOverwritten.Add(ov - r.lossSeen.overwritten)
+	totalSinkDropped.Add(dr - r.lossSeen.dropped)
+	r.lossSeen.overwritten, r.lossSeen.dropped = ov, dr
 }
 
 // FinalizeSpans closes every attempt still open at the current instant
@@ -262,6 +333,18 @@ var totalEvents atomic.Uint64
 // EventsProcessed reports the scheduler events executed by all harness
 // runs of this process so far.
 func EventsProcessed() uint64 { return totalEvents.Load() }
+
+// totalOverwritten/totalSinkDropped accumulate trace-loss counters
+// across every Run (folded in at slice boundaries), so fleet drivers can
+// report loss deltas per experiment without reaching into worker runs.
+var totalOverwritten, totalSinkDropped atomic.Uint64
+
+// TraceLoss reports the cumulative trace-loss counters of all harness
+// runs of this process so far: events overwritten in flight-recorder
+// rings and events dropped by saturated sinks.
+func TraceLoss() (overwritten, dropped uint64) {
+	return totalOverwritten.Load(), totalSinkDropped.Load()
+}
 
 // EveryoneAte reports whether every participant entered the critical
 // section at least once, returning the IDs of those that did not.

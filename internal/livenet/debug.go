@@ -1,0 +1,37 @@
+package livenet
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// StartDebugServer starts an opt-in HTTP debug endpoint serving the
+// net/http/pprof profiles (goroutine, heap, CPU, execution trace) for a
+// live cluster — the real-time runtime is the one place in the module
+// where wall-clock profiling of a *running* system is meaningful, so the
+// endpoint lives here rather than in the simulator.
+//
+// The handler set is mounted on a private mux (never http.DefaultServeMux,
+// which package net/http/pprof pollutes on import) so importing livenet
+// exposes nothing by itself. addr is a listen address such as
+// "127.0.0.1:6060"; pass port 0 to let the kernel pick one. The returned
+// server is already serving; the caller owns shutdown via Close. The
+// actual bound address (useful with port 0) is returned alongside.
+func StartDebugServer(addr string) (srv *http.Server, bound string, err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("livenet: debug server: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return srv, ln.Addr().String(), nil
+}

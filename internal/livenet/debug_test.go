@@ -1,0 +1,52 @@
+package livenet
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestDebugServerServesPprof starts the endpoint on an ephemeral port and
+// fetches the pprof index and one profile. Environments that forbid
+// listening sockets skip rather than fail.
+func TestDebugServerServesPprof(t *testing.T) {
+	srv, addr, err := StartDebugServer("127.0.0.1:0")
+	if err != nil {
+		t.Skipf("cannot listen in this environment: %v", err)
+	}
+	defer srv.Close()
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	if idx := get("/debug/pprof/"); !strings.Contains(idx, "goroutine") {
+		t.Errorf("pprof index missing goroutine profile:\n%s", idx)
+	}
+	if prof := get("/debug/pprof/goroutine?debug=1"); !strings.Contains(prof, "goroutine profile") {
+		t.Errorf("goroutine profile unexpected:\n%.200s", prof)
+	}
+
+	// The root mux must expose nothing but the debug tree.
+	resp, err := http.Get("http://" + addr + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("root path served status %d, want 404", resp.StatusCode)
+	}
+}

@@ -155,22 +155,48 @@ func Summarize(samples []sim.Time) Stats {
 // sample counts only if the node stayed static for the whole interval, so
 // movement during a hungry interval taints it. Demotions (eating → hungry)
 // open a fresh interval.
+//
+// By default the recorder streams every sample into a quantile Sketch —
+// memory O(nodes + sketch buckets), independent of run length. The
+// Retain option additionally keeps the exact per-sample slices for
+// callers that need full fidelity (per-node fairness analysis, sketch
+// differential tests).
 type ResponseRecorder struct {
 	hungrySince map[core.NodeID]sim.Time
 	tainted     map[core.NodeID]bool
-	samples     []sim.Time
-	perNode     map[core.NodeID][]sim.Time
+	sketch      *Sketch
 	eatCount    map[core.NodeID]int
+
+	retain  bool
+	samples []sim.Time
+	perNode map[core.NodeID][]sim.Time
 }
 
-// NewResponseRecorder creates an empty recorder.
-func NewResponseRecorder() *ResponseRecorder {
-	return &ResponseRecorder{
+// RecorderOption configures a ResponseRecorder.
+type RecorderOption func(*ResponseRecorder)
+
+// Retain keeps the exact full-sample slices (Samples, NodeSamples) in
+// addition to the sketch, restoring the pre-streaming O(run) behaviour.
+func Retain() RecorderOption {
+	return func(r *ResponseRecorder) { r.retain = true }
+}
+
+// NewResponseRecorder creates an empty recorder (streaming by default;
+// pass Retain() to also keep exact samples).
+func NewResponseRecorder(opts ...RecorderOption) *ResponseRecorder {
+	r := &ResponseRecorder{
 		hungrySince: make(map[core.NodeID]sim.Time),
 		tainted:     make(map[core.NodeID]bool),
-		perNode:     make(map[core.NodeID][]sim.Time),
+		sketch:      NewSketch(),
 		eatCount:    make(map[core.NodeID]int),
 	}
+	for _, opt := range opts {
+		opt(r)
+	}
+	if r.retain {
+		r.perNode = make(map[core.NodeID][]sim.Time)
+	}
+	return r
 }
 
 var _ core.Listener = (*ResponseRecorder)(nil)
@@ -189,8 +215,11 @@ func (r *ResponseRecorder) OnStateChange(id core.NodeID, old, new core.State, at
 			return
 		}
 		d := at - start
-		r.samples = append(r.samples, d)
-		r.perNode[id] = append(r.perNode[id], d)
+		r.sketch.Observe(d)
+		if r.retain {
+			r.samples = append(r.samples, d)
+			r.perNode[id] = append(r.perNode[id], d)
+		}
 	case core.Thinking:
 		delete(r.hungrySince, id)
 	}
@@ -207,15 +236,23 @@ func (r *ResponseRecorder) OnMove(id core.NodeID, moving bool, at sim.Time) {
 	}
 }
 
-// Samples returns all untainted response-time samples.
+// Samples returns all untainted response-time samples. Nil unless the
+// recorder was built with Retain().
 func (r *ResponseRecorder) Samples() []sim.Time {
+	if !r.retain {
+		return nil
+	}
 	out := make([]sim.Time, len(r.samples))
 	copy(out, r.samples)
 	return out
 }
 
-// NodeSamples returns the untainted samples of one node.
+// NodeSamples returns the untainted samples of one node. Nil unless the
+// recorder was built with Retain().
 func (r *ResponseRecorder) NodeSamples(id core.NodeID) []sim.Time {
+	if !r.retain {
+		return nil
+	}
 	out := make([]sim.Time, len(r.perNode[id]))
 	copy(out, r.perNode[id])
 	return out
@@ -224,8 +261,14 @@ func (r *ResponseRecorder) NodeSamples(id core.NodeID) []sim.Time {
 // EatCount reports how many times id entered the critical section.
 func (r *ResponseRecorder) EatCount(id core.NodeID) int { return r.eatCount[id] }
 
-// Stats summarises all samples.
-func (r *ResponseRecorder) Stats() Stats { return Summarize(r.samples) }
+// Stats summarises all samples from the sketch: Count, Mean and Max are
+// exact, P50/P95 are within the sketch's relative accuracy. O(sketch
+// buckets) per call — no copy or sort of the sample slice.
+func (r *ResponseRecorder) Stats() Stats { return r.sketch.Stats() }
+
+// Sketch exposes the streaming response-time sketch (live; callers must
+// not mutate it mid-run).
+func (r *ResponseRecorder) Sketch() *Sketch { return r.sketch }
 
 // Prober detects starved nodes, the raw material of the empirical
 // failure-locality measurement (experiment E2): after a crash, nodes that

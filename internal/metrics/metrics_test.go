@@ -85,7 +85,7 @@ func TestSummarize(t *testing.T) {
 }
 
 func TestResponseRecorderBasic(t *testing.T) {
-	r := NewResponseRecorder()
+	r := NewResponseRecorder(Retain())
 	r.OnStateChange(3, core.Thinking, core.Hungry, 100)
 	r.OnStateChange(3, core.Hungry, core.Eating, 250)
 	r.OnStateChange(3, core.Eating, core.Thinking, 300)
@@ -102,7 +102,7 @@ func TestResponseRecorderBasic(t *testing.T) {
 }
 
 func TestResponseRecorderTaintOnMove(t *testing.T) {
-	r := NewResponseRecorder()
+	r := NewResponseRecorder(Retain())
 	r.OnStateChange(1, core.Thinking, core.Hungry, 100)
 	r.OnMove(1, true, 120)
 	r.OnMove(1, false, 140)
@@ -123,7 +123,7 @@ func TestResponseRecorderTaintOnMove(t *testing.T) {
 }
 
 func TestResponseRecorderMoveOfOtherNodeNoTaint(t *testing.T) {
-	r := NewResponseRecorder()
+	r := NewResponseRecorder(Retain())
 	r.OnStateChange(1, core.Thinking, core.Hungry, 100)
 	r.OnMove(2, true, 120)
 	r.OnStateChange(1, core.Hungry, core.Eating, 200)
@@ -133,7 +133,7 @@ func TestResponseRecorderMoveOfOtherNodeNoTaint(t *testing.T) {
 }
 
 func TestResponseRecorderDemotionOpensNewInterval(t *testing.T) {
-	r := NewResponseRecorder()
+	r := NewResponseRecorder(Retain())
 	r.OnStateChange(1, core.Thinking, core.Hungry, 100)
 	r.OnStateChange(1, core.Hungry, core.Eating, 150)
 	r.OnStateChange(1, core.Eating, core.Hungry, 160) // demotion
@@ -141,6 +141,63 @@ func TestResponseRecorderDemotionOpensNewInterval(t *testing.T) {
 	got := r.Samples()
 	if len(got) != 2 || got[0] != 50 || got[1] != 100 {
 		t.Fatalf("samples = %v", got)
+	}
+}
+
+// TestResponseRecorderStreamingDefault pins the bounded-memory default:
+// without Retain() no sample slices are kept, yet Stats() still serves
+// exact count/mean/max (and α-accurate percentiles) from the sketch, and
+// taint/demotion semantics are unchanged.
+func TestResponseRecorderStreamingDefault(t *testing.T) {
+	r := NewResponseRecorder()
+	r.OnStateChange(1, core.Thinking, core.Hungry, 100)
+	r.OnStateChange(1, core.Hungry, core.Eating, 150) // sample 50
+	r.OnStateChange(1, core.Eating, core.Hungry, 160) // demotion
+	r.OnStateChange(1, core.Hungry, core.Eating, 260) // sample 100
+	r.OnStateChange(2, core.Thinking, core.Hungry, 100)
+	r.OnMove(2, true, 120)
+	r.OnStateChange(2, core.Hungry, core.Eating, 400) // tainted: no sample
+	if got := r.Samples(); got != nil {
+		t.Fatalf("streaming recorder retained samples: %v", got)
+	}
+	if got := r.NodeSamples(1); got != nil {
+		t.Fatalf("streaming recorder retained node samples: %v", got)
+	}
+	s := r.Stats()
+	if s.Count != 2 || s.Mean != 75 || s.Max != 100 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if r.EatCount(1) != 2 || r.EatCount(2) != 1 {
+		t.Fatalf("eat counts = %d, %d", r.EatCount(1), r.EatCount(2))
+	}
+	if r.Sketch().Count() != 2 {
+		t.Fatalf("sketch count = %d", r.Sketch().Count())
+	}
+}
+
+// TestRecorderStatsMatchesSummarize holds the sketch-served Stats to the
+// exact Summarize over the retained slice, within the sketch's accuracy.
+func TestRecorderStatsMatchesSummarize(t *testing.T) {
+	r := NewResponseRecorder(Retain())
+	at := sim.Time(0)
+	for i := 0; i < 500; i++ {
+		id := core.NodeID(i % 7)
+		r.OnStateChange(id, core.Thinking, core.Hungry, at)
+		at += sim.Time(50 + (i*i)%9000)
+		r.OnStateChange(id, core.Hungry, core.Eating, at)
+		at += 10
+		r.OnStateChange(id, core.Eating, core.Thinking, at)
+	}
+	got := r.Stats()
+	want := Summarize(r.Samples())
+	if got.Count != want.Count || got.Mean != want.Mean || got.Max != want.Max {
+		t.Fatalf("exact fields drifted: %+v vs %+v", got, want)
+	}
+	alpha := r.Sketch().RelativeAccuracy()
+	for _, c := range []struct{ got, want sim.Time }{{got.P50, want.P50}, {got.P95, want.P95}} {
+		if d := float64(c.got - c.want); d > alpha*float64(c.want)+1 || d < -alpha*float64(c.want)-1 {
+			t.Fatalf("quantile %v vs exact %v exceeds α", c.got, c.want)
+		}
 	}
 }
 

@@ -54,6 +54,7 @@ type fastCounters struct {
 type Registry struct {
 	counters map[string]uint64
 	hists    map[string]*Histogram
+	sketches map[string]*Sketch
 
 	fast   fastCounters
 	namer  *trace.TypeNamer
@@ -65,6 +66,7 @@ func NewRegistry() *Registry {
 	return &Registry{
 		counters: make(map[string]uint64),
 		hists:    make(map[string]*Histogram),
+		sketches: make(map[string]*Sketch),
 	}
 }
 
@@ -142,6 +144,18 @@ func (r *Registry) Histogram(name string, bounds []sim.Time) *Histogram {
 	return h
 }
 
+// Sketch returns the named quantile sketch, creating it (DefaultGamma)
+// on first use. Sketches complement the fixed-bucket histograms with
+// α-accurate quantiles at O(log range) memory.
+func (r *Registry) Sketch(name string) *Sketch {
+	if s, ok := r.sketches[name]; ok {
+		return s
+	}
+	s := NewSketch()
+	r.sketches[name] = s
+	return s
+}
+
 // CountersWithPrefix returns the counters whose name starts with prefix,
 // keyed by the remainder of the name. Used to regroup the per-type
 // message counters ("sent.req" → "req").
@@ -169,6 +183,12 @@ func (r *Registry) Snapshot() RegistrySnapshot {
 	for k, h := range r.hists {
 		s.Histograms[k] = h.Snapshot()
 	}
+	if len(r.sketches) > 0 {
+		s.Sketches = make(map[string]SketchSnapshot, len(r.sketches))
+		for k, sk := range r.sketches {
+			s.Sketches[k] = sk.Snapshot()
+		}
+	}
 	return s
 }
 
@@ -176,6 +196,7 @@ func (r *Registry) Snapshot() RegistrySnapshot {
 type RegistrySnapshot struct {
 	Counters   map[string]uint64            `json:"counters"`
 	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Sketches   map[string]SketchSnapshot    `json:"sketches,omitempty"`
 }
 
 // String renders the snapshot as sorted "name value" lines (the -stats
@@ -320,6 +341,7 @@ func DefaultDelayBounds() []sim.Time {
 func Instrument(bus *trace.Bus, r *Registry, namer *trace.TypeNamer) {
 	r.namer = namer
 	delays := r.Histogram(HistLinkDelay, DefaultDelayBounds())
+	delaySketch := r.Sketch(HistLinkDelay)
 	eating := core.Eating.String()
 	bus.Subscribe(func(e trace.Event) {
 		switch e.Kind {
@@ -331,6 +353,7 @@ func Instrument(bus *trace.Bus, r *Registry, namer *trace.TypeNamer) {
 			r.fast.delivered++
 			r.incMsg(classDelivered, e)
 			delays.Observe(e.Delay)
+			delaySketch.Observe(e.Delay)
 		case trace.KindDrop:
 			r.fast.dropped++
 			r.incMsg(classDropped, e)

@@ -1,0 +1,253 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"lme/internal/sim"
+)
+
+// exactQuantile is the nearest-rank reference: the value with rank
+// ⌈q·N⌉ in the sorted sample (the convention Summarize pins).
+func exactQuantile(xs []sim.Time, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]sim.Time(nil), xs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return float64(sorted[idx])
+}
+
+func sketchOf(xs []sim.Time) *Sketch {
+	s := NewSketch()
+	for _, x := range xs {
+		s.Observe(x)
+	}
+	return s
+}
+
+// testDistributions covers random and adversarial shapes: uniform,
+// heavy-tailed, constant, two-point, linear ramp, values planted on
+// bucket boundaries (powers of γ), wide dynamic range, and zeros.
+func testDistributions(rng *rand.Rand) map[string][]sim.Time {
+	d := map[string][]sim.Time{}
+
+	uniform := make([]sim.Time, 5000)
+	for i := range uniform {
+		uniform[i] = sim.Time(rng.Int63n(1_000_000))
+	}
+	d["uniform"] = uniform
+
+	heavy := make([]sim.Time, 5000)
+	for i := range heavy {
+		// Exponential-ish tail: µs latencies spanning several decades.
+		heavy[i] = sim.Time(math.Exp(rng.Float64()*14) + 1)
+	}
+	d["heavy-tail"] = heavy
+
+	constant := make([]sim.Time, 1000)
+	for i := range constant {
+		constant[i] = 123_456
+	}
+	d["constant"] = constant
+
+	twoPoint := make([]sim.Time, 1000)
+	for i := range twoPoint {
+		if i%10 == 0 {
+			twoPoint[i] = 900_000
+		} else {
+			twoPoint[i] = 100
+		}
+	}
+	d["two-point"] = twoPoint
+
+	ramp := make([]sim.Time, 2000)
+	for i := range ramp {
+		ramp[i] = sim.Time(i + 1)
+	}
+	d["ramp"] = ramp
+
+	boundaries := make([]sim.Time, 0, 600)
+	for k := 0; k < 600; k++ {
+		// Values at and adjacent to bucket boundaries γ^k.
+		v := math.Pow(DefaultGamma, float64(k%400))
+		boundaries = append(boundaries, sim.Time(v), sim.Time(v)+1)
+	}
+	d["boundaries"] = boundaries
+
+	wide := []sim.Time{0, 0, 1, 2, 10, 1000, 1_000_000, 50_000_000_000}
+	d["wide+zeros"] = wide
+
+	single := []sim.Time{42}
+	d["single"] = single
+
+	return d
+}
+
+// TestSketchQuantileAccuracy checks the α = (γ−1)/(γ+1) relative error
+// bound against the exact nearest-rank quantile on every distribution,
+// across the full quantile range.
+func TestSketchQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	qs := []float64{0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 1}
+	for name, xs := range testDistributions(rng) {
+		s := sketchOf(xs)
+		alpha := s.RelativeAccuracy()
+		for _, q := range qs {
+			got := s.QuantileFloat(q)
+			want := exactQuantile(xs, q)
+			// +1 absolute slack covers the sub-1 zero bucket collapsing
+			// values in [0,1) to 0.
+			if math.Abs(got-want) > alpha*want+1 {
+				t.Errorf("%s: q=%v sketch=%v exact=%v (α=%v)", name, q, got, want, alpha)
+			}
+		}
+		if int(s.Count()) != len(xs) {
+			t.Errorf("%s: count %d want %d", name, s.Count(), len(xs))
+		}
+	}
+}
+
+// TestSketchStatsExactFields pins that Count, Mean and Max in Stats()
+// are exact — identical to Summarize over the same samples — and that
+// P50/P95 respect the error bound.
+func TestSketchStatsExactFields(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for name, xs := range testDistributions(rng) {
+		s := sketchOf(xs)
+		got := s.Stats()
+		want := Summarize(xs)
+		if got.Count != want.Count || got.Mean != want.Mean || got.Max != want.Max {
+			t.Errorf("%s: exact fields drifted: sketch {n=%d mean=%v max=%v} exact {n=%d mean=%v max=%v}",
+				name, got.Count, got.Mean, got.Max, want.Count, want.Mean, want.Max)
+		}
+		alpha := s.RelativeAccuracy()
+		for _, c := range []struct{ got, want sim.Time }{{got.P50, want.P50}, {got.P95, want.P95}} {
+			if math.Abs(float64(c.got-c.want)) > alpha*float64(c.want)+1 {
+				t.Errorf("%s: quantile %v vs exact %v exceeds α=%v", name, c.got, c.want, alpha)
+			}
+		}
+	}
+}
+
+// TestSketchMergeCommutativeAssociative verifies Merge is insertion-order
+// independent at the snapshot level: for integer-valued observations the
+// float64 sums are exact, so any merge order yields a bit-identical
+// snapshot (the property fleet reduction relies on for
+// worker-count-independent tables).
+func TestSketchMergeCommutativeAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	parts := make([][]sim.Time, 4)
+	var all []sim.Time
+	for i := range parts {
+		n := 200 + rng.Intn(800)
+		parts[i] = make([]sim.Time, n)
+		for j := range parts[i] {
+			parts[i][j] = sim.Time(rng.Int63n(10_000_000))
+		}
+		all = append(all, parts[i]...)
+	}
+
+	mergeOrder := func(order []int) SketchSnapshot {
+		acc := NewSketch()
+		for _, i := range order {
+			acc.Merge(sketchOf(parts[i]))
+		}
+		return acc.Snapshot()
+	}
+
+	ref := mergeOrder([]int{0, 1, 2, 3})
+	for _, order := range [][]int{{3, 2, 1, 0}, {1, 3, 0, 2}, {2, 0, 3, 1}} {
+		if got := mergeOrder(order); !reflect.DeepEqual(got, ref) {
+			t.Fatalf("merge order %v changed the snapshot", order)
+		}
+	}
+
+	// Associativity: (a⊕b)⊕(c⊕d) == ((a⊕b)⊕c)⊕d.
+	ab := sketchOf(parts[0])
+	ab.Merge(sketchOf(parts[1]))
+	cd := sketchOf(parts[2])
+	cd.Merge(sketchOf(parts[3]))
+	ab.Merge(cd)
+	if got := ab.Snapshot(); !reflect.DeepEqual(got, ref) {
+		t.Fatal("grouped merge changed the snapshot")
+	}
+
+	// Merged sketch == sketch of the pooled sample.
+	if got := sketchOf(all).Snapshot(); !reflect.DeepEqual(got, ref) {
+		t.Fatal("merge of parts differs from sketch of the pooled sample")
+	}
+}
+
+// TestSketchSnapshotRoundTrip pins that the wire snapshot is exact:
+// reconstruction and JSON both round-trip without loss.
+func TestSketchSnapshotRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	xs := make([]sim.Time, 3000)
+	for i := range xs {
+		xs[i] = sim.Time(rng.Int63n(2_000_000))
+	}
+	xs[0], xs[1] = 0, 0 // exercise the zero bucket
+	s := sketchOf(xs)
+	snap := s.Snapshot()
+
+	back := FromSnapshot(snap)
+	if !reflect.DeepEqual(back.Snapshot(), snap) {
+		t.Fatal("FromSnapshot lost information")
+	}
+	for _, q := range []float64{0.5, 0.95, 0.999} {
+		if back.QuantileFloat(q) != s.QuantileFloat(q) {
+			t.Fatalf("q=%v drifted across snapshot", q)
+		}
+	}
+
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wire SketchSnapshot
+	if err := json.Unmarshal(data, &wire); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(wire, snap) {
+		t.Fatal("JSON round trip mutated the snapshot")
+	}
+}
+
+// TestSketchEmptyAndMergeEdges covers empty sketches and merging into /
+// from empties.
+func TestSketchEmptyAndMergeEdges(t *testing.T) {
+	s := NewSketch()
+	if s.QuantileFloat(0.5) != 0 || s.Quantile(0.95) != 0 || s.Mean() != 0 {
+		t.Fatal("empty sketch must report zeros")
+	}
+	if st := s.Stats(); st != (Stats{}) {
+		t.Fatalf("empty Stats = %+v", st)
+	}
+
+	s.Merge(NewSketch()) // empty ⊕ empty
+	if s.Count() != 0 {
+		t.Fatal("merging empties must stay empty")
+	}
+
+	other := sketchOf([]sim.Time{10, 20, 30})
+	s.Merge(other) // empty ⊕ x == x
+	if !reflect.DeepEqual(s.Snapshot(), other.Snapshot()) {
+		t.Fatal("empty ⊕ x must equal x")
+	}
+	other.Merge(NewSketch()) // x ⊕ empty == x
+	if !reflect.DeepEqual(s.Snapshot(), other.Snapshot()) {
+		t.Fatal("x ⊕ empty must equal x")
+	}
+}

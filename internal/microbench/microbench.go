@@ -36,6 +36,8 @@ func All() []Benchmark {
 		{Name: "TraceSinkThroughput", Fn: TraceSinkThroughput},
 		{Name: "PublishFanout", Fn: PublishFanout},
 		{Name: "SpanFold", Fn: SpanFold},
+		{Name: "SpanFoldStreaming", Fn: SpanFoldStreaming},
+		{Name: "MemorySteady", Fn: MemorySteady},
 		{Name: "EndToEndDark", Fn: EndToEndDark},
 		{Name: "EndToEndObserved", Fn: EndToEndObserved},
 	}

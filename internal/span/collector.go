@@ -1,6 +1,7 @@
 package span
 
 import (
+	"errors"
 	"io"
 	"sort"
 
@@ -8,6 +9,9 @@ import (
 	"lme/internal/sim"
 	"lme/internal/trace"
 )
+
+// errStreaming rejects per-span output from a fold-mode collector.
+var errStreaming = errors.New("span: collector is streaming (fold mode); per-span records were not retained")
 
 // dwStatus is one node's position relative to one doorway, as the event
 // stream reports it: at the entry since enterSince, or behind since
@@ -65,11 +69,20 @@ type crashRec struct {
 }
 
 // Collector folds the event stream into spans, the wait-for graph and
-// the crash attribution. Zero value is not usable; call New.
+// the crash attribution. Zero value is not usable; call New (full
+// retention) or NewStreaming (bounded-memory fold mode).
 type Collector struct {
 	now   sim.Time
 	end   sim.Time
 	nodes []*nodeState
+
+	// retain keeps every closed span in closed; in streaming mode spans
+	// are folded into agg at close time and discarded, so memory stays
+	// O(nodes + phase names) regardless of run length. The aggregate is
+	// maintained in both modes — identical either way, since Finalize's
+	// sort only reorders what the order-independent fold consumes.
+	retain bool
+	agg    *aggregate
 
 	closed  []Span
 	crashes []crashRec
@@ -85,10 +98,22 @@ type Collector struct {
 	impacts   []CrashImpact
 }
 
-// New creates an empty collector.
+// New creates an empty collector that retains every closed span
+// (required for -spans-out / lmetrace / postmortem span listings).
 func New() *Collector {
-	return &Collector{adj: make(map[uint64]bool)}
+	return &Collector{adj: make(map[uint64]bool), agg: newAggregate(), retain: true}
 }
+
+// NewStreaming creates a collector in fold mode: closed spans collapse
+// immediately into the per-phase/per-node aggregates and are discarded.
+// Spans() stays empty and WriteJSONL refuses; Summary, OpenSpans,
+// WaitEdges and the crash attribution are unaffected.
+func NewStreaming() *Collector {
+	return &Collector{adj: make(map[uint64]bool), agg: newAggregate()}
+}
+
+// Retaining reports whether closed spans are being kept.
+func (c *Collector) Retaining() bool { return c.retain }
 
 // Attach subscribes the collector to a live bus; every published event
 // is folded as it happens.
@@ -303,7 +328,10 @@ func (c *Collector) closeAttempt(n *nodeState, at sim.Time, outcome string) {
 	}
 	s.End = at
 	s.Outcome = outcome
-	c.closed = append(c.closed, *s)
+	c.agg.fold(s)
+	if c.retain {
+		c.closed = append(c.closed, *s)
+	}
 	n.open = nil
 }
 
@@ -503,15 +531,32 @@ func (c *Collector) bfsDist(src core.NodeID, nbrs [][]core.NodeID) []int {
 }
 
 // Spans returns every finished span, sorted by (node, attempt) after
-// Finalize.
+// Finalize. Empty in streaming mode.
 func (c *Collector) Spans() []Span { return c.closed }
 
 // Impacts returns the per-crash attributions computed by Finalize.
 func (c *Collector) Impacts() []CrashImpact { return c.impacts }
 
-// Summary aggregates the collector's spans and impacts into the report
-// section.
-func (c *Collector) Summary() Summary { return Summarize(c.closed, c.impacts) }
+// Summary freezes the streaming aggregate (maintained in both modes)
+// and the impacts into the report section — identical to
+// Summarize(Spans(), Impacts()) when spans are retained.
+func (c *Collector) Summary() Summary { return c.agg.summary(c.impacts) }
+
+// NodeAggregates returns the bounded per-node fold of closed attempts,
+// sorted by node ID. Available in both modes.
+func (c *Collector) NodeAggregates() []NodeAggregate { return c.agg.nodeAggregates() }
+
+// OpenCount reports how many attempts are currently in progress (live
+// telemetry's open-span gauge; O(nodes), no allocation).
+func (c *Collector) OpenCount() int {
+	open := 0
+	for _, n := range c.nodes {
+		if n != nil && n.open != nil {
+			open++
+		}
+	}
+	return open
+}
 
 // OpenSpans snapshots the attempts still in progress (flight-recorder
 // material): each with its current phase closed at the latest event time
@@ -539,8 +584,13 @@ func (c *Collector) OpenSpans() []Span {
 // WriteJSONL writes every finished span as one JSON object per line.
 // After Finalize the output is deterministic for a deterministic run:
 // same seed, byte-identical file. Spans are encoded with the
-// hand-written AppendJSON and handed to the writer in batches.
+// hand-written AppendJSON and handed to the writer in batches. A
+// streaming collector has nothing to write and returns an error rather
+// than an empty file.
 func (c *Collector) WriteJSONL(w io.Writer) error {
+	if !c.retain {
+		return errStreaming
+	}
 	const batch = 32 << 10
 	buf := make([]byte, 0, batch+4096)
 	for _, s := range c.closed {

@@ -1,0 +1,160 @@
+// The streaming span fold: every closed span collapses into bounded
+// per-phase / per-node / per-outcome aggregates the instant it closes,
+// so a collector in fold mode never retains span records and its memory
+// is O(nodes + phase names + sketch buckets) — independent of run
+// length. Summarize is the batch application of the same fold, which is
+// what keeps the retained and streaming paths bit-identical.
+package span
+
+import (
+	"sort"
+
+	"lme/internal/core"
+	"lme/internal/metrics"
+	"lme/internal/sim"
+)
+
+// phaseAgg is the online aggregate of one qualified phase name.
+type phaseAgg struct {
+	count int
+	total sim.Time
+	max   sim.Time
+	dur   *metrics.Sketch
+}
+
+// nodeAgg is the online per-node aggregate of closed attempts.
+type nodeAgg struct {
+	attempts  int
+	ate       int
+	crashed   int
+	open      int
+	demotions int
+	busy      sim.Time
+}
+
+// NodeAggregate is the bounded per-node view of the streaming fold: how
+// many attempts a node closed with each outcome, its demotion count and
+// its total closed-attempt (busy) time.
+type NodeAggregate struct {
+	Node      core.NodeID `json:"node"`
+	Attempts  int         `json:"attempts"`
+	Ate       int         `json:"ate"`
+	Crashed   int         `json:"crashed"`
+	Open      int         `json:"open"`
+	Demotions int         `json:"demotions,omitempty"`
+	BusyUS    sim.Time    `json:"busy_us"`
+}
+
+// aggregate accumulates the whole folded-span section of the report.
+type aggregate struct {
+	attempts  int
+	ate       int
+	crashed   int
+	open      int
+	demotions int
+
+	dur    *metrics.Sketch // closed-attempt durations
+	phases map[string]*phaseAgg
+	nodes  map[core.NodeID]*nodeAgg
+}
+
+func newAggregate() *aggregate {
+	return &aggregate{
+		dur:    metrics.NewSketch(),
+		phases: make(map[string]*phaseAgg),
+		nodes:  make(map[core.NodeID]*nodeAgg),
+	}
+}
+
+// fold collapses one finished span into the aggregate. The span may be
+// discarded afterwards.
+func (a *aggregate) fold(s *Span) {
+	a.attempts++
+	na := a.nodes[s.Node]
+	if na == nil {
+		na = &nodeAgg{}
+		a.nodes[s.Node] = na
+	}
+	na.attempts++
+	switch s.Outcome {
+	case OutcomeAte:
+		a.ate++
+		na.ate++
+	case OutcomeCrashed:
+		a.crashed++
+		na.crashed++
+	case OutcomeOpen:
+		a.open++
+		na.open++
+	}
+	a.demotions += s.Demotions
+	na.demotions += s.Demotions
+	a.dur.Observe(s.Dur())
+	na.busy += s.Dur()
+	for _, p := range s.Phases {
+		name := p.Name
+		if p.Detail != "" {
+			name += ":" + p.Detail
+		}
+		st := a.phases[name]
+		if st == nil {
+			st = &phaseAgg{dur: metrics.NewSketch()}
+			a.phases[name] = st
+		}
+		d := p.Dur()
+		st.count++
+		st.total += d
+		if d > st.max {
+			st.max = d
+		}
+		st.dur.Observe(d)
+	}
+}
+
+// summary freezes the aggregate into the report section.
+func (a *aggregate) summary(crashes []CrashImpact) Summary {
+	sum := Summary{
+		Attempts:  a.attempts,
+		Ate:       a.ate,
+		Crashed:   a.crashed,
+		Open:      a.open,
+		Demotions: a.demotions,
+		Crashes:   crashes,
+	}
+	if a.dur.Count() > 0 {
+		sum.AttemptP50US = a.dur.Quantile(0.50)
+		sum.AttemptP95US = a.dur.Quantile(0.95)
+		sum.AttemptMaxUS = sim.Time(a.dur.Max())
+	}
+	sum.Phases = make([]PhaseStat, 0, len(a.phases))
+	for name, st := range a.phases {
+		sum.Phases = append(sum.Phases, PhaseStat{
+			Name:    name,
+			Count:   st.count,
+			TotalUS: st.total,
+			MaxUS:   st.max,
+			P50US:   st.dur.Quantile(0.50),
+			P95US:   st.dur.Quantile(0.95),
+		})
+	}
+	sort.Slice(sum.Phases, func(i, j int) bool { return sum.Phases[i].Name < sum.Phases[j].Name })
+	return sum
+}
+
+// nodeAggregates freezes the per-node fold, sorted by node ID.
+func (a *aggregate) nodeAggregates() []NodeAggregate {
+	out := make([]NodeAggregate, 0, len(a.nodes))
+	for id, na := range a.nodes {
+		out = append(out, NodeAggregate{
+			Node:      id,
+			Attempts:  na.attempts,
+			Ate:       na.ate,
+			Crashed:   na.crashed,
+			Open:      na.open,
+			Demotions: na.demotions,
+			BusyUS:    na.busy,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}

@@ -75,6 +75,44 @@ type postmortemWire struct {
 	WaitFor []edgeWire  `json:"wait_for"`
 }
 
+// phaseStatWire, blockedWire, impactWire and summaryWire pin the folded
+// spans section of lme/run/v3 (the Summary the streaming fold emits).
+type phaseStatWire struct {
+	Name    string `json:"name"`
+	Count   int    `json:"count"`
+	TotalUS int64  `json:"total_us"`
+	MaxUS   int64  `json:"max_us"`
+	P50US   int64  `json:"p50_us"`
+	P95US   int64  `json:"p95_us"`
+}
+
+type blockedWire struct {
+	Node int32 `json:"node"`
+	Hop  int   `json:"hop"`
+	Dist int   `json:"dist"`
+}
+
+type impactWire struct {
+	Crashed int32         `json:"crashed"`
+	At      int64         `json:"at_us"`
+	Blocked []blockedWire `json:"blocked"`
+	MaxHop  int           `json:"max_hop"`
+	MaxDist int           `json:"max_dist"`
+}
+
+type summaryWire struct {
+	Attempts     int             `json:"attempts"`
+	Ate          int             `json:"ate"`
+	Crashed      int             `json:"crashed"`
+	Open         int             `json:"open"`
+	Demotions    int             `json:"demotions"`
+	AttemptP50US int64           `json:"attempt_p50_us"`
+	AttemptP95US int64           `json:"attempt_p95_us"`
+	AttemptMaxUS int64           `json:"attempt_max_us"`
+	Phases       []phaseStatWire `json:"phases"`
+	Crashes      []impactWire    `json:"crashes"`
+}
+
 // strictDecode unmarshals data into target, failing on any field the
 // mirror struct does not declare.
 func strictDecode(t *testing.T, data []byte, target any) {
@@ -182,6 +220,52 @@ func TestSpanSchemaRoundTrip(t *testing.T) {
 	}
 	if !reflect.DeepEqual(back, s) {
 		t.Fatalf("round trip mutated the span:\n in  %+v\n out %+v", s, back)
+	}
+}
+
+// TestSummarySchemaRoundTrip pins the lme/run/v3 folded-span section: a
+// fully-populated Summary (quantile fields, phase stats, crash
+// attribution) built by the real streaming fold, strict-decoded against
+// the pinned mirror and round-tripped for value equality.
+func TestSummarySchemaRoundTrip(t *testing.T) {
+	c := NewStreaming()
+	c.SeedLink(0, 1)
+	c.SeedLink(1, 2)
+	feed(c,
+		evState(0, "thinking", "hungry", 10),
+		evDoorway(0, "enter", "SD^r", 20),
+		evDoorway(0, "cross", "SD^r", 120),
+		evState(0, "hungry", "eating", 300),
+		evState(0, "eating", "hungry", 350), // demotion
+		evState(0, "hungry", "eating", 500),
+		evState(0, "eating", "thinking", 700),
+		evState(2, "thinking", "hungry", 800),
+		evState(1, "thinking", "hungry", 810),
+		evSend(1, 2, "req", 9, 820),
+		evCrash(2, 900),
+	)
+	c.Finalize(4000)
+	sum := c.Summary()
+	if sum.Attempts == 0 || sum.Demotions == 0 || len(sum.Phases) == 0 ||
+		len(sum.Crashes) == 0 || sum.AttemptMaxUS == 0 {
+		t.Fatalf("scenario under-populates the summary: %+v", sum)
+	}
+	data, err := json.Marshal(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wire summaryWire
+	strictDecode(t, data, &wire)
+	if wire.Attempts != sum.Attempts || len(wire.Phases) != len(sum.Phases) ||
+		len(wire.Crashes) != 1 || wire.Crashes[0].Crashed != 2 {
+		t.Fatalf("mirror = %+v", wire)
+	}
+	var back Summary
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, sum) {
+		t.Fatalf("round trip mutated the summary:\n in  %+v\n out %+v", sum, back)
 	}
 }
 

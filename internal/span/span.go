@@ -24,8 +24,6 @@
 package span
 
 import (
-	"sort"
-
 	"lme/internal/core"
 	"lme/internal/sim"
 )
@@ -159,64 +157,43 @@ type CrashImpact struct {
 	MaxDist int `json:"max_dist"`
 }
 
-// PhaseStat aggregates one phase name across every finished span.
+// PhaseStat aggregates one phase name across every finished span. The
+// quantiles come from a streaming sketch (lme/run/v3): within
+// metrics.DefaultGamma relative accuracy of the exact nearest-rank
+// values, identical whether the spans were retained or folded online.
 type PhaseStat struct {
 	Name    string   `json:"name"`
 	Count   int      `json:"count"`
 	TotalUS sim.Time `json:"total_us"`
 	MaxUS   sim.Time `json:"max_us"`
+	P50US   sim.Time `json:"p50_us"`
+	P95US   sim.Time `json:"p95_us"`
 }
 
-// Summary is the spans section of lme.Report (schema lme/run/v2): the
+// Summary is the spans section of lme.Report (schema lme/run/v3): the
 // attempt and phase aggregates plus the per-crash locality attribution.
+// The Attempt* quantiles summarise closed-attempt durations.
 type Summary struct {
-	Attempts  int           `json:"attempts"`
-	Ate       int           `json:"ate"`
-	Crashed   int           `json:"crashed"`
-	Open      int           `json:"open"`
-	Demotions int           `json:"demotions"`
-	Phases    []PhaseStat   `json:"phases"`
-	Crashes   []CrashImpact `json:"crashes,omitempty"`
+	Attempts     int           `json:"attempts"`
+	Ate          int           `json:"ate"`
+	Crashed      int           `json:"crashed"`
+	Open         int           `json:"open"`
+	Demotions    int           `json:"demotions"`
+	AttemptP50US sim.Time      `json:"attempt_p50_us"`
+	AttemptP95US sim.Time      `json:"attempt_p95_us"`
+	AttemptMaxUS sim.Time      `json:"attempt_max_us"`
+	Phases       []PhaseStat   `json:"phases"`
+	Crashes      []CrashImpact `json:"crashes,omitempty"`
 }
 
 // Summarize aggregates finished spans and crash impacts into the report
 // section. Phase names are qualified with their detail ("doorway:sdf")
-// and sorted.
+// and sorted. It is the batch form of the streaming fold: a collector
+// in fold mode produces the identical Summary without retaining spans.
 func Summarize(spans []Span, crashes []CrashImpact) Summary {
-	sum := Summary{Crashes: crashes}
-	byName := make(map[string]*PhaseStat)
-	for _, s := range spans {
-		sum.Attempts++
-		switch s.Outcome {
-		case OutcomeAte:
-			sum.Ate++
-		case OutcomeCrashed:
-			sum.Crashed++
-		case OutcomeOpen:
-			sum.Open++
-		}
-		sum.Demotions += s.Demotions
-		for _, p := range s.Phases {
-			name := p.Name
-			if p.Detail != "" {
-				name += ":" + p.Detail
-			}
-			st := byName[name]
-			if st == nil {
-				st = &PhaseStat{Name: name}
-				byName[name] = st
-			}
-			st.Count++
-			st.TotalUS += p.Dur()
-			if d := p.Dur(); d > st.MaxUS {
-				st.MaxUS = d
-			}
-		}
+	agg := newAggregate()
+	for i := range spans {
+		agg.fold(&spans[i])
 	}
-	sum.Phases = make([]PhaseStat, 0, len(byName))
-	for _, st := range byName {
-		sum.Phases = append(sum.Phases, *st)
-	}
-	sort.Slice(sum.Phases, func(i, j int) bool { return sum.Phases[i].Name < sum.Phases[j].Name })
-	return sum
+	return agg.summary(crashes)
 }

@@ -38,6 +38,7 @@ import (
 	"lme/internal/lme2"
 	"lme/internal/manet"
 	"lme/internal/metrics"
+	"lme/internal/progress"
 	"lme/internal/sim"
 	"lme/internal/span"
 	"lme/internal/trace"
@@ -232,12 +233,41 @@ type Config struct {
 	// exclusion violation the tail of the event ring, every open CS
 	// attempt and the wait-for graph are dumped to this file.
 	PostmortemPath string
+
+	// FoldSpans selects the span layer's streaming fold mode: closed
+	// attempts are folded into per-node/per-phase aggregates immediately
+	// and discarded, making span memory O(nodes) instead of O(attempts).
+	// Report and SpanSummary are unchanged; WriteSpans errors because
+	// per-span records were never retained.
+	FoldSpans bool
+
+	// RetainSamples keeps every raw response-time sample alongside the
+	// quantile sketch (O(meals) memory) so exact nearest-rank quantiles
+	// remain available via the harness; the default is sketch-only,
+	// accurate to ±1% relative error.
+	RetainSamples bool
+}
+
+// ProgressConfig configures live run telemetry: a wall-clock heartbeat
+// sampling events/sec, virtual-time rate, open spans, heap bytes and
+// trace-loss counters (schema lme/progress/v1).
+type ProgressConfig struct {
+	// Every is the minimum spacing between heartbeats (default 2s).
+	Every time.Duration
+	// Human receives a one-line rendering per heartbeat (typically
+	// os.Stderr); nil disables it.
+	Human io.Writer
+	// JSONL receives one lme/progress/v1 record per line; nil disables.
+	JSONL io.Writer
+	// Label names the run in every record.
+	Label string
 }
 
 // Simulation is an assembled run.
 type Simulation struct {
-	run *harness.Run
-	alg Algorithm
+	run  *harness.Run
+	alg  Algorithm
+	prog *progress.Reporter
 }
 
 // NewSimulation builds a simulation from the configuration.
@@ -270,7 +300,9 @@ func NewSimulation(cfg Config) (*Simulation, error) {
 		Radius:         cfg.Topology.Radius,
 		NewProtocol:    factory,
 		Workload:       wl,
-		Spans:          true,
+		Spans:          !cfg.FoldSpans,
+		SpanFold:       cfg.FoldSpans,
+		RetainSamples:  cfg.RetainSamples,
 		PostmortemPath: cfg.PostmortemPath,
 	}
 	if cfg.MaxMessageDelay > 0 {
@@ -481,8 +513,12 @@ func (s *Simulation) Neighbors(id int) []int {
 func (s *Simulation) ResponseStats() metrics.Stats { return s.run.Recorder.Stats() }
 
 // Gantt renders the last window of the run as an ASCII eating timeline,
-// one row per node, width columns wide.
+// one row per node, width columns wide. Unavailable (empty string) in
+// FoldSpans mode, which retains no interval history.
 func (s *Simulation) Gantt(window time.Duration, width int) string {
+	if s.run.Timeline == nil {
+		return ""
+	}
 	now := s.run.World.Scheduler().Now()
 	from := now - sim.FromDuration(window)
 	if from < 0 {
@@ -510,8 +546,10 @@ func (s *Simulation) Bus() *trace.Bus { return s.run.World.Bus() }
 
 // ReportSchema identifies the JSON layout of Report; bump on breaking
 // changes so downstream diffing tools can refuse mixed comparisons.
-// v2 added the spans section and the trace loss counters.
-const ReportSchema = "lme/run/v2"
+// v2 added the spans section and the trace loss counters; v3 added the
+// folded span aggregates (phase/attempt percentiles, per-node slice) and
+// the response/link-delay quantile-sketch snapshots.
+const ReportSchema = "lme/run/v3"
 
 // Report is the machine-readable summary of a run: the telemetry object
 // behind lmesim -json, designed to be schema-stable so CI and benchmark
@@ -540,12 +578,20 @@ type Report struct {
 	Messages MessageReport  `json:"messages"`
 
 	// LinkDelay is the delivery-delay histogram; its max empirically
-	// validates the ν bound.
-	LinkDelay metrics.HistogramSnapshot `json:"link_delay"`
+	// validates the ν bound. LinkDelaySketch carries the same
+	// distribution as a mergeable quantile sketch (exact
+	// count/sum/min/max, quantiles to ±1% relative error).
+	LinkDelay       metrics.HistogramSnapshot `json:"link_delay"`
+	LinkDelaySketch metrics.SketchSnapshot    `json:"link_delay_sketch"`
 
 	// Spans is the span layer's fold of the run: CS-attempt and phase
 	// aggregates plus the per-crash failure-locality attribution.
 	Spans *span.Summary `json:"spans,omitempty"`
+
+	// SpanNodes is the per-node slice of the span fold: attempts, meals,
+	// crashes, demotions and busy time per node. O(nodes) memory in both
+	// retained and streaming modes.
+	SpanNodes []span.NodeAggregate `json:"span_nodes,omitempty"`
 
 	// Trace reports event-stream integrity: how much of the run the
 	// observability layer actually saw.
@@ -564,12 +610,16 @@ type TraceReport struct {
 }
 
 // ResponseReport summarises hungry→eating latencies (Definition 1).
+// Sketch is the full latency distribution as a mergeable quantile
+// sketch: pooling reports across runs (or shards of one run) is a
+// bucket-count addition with no loss of accuracy.
 type ResponseReport struct {
-	Count  int   `json:"count"`
-	MeanUS int64 `json:"mean_us"`
-	P50US  int64 `json:"p50_us"`
-	P95US  int64 `json:"p95_us"`
-	MaxUS  int64 `json:"max_us"`
+	Count  int                    `json:"count"`
+	MeanUS int64                  `json:"mean_us"`
+	P50US  int64                  `json:"p50_us"`
+	P95US  int64                  `json:"p95_us"`
+	MaxUS  int64                  `json:"max_us"`
+	Sketch metrics.SketchSnapshot `json:"sketch"`
 }
 
 // MessageReport summarises protocol traffic with per-type accounting.
@@ -641,6 +691,7 @@ func (s *Simulation) Report(wall time.Duration) Report {
 			P50US:  int64(st.P50),
 			P95US:  int64(st.P95),
 			MaxUS:  int64(st.Max),
+			Sketch: s.run.Recorder.Sketch().Snapshot(),
 		},
 		Messages: MessageReport{
 			Sent:      s.run.World.MessagesSent(),
@@ -650,8 +701,10 @@ func (s *Simulation) Report(wall time.Duration) Report {
 			PerMeal:   s.run.MessagesPerMeal(),
 			ByType:    byType,
 		},
-		LinkDelay: snap.Histograms[metrics.HistLinkDelay],
-		Spans:     &spanSum,
+		LinkDelay:       snap.Histograms[metrics.HistLinkDelay],
+		LinkDelaySketch: snap.Sketches[metrics.HistLinkDelay],
+		Spans:           &spanSum,
+		SpanNodes:       s.run.Spans.NodeAggregates(),
 		Trace: TraceReport{
 			RingOverwritten: bus.Overwritten(),
 			SinkDropped:     bus.SinkDropped(),
@@ -691,4 +744,29 @@ func (s *Simulation) SpanSummary() span.Summary {
 func (s *Simulation) TraceLoss() TraceReport {
 	bus := s.run.World.Bus()
 	return TraceReport{RingOverwritten: bus.Overwritten(), SinkDropped: bus.SinkDropped()}
+}
+
+// EnableProgress attaches a live-telemetry heartbeat to the run: the
+// harness ticks it at virtual-time slice boundaries, so heartbeats
+// appear on the configured wall-clock interval while the simulation
+// runs. Call before RunFor; call FlushProgress after the run to emit
+// the closing record.
+func (s *Simulation) EnableProgress(cfg ProgressConfig) {
+	s.prog = s.run.AttachProgress(progress.Config{
+		Interval: cfg.Every,
+		Human:    cfg.Human,
+		JSONL:    cfg.JSONL,
+		Label:    cfg.Label,
+	})
+}
+
+// FlushProgress emits the final progress record and reports the first
+// heartbeat write error, if any. No-op when EnableProgress was never
+// called.
+func (s *Simulation) FlushProgress() error {
+	if s.prog == nil {
+		return nil
+	}
+	s.prog.Final()
+	return s.prog.Err()
 }
