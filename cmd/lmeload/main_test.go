@@ -1,0 +1,40 @@
+package main
+
+import "testing"
+
+func TestBuildGraph(t *testing.T) {
+	cases := []struct {
+		topo     string
+		n        int
+		wantName string
+		wantN    int
+	}{
+		{"ring", 8, "ring(8)", 8},
+		{"line", 5, "line(5)", 5},
+		{"clique", 4, "clique(4)", 4},
+		{"grid", 10, "grid(3x3)", 9}, // nearest square not exceeding n
+		{"grid", 16, "grid(4x4)", 16},
+	}
+	for _, c := range cases {
+		g, name, err := buildGraph(c.topo, c.n)
+		if err != nil {
+			t.Errorf("buildGraph(%q, %d): %v", c.topo, c.n, err)
+			continue
+		}
+		if name != c.wantName {
+			t.Errorf("buildGraph(%q, %d) name = %q, want %q", c.topo, c.n, name, c.wantName)
+		}
+		if g.N() != c.wantN {
+			t.Errorf("buildGraph(%q, %d) nodes = %d, want %d", c.topo, c.n, g.N(), c.wantN)
+		}
+		if !g.Connected() {
+			t.Errorf("buildGraph(%q, %d) built a disconnected graph", c.topo, c.n)
+		}
+	}
+	if _, _, err := buildGraph("torus", 8); err == nil {
+		t.Error("buildGraph(torus) accepted an unknown topology")
+	}
+	if _, _, err := buildGraph("ring", 1); err == nil {
+		t.Error("buildGraph(ring, 1) accepted a single node")
+	}
+}

@@ -1,0 +1,13 @@
+package baseline
+
+import "encoding/gob"
+
+// Register the baselines' message types for the live runtime's
+// gob-encoded UDP payloads; see internal/lme1/wire.go for the rationale.
+// (ChoySingh and NoNotify reuse lme1/lme2 messages, registered there.)
+func init() {
+	gob.Register(cmReq{})
+	gob.Register(cmFork{})
+	gob.Register(tokenReq{})
+	gob.Register(tokenGrant{})
+}

@@ -1,0 +1,191 @@
+package livenet_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"lme/internal/core"
+	"lme/internal/graph"
+	"lme/internal/livenet"
+	"lme/internal/lme2"
+)
+
+// startCluster builds and starts a cluster over g running Algorithm 2,
+// stopping it (and checking safety) when the test ends.
+func startCluster(t *testing.T, g *graph.Graph, cfg livenet.Config) *livenet.Cluster {
+	t.Helper()
+	protos := protocolsFor(g.N(), func() core.Protocol { return lme2.New() })
+	c, err := livenet.New(cfg, g, protos)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(func() {
+		if err := c.Stop(); err != nil {
+			t.Errorf("Stop (safety): %v", err)
+		}
+	})
+	return c
+}
+
+// TestLeaseHappyPath acquires and releases through the public API and
+// checks the accounting.
+func TestLeaseHappyPath(t *testing.T) {
+	c := startCluster(t, graph.Line(3), livenet.Config{Seed: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	lease, err := c.Node(1).Acquire(ctx)
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	if lease.NodeID() != 1 {
+		t.Errorf("lease.NodeID() = %v, want 1", lease.NodeID())
+	}
+	if lease.GrantedAt().IsZero() {
+		t.Error("lease has no grant timestamp")
+	}
+	if err := lease.Release(); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	if err := lease.Release(); !errors.Is(err, livenet.ErrLeaseReleased) {
+		t.Errorf("second Release = %v, want ErrLeaseReleased", err)
+	}
+	if got := c.Acquisitions(); got != 1 {
+		t.Errorf("Acquisitions() = %d, want 1", got)
+	}
+	if got := c.GrantStats().Count; got != 1 {
+		t.Errorf("grant sketch count = %d, want 1", got)
+	}
+	if got := c.ExpiredLeases(); got != 0 {
+		t.Errorf("ExpiredLeases() = %d, want 0", got)
+	}
+}
+
+// TestLeaseContextCancel checks a cancelled Acquire returns the context
+// error and leaves the node reusable — even when the cancellation races
+// a grant (the raced lease must be auto-released, not leaked).
+func TestLeaseContextCancel(t *testing.T) {
+	c := startCluster(t, graph.Line(2), livenet.Config{Seed: 2})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: Acquire must not block forever
+	if _, err := c.Node(0).Acquire(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Acquire(cancelled ctx) = %v, want context.Canceled", err)
+	}
+
+	// Race cancellations against grants many times; afterwards a clean
+	// Acquire must still succeed (no leaked slot or stuck lease).
+	for i := 0; i < 50; i++ {
+		rctx, rcancel := context.WithTimeout(context.Background(), time.Duration(i%5)*100*time.Microsecond)
+		if lease, err := c.Node(0).Acquire(rctx); err == nil {
+			lease.Release() //nolint:errcheck
+		}
+		rcancel()
+	}
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	lease, err := c.Node(0).Acquire(ctx2)
+	if err != nil {
+		t.Fatalf("Acquire after cancel storm: %v", err)
+	}
+	lease.Release() //nolint:errcheck
+}
+
+// TestLeaseExpiry holds a lease past its TTL: the node must be demoted
+// out of eating (its neighbour can then eat), Release must report
+// ErrLeaseExpired, and the expiry must be counted.
+func TestLeaseExpiry(t *testing.T) {
+	c := startCluster(t, graph.Line(2), livenet.Config{Seed: 3, LeaseTTL: 20 * time.Millisecond})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	lease, err := c.Node(0).Acquire(ctx)
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	// Simulated client crash: never release, just outlive the TTL. The
+	// neighbour's Acquire succeeding proves node 0 left the CS.
+	nb, err := c.Node(1).Acquire(ctx)
+	if err != nil {
+		t.Fatalf("neighbour Acquire after expiry: %v", err)
+	}
+	nb.Release() //nolint:errcheck
+
+	if err := lease.Release(); !errors.Is(err, livenet.ErrLeaseExpired) {
+		t.Errorf("Release of expired lease = %v, want ErrLeaseExpired", err)
+	}
+	if got := c.ExpiredLeases(); got != 1 {
+		t.Errorf("ExpiredLeases() = %d, want 1", got)
+	}
+}
+
+// TestLeaseSerialization fires many concurrent Acquires at one node:
+// grants must be mutually exclusive in time and each client served once.
+func TestLeaseSerialization(t *testing.T) {
+	c := startCluster(t, graph.Line(2), livenet.Config{Seed: 4})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	const clients = 8
+	var mu sync.Mutex
+	holders := 0
+	maxHolders := 0
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lease, err := c.Node(0).Acquire(ctx)
+			if err != nil {
+				t.Errorf("Acquire: %v", err)
+				return
+			}
+			mu.Lock()
+			holders++
+			if holders > maxHolders {
+				maxHolders = holders
+			}
+			mu.Unlock()
+			time.Sleep(200 * time.Microsecond)
+			mu.Lock()
+			holders--
+			mu.Unlock()
+			if err := lease.Release(); err != nil {
+				t.Errorf("Release: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if maxHolders != 1 {
+		t.Fatalf("max concurrent lease holders = %d, want 1", maxHolders)
+	}
+	if got := c.Acquisitions(); got != clients {
+		t.Errorf("Acquisitions() = %d, want %d", got, clients)
+	}
+}
+
+// TestLeaseAfterStop checks Acquire fails cleanly once the cluster is
+// stopped.
+func TestLeaseAfterStop(t *testing.T) {
+	g := graph.Line(2)
+	protos := protocolsFor(2, func() core.Protocol { return lme2.New() })
+	c, err := livenet.New(livenet.Config{Seed: 5}, g, protos)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := c.Stop(); err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+	if _, err := c.Node(0).Acquire(context.Background()); !errors.Is(err, livenet.ErrStopped) {
+		t.Fatalf("Acquire after Stop = %v, want ErrStopped", err)
+	}
+}

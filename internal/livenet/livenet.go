@@ -1,18 +1,22 @@
 // Package livenet runs the same core.Protocol state machines that the
-// discrete-event simulator drives — unchanged — on a goroutine per node
-// with channel-based message passing in real time: the deployment-shaped
-// runtime of the library. Per-directed-link forwarder goroutines preserve
-// the FIFO delivery the paper's model requires; every protocol instance is
-// only ever touched by its node's event loop, so the package is
-// race-clean by construction (and tested with -race).
+// discrete-event simulator drives — unchanged — as a networked lock
+// service: one goroutine per node, a pluggable Transport moving framed
+// messages per directed link (in-process channels for hermetic tests, UDP
+// sockets for deployment shape), and a lease-based client API
+// (Node.Acquire / Lease.Release) on top. Every protocol instance is only
+// ever touched by its node's event loop, so the package is race-clean by
+// construction (and tested with -race).
 //
 // Livenet supports static topologies: mobility experiments live in
 // internal/manet, where virtual time makes them reproducible. What livenet
 // adds is evidence that the algorithms run correctly under genuine
-// concurrency and real clocks.
+// concurrency, real clocks and real sockets — and a service surface real
+// clients can hold locks through.
 package livenet
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand/v2"
 	"sync"
@@ -22,20 +26,123 @@ import (
 	"lme/internal/graph"
 	"lme/internal/metrics"
 	"lme/internal/sim"
+	"lme/internal/span"
+	"lme/internal/trace"
 )
 
-// Config parameterises a live cluster.
+// Defaults of Config, in one place. The names follow the lme.Config
+// vocabulary (ν = MaxMessageDelay, τ = EatTime, think bounds, seed), at
+// the µs scale appropriate for wall-clock runs.
+const (
+	// DefaultMaxMessageDelay is the live ν: the per-frame link delay
+	// bound of the channel transport.
+	DefaultMaxMessageDelay = 500 * time.Microsecond
+	// DefaultEatTime is the live τ: how long the self-driving workload
+	// holds the critical section.
+	DefaultEatTime = 300 * time.Microsecond
+	// DefaultThinkMax bounds the workload's uniform thinking period.
+	DefaultThinkMax = 500 * time.Microsecond
+	// DefaultLeaseTTL is the lease expiry horizon: a client that holds a
+	// lease this long without releasing is presumed crashed, and the node
+	// is demoted out of eating so its neighbours are not starved.
+	DefaultLeaseTTL = 250 * time.Millisecond
+	// DefaultSeed seeds the delay/think randomness, matching lme.Config's
+	// seed-0-means-1 handling.
+	DefaultSeed = 1
+	// DefaultTraceRing is the per-cluster event ring capacity.
+	DefaultTraceRing = 1024
+)
+
+// Config parameterises a live cluster. The field vocabulary matches
+// lme.Config — ν, τ, think bounds, seed — so the simulated and live entry
+// points read as one API.
 type Config struct {
-	// MaxDelay bounds the per-message link delay (the paper's ν).
-	// Default 500µs.
+	// MaxMessageDelay bounds the per-message link delay (the paper's ν).
+	// Default DefaultMaxMessageDelay. Only the channel transport imposes
+	// it; UDP links have whatever delay the network gives them.
+	MaxMessageDelay time.Duration
+
+	// MaxDelay is the pre-lock-service name of MaxMessageDelay.
+	//
+	// Deprecated: set MaxMessageDelay. Honoured only when
+	// MaxMessageDelay is zero.
 	MaxDelay time.Duration
-	// EatTime is the critical-section duration τ. Default 300µs.
+
+	// EatTime is the critical-section hold time τ of the self-driving
+	// workload (Run and the load generator). Default DefaultEatTime.
 	EatTime time.Duration
-	// ThinkMax bounds the random thinking period. Default 500µs.
-	ThinkMax time.Duration
-	// Seed drives the delay/think randomness.
+
+	// ThinkMin and ThinkMax bound the workload's uniform thinking
+	// period. Default (0, DefaultThinkMax].
+	ThinkMin, ThinkMax time.Duration
+
+	// Seed drives the delay/think randomness (default DefaultSeed; 0
+	// means the default, as in lme.Config).
 	Seed uint64
+
+	// LeaseTTL is how long an unreleased lease lives before the service
+	// presumes its client crashed and demotes the node out of eating.
+	// Default DefaultLeaseTTL.
+	LeaseTTL time.Duration
+
+	// Transport moves frames between nodes. Nil selects the in-process
+	// channel transport over the cluster graph (hermetic, race-clean);
+	// pass NewUDPTransport for real sockets. The cluster owns Start and
+	// Close either way.
+	Transport Transport
+
+	// Spans attaches the causal span layer to the cluster bus: CS-attempt
+	// spans over real clocks, summarised by SpanSummary after Stop.
+	Spans bool
+
+	// TraceRing overrides the event ring capacity (default
+	// DefaultTraceRing).
+	TraceRing int
 }
+
+// withDefaults is the single place live defaults are applied.
+func (cfg Config) withDefaults() Config {
+	if cfg.MaxMessageDelay <= 0 {
+		cfg.MaxMessageDelay = cfg.MaxDelay // deprecated alias
+	}
+	if cfg.MaxMessageDelay <= 0 {
+		cfg.MaxMessageDelay = DefaultMaxMessageDelay
+	}
+	if cfg.EatTime <= 0 {
+		cfg.EatTime = DefaultEatTime
+	}
+	if cfg.ThinkMax <= 0 {
+		cfg.ThinkMax = DefaultThinkMax
+	}
+	if cfg.ThinkMin < 0 {
+		cfg.ThinkMin = 0
+	}
+	if cfg.ThinkMin > cfg.ThinkMax {
+		cfg.ThinkMin = cfg.ThinkMax
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = DefaultSeed
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = DefaultLeaseTTL
+	}
+	if cfg.TraceRing <= 0 {
+		cfg.TraceRing = DefaultTraceRing
+	}
+	return cfg
+}
+
+// Errors of the lifecycle and lease API.
+var (
+	errAlreadyStarted = errors.New("livenet: transport already started")
+	// ErrStopped reports an Acquire interrupted by cluster shutdown.
+	ErrStopped = errors.New("livenet: cluster stopped")
+	// ErrLeaseExpired reports a Release that arrived after the lease TTL
+	// already demoted the node: the critical section was force-exited.
+	ErrLeaseExpired = errors.New("livenet: lease expired")
+	// ErrLeaseReleased reports a second Release of the same lease.
+	ErrLeaseReleased = errors.New("livenet: lease already released")
+)
 
 // event is one unit of work for a node's loop.
 type event struct {
@@ -48,8 +155,8 @@ type eventKind int
 
 const (
 	evMessage eventKind = iota + 1
-	evBecomeHungry
-	evExitCS
+	evAcquire
+	evRelease
 	evCrash
 	evStop
 )
@@ -102,120 +209,164 @@ func (m *mailbox) close() {
 	m.cond.Broadcast()
 }
 
-// Cluster is a running (or runnable) set of live nodes.
+// Cluster is a running (or runnable) lock service over a set of live
+// nodes. Build with New, then either drive it with the lease API
+// (Start, Node(i).Acquire, Stop) or let the built-in dining workload
+// exercise it (Run).
 type Cluster struct {
 	cfg   Config
 	g     *graph.Graph
+	nbrs  [][]core.NodeID // shared read-only neighbour views, one per node
 	nodes []*liveNode
-	links map[[2]core.NodeID]*mailbox // directed link queues
+	tr    Transport
 
-	start time.Time
-	wg    sync.WaitGroup
+	bus   *trace.Bus
+	busMu sync.Mutex // the bus is single-threaded; live goroutines serialise here
+	namer *trace.TypeNamer
+	reg   *metrics.Registry
+	spans *span.Collector
 
-	mu      sync.Mutex
-	eating  map[core.NodeID]bool
-	checker *metrics.SafetyChecker
-	meals   map[core.NodeID]int
+	start   time.Time
+	stopCh  chan struct{}
+	wg      sync.WaitGroup
+	started bool
 	stopped bool
+	lifeMu  sync.Mutex // guards started/stopped transitions
+
+	mu           sync.Mutex // guards checker, meals, grant stats
+	checker      *metrics.SafetyChecker
+	meals        []int
+	grant        *metrics.Sketch
+	acquisitions uint64
+	expired      uint64
 }
 
 type liveNode struct {
-	id      core.NodeID
-	proto   core.Protocol
-	inbox   *mailbox
-	cluster *Cluster
-	rng     *rand.Rand
-	rngMu   sync.Mutex // AfterFunc callbacks draw think times concurrently
+	id    core.NodeID
+	proto core.Protocol
+	inbox *mailbox
+	c     *Cluster
+
+	// mseq is the node's monotone message id; only the node's event loop
+	// (and Init, which runs before the loops start) sends, so no atomics.
+	mseq uint64
 
 	// last is the previously reported state; only the node's own loop
 	// writes it (protocols report transitions synchronously from their
 	// handlers).
 	last core.State
+
+	// slot serialises leases: at most one outstanding Acquire/Lease per
+	// node, later Acquire calls queue on it.
+	slot chan struct{}
+
+	// pmu guards pending and lease.
+	pmu     sync.Mutex
+	pending *pendingAcquire
+	lease   *Lease
 }
 
 // New builds a cluster over the given static communication graph.
-// protocols[i] is node i's algorithm instance.
+// protocols[i] is node i's algorithm instance. Subscribe to Bus before
+// Start; the configured transport is started and closed by the cluster.
 func New(cfg Config, g *graph.Graph, protocols []core.Protocol) (*Cluster, error) {
 	if len(protocols) != g.N() {
 		return nil, fmt.Errorf("livenet: %d protocols for %d nodes", len(protocols), g.N())
 	}
-	if cfg.MaxDelay <= 0 {
-		cfg.MaxDelay = 500 * time.Microsecond
-	}
-	if cfg.EatTime <= 0 {
-		cfg.EatTime = 300 * time.Microsecond
-	}
-	if cfg.ThinkMax <= 0 {
-		cfg.ThinkMax = 500 * time.Microsecond
-	}
+	cfg = cfg.withDefaults()
 	c := &Cluster{
 		cfg:    cfg,
 		g:      g,
-		links:  make(map[[2]core.NodeID]*mailbox),
-		eating: make(map[core.NodeID]bool),
-		meals:  make(map[core.NodeID]int),
+		nbrs:   make([][]core.NodeID, g.N()),
+		meals:  make([]int, g.N()),
+		bus:    trace.NewBus(cfg.TraceRing),
+		namer:  trace.NewTypeNamer(),
+		reg:    metrics.NewRegistry(),
+		grant:  metrics.NewSketch(),
+		stopCh: make(chan struct{}),
 	}
-	c.checker = metrics.NewSafetyChecker(topoAdapter{g})
 	for i := 0; i < g.N(); i++ {
-		id := core.NodeID(i)
+		nbrs := g.Neighbors(i)
+		ids := make([]core.NodeID, len(nbrs))
+		for j, nb := range nbrs {
+			ids[j] = core.NodeID(nb)
+		}
+		c.nbrs[i] = ids
 		c.nodes = append(c.nodes, &liveNode{
-			id:      id,
-			proto:   protocols[i],
-			inbox:   newMailbox(),
-			cluster: c,
-			rng:     rand.New(rand.NewPCG(cfg.Seed, uint64(i)+1)),
-			last:    core.Thinking,
+			id:    core.NodeID(i),
+			proto: protocols[i],
+			inbox: newMailbox(),
+			c:     c,
+			last:  core.Thinking,
+			slot:  make(chan struct{}, 1),
 		})
 	}
-	for _, e := range g.Edges() {
-		a, b := core.NodeID(e[0]), core.NodeID(e[1])
-		c.links[[2]core.NodeID{a, b}] = newMailbox()
-		c.links[[2]core.NodeID{b, a}] = newMailbox()
+	c.checker = metrics.NewSafetyChecker(topoAdapter{c})
+	metrics.Instrument(c.bus, c.reg, c.namer)
+	if cfg.Spans {
+		c.spans = span.New()
+		c.spans.Attach(c.bus)
+		for _, e := range g.Edges() {
+			c.spans.SeedLink(core.NodeID(e[0]), core.NodeID(e[1]))
+		}
 	}
+	if cfg.Transport == nil {
+		cfg.Transport = NewChannelTransport(g, cfg.MaxMessageDelay, cfg.Seed)
+		c.cfg.Transport = cfg.Transport
+	}
+	c.tr = cfg.Transport
 	return c, nil
 }
 
-// topoAdapter exposes the static graph to the safety checker.
+// topoAdapter exposes the cluster's neighbour views to the safety
+// checker. The returned slice is the runtime-owned read-only view;
+// the checker only iterates it.
 type topoAdapter struct {
-	g *graph.Graph
+	c *Cluster
 }
 
 func (t topoAdapter) Neighbors(id core.NodeID) []core.NodeID {
-	nbrs := t.g.Neighbors(int(id))
-	out := make([]core.NodeID, len(nbrs))
-	for i, nb := range nbrs {
-		out[i] = core.NodeID(nb)
-	}
-	return out
+	return t.c.nbrs[id]
 }
 
-// Run drives the cluster for the given wall-clock duration: protocols are
-// initialised, every node becomes hungry (staggered), the dining cycle
-// runs, and everything is shut down and awaited before returning.
-func (c *Cluster) Run(d time.Duration) error {
+// Bus exposes the cluster's typed event stream. Subscribe before Start;
+// the bus itself is single-threaded, so the cluster serialises publishes
+// from its goroutines internally, and subscribers run one at a time.
+func (c *Cluster) Bus() *trace.Bus { return c.bus }
+
+// now is the cluster-relative clock in virtual-time units (µs).
+func (c *Cluster) now() sim.Time {
+	return sim.FromDuration(time.Since(c.start))
+}
+
+// emit serialises an event onto the bus. The timestamp is taken under
+// the lock, so the published stream is monotone.
+func (c *Cluster) emit(e trace.Event) {
+	c.busMu.Lock()
+	e.At = c.now()
+	c.bus.Publish(e)
+	c.busMu.Unlock()
+}
+
+// Start initialises the protocols, starts the transport and launches the
+// node event loops. It is idempotent-hostile by design: a second Start
+// errors.
+func (c *Cluster) Start() error {
+	c.lifeMu.Lock()
+	defer c.lifeMu.Unlock()
+	if c.started {
+		return errors.New("livenet: cluster already started")
+	}
+	c.started = true
 	c.start = time.Now()
+	if err := c.tr.Start(c.deliver); err != nil {
+		return err
+	}
+	// Init may send; the transport is live, the loops are not — frames
+	// queue in the inboxes until the loops drain them.
 	for _, n := range c.nodes {
 		n.proto.Init(&liveEnv{node: n})
 	}
-	// Link forwarders: one goroutine per directed link keeps FIFO order
-	// while adding a random delay.
-	for key, q := range c.links {
-		key, q := key, q
-		c.wg.Add(1)
-		go func() {
-			defer c.wg.Done()
-			dst := c.nodes[key[1]]
-			for {
-				e, ok := q.pop()
-				if !ok {
-					return
-				}
-				time.Sleep(c.randDelay(key[0]))
-				dst.inbox.push(e)
-			}
-		}()
-	}
-	// Node loops.
 	for _, n := range c.nodes {
 		n := n
 		c.wg.Add(1)
@@ -224,34 +375,132 @@ func (c *Cluster) Run(d time.Duration) error {
 			n.loop()
 		}()
 	}
-	// Initial hunger.
-	for _, n := range c.nodes {
-		n.inbox.push(event{kind: evBecomeHungry})
-	}
-	time.Sleep(d)
-	c.stop()
-	c.wg.Wait()
-	return c.checker.Err()
+	return nil
 }
 
-func (c *Cluster) stop() {
-	c.mu.Lock()
-	c.stopped = true
-	c.mu.Unlock()
-	for _, q := range c.links {
-		q.close()
+// Stop shuts the cluster down: pending Acquires fail with ErrStopped,
+// the transport closes, the node loops drain and exit, and the span
+// layer (when attached) is finalised. It returns the safety checker's
+// verdict. Stop is idempotent.
+func (c *Cluster) Stop() error {
+	c.lifeMu.Lock()
+	if c.stopped {
+		c.lifeMu.Unlock()
+		return c.checker.Err()
 	}
+	c.stopped = true
+	c.lifeMu.Unlock()
+
+	close(c.stopCh)
+	c.tr.Close()
 	for _, n := range c.nodes {
 		n.inbox.push(event{kind: evStop})
 		n.inbox.close()
 	}
+	c.wg.Wait()
+	if c.spans != nil {
+		c.busMu.Lock()
+		c.spans.Finalize(c.now())
+		c.busMu.Unlock()
+	}
+	c.bus.Flush() //nolint:errcheck // loss is visible via SinkDropped
+	return c.checker.Err()
 }
 
-func (c *Cluster) randDelay(seed core.NodeID) time.Duration {
-	n := c.nodes[seed]
-	n.rngMu.Lock()
-	defer n.rngMu.Unlock()
-	return time.Duration(n.rng.Int64N(int64(c.cfg.MaxDelay)) + 1)
+// deliver is the transport's callback: it publishes the deliver event
+// and hands the message to the destination's event loop.
+func (c *Cluster) deliver(f Frame) {
+	if c.bus.Wants(trace.KindDeliver) {
+		c.busMu.Lock()
+		name, size, id := c.namer.Info(f.Msg)
+		now := c.now()
+		delay := now - f.SentAt
+		if delay < 0 {
+			delay = 0
+		}
+		c.bus.Publish(trace.Event{
+			At: now, Kind: trace.KindDeliver, Node: f.To, Peer: f.From,
+			Msg: name, MsgID: id, Size: size, MsgSeq: f.Mseq, Delay: delay,
+		})
+		c.busMu.Unlock()
+	}
+	c.nodes[f.To].inbox.push(event{kind: evMessage, from: f.From, msg: f.Msg})
+}
+
+// send stamps the frame with the node's message id and hands it to the
+// transport, publishing the send event.
+func (n *liveNode) send(to core.NodeID, msg core.Message) {
+	c := n.c
+	n.mseq++
+	f := Frame{From: n.id, To: to, Msg: msg, Mseq: n.mseq, SentAt: c.now()}
+	if c.bus.Wants(trace.KindSend) {
+		c.busMu.Lock()
+		name, size, id := c.namer.Info(msg)
+		c.bus.Publish(trace.Event{
+			At: c.now(), Kind: trace.KindSend, Node: n.id, Peer: to,
+			Msg: name, MsgID: id, Size: size, MsgSeq: n.mseq,
+		})
+		c.busMu.Unlock()
+	}
+	c.tr.Send(f)
+}
+
+// Run drives the cluster for the given wall-clock duration with the
+// built-in dining workload: every node's client goroutine loops
+// think → Acquire → hold τ → Release, which exercises exactly the lease
+// surface external clients use. Everything is shut down and awaited
+// before returning; the error is the safety checker's verdict.
+func (c *Cluster) Run(d time.Duration) error {
+	if err := c.Start(); err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	var clients sync.WaitGroup
+	for i := range c.nodes {
+		clients.Add(1)
+		go func(id core.NodeID) {
+			defer clients.Done()
+			c.dine(ctx, id)
+		}(core.NodeID(i))
+	}
+	clients.Wait()
+	return c.Stop()
+}
+
+// dine is one built-in workload client: the canonical dining cycle over
+// the public lease API.
+func (c *Cluster) dine(ctx context.Context, id core.NodeID) {
+	rng := rand.New(rand.NewPCG(c.cfg.Seed, uint64(id)+1))
+	thinkSpread := int64(c.cfg.ThinkMax - c.cfg.ThinkMin)
+	for {
+		think := c.cfg.ThinkMin + 1
+		if thinkSpread > 0 {
+			think += time.Duration(rng.Int64N(thinkSpread))
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(think):
+		}
+		lease, err := c.Node(id).Acquire(ctx)
+		if err != nil {
+			return
+		}
+		time.Sleep(c.cfg.EatTime) // the critical section itself
+		lease.Release()           //nolint:errcheck // expiry during the hold is fine
+	}
+}
+
+// CrashAfter fails node id after d of wall-clock time: it stops
+// processing events, exactly the paper's silent crash model (a node that
+// crashed while eating keeps occupying its critical section; contrast
+// with lease expiry, where the node is alive and exits cleanly). Call
+// before or during the run.
+func (c *Cluster) CrashAfter(id core.NodeID, d time.Duration) {
+	time.AfterFunc(d, func() {
+		c.nodes[id].inbox.push(event{kind: evCrash})
+	})
 }
 
 // Meals returns the per-node critical-section counts.
@@ -259,8 +508,8 @@ func (c *Cluster) Meals() map[core.NodeID]int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	out := make(map[core.NodeID]int, len(c.meals))
-	for k, v := range c.meals {
-		out[k] = v
+	for id, n := range c.meals {
+		out[core.NodeID(id)] = n
 	}
 	return out
 }
@@ -272,32 +521,69 @@ func (c *Cluster) Violations() []metrics.Violation {
 	return c.checker.Violations()
 }
 
-// onState serialises state transitions for the checker and schedules the
-// workload follow-ups.
+// GrantStats snapshots the grant-latency sketch: the Acquire-to-lease
+// distribution across all nodes, quantile-accurate to ±1% relative.
+func (c *Cluster) GrantStats() metrics.SketchSnapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.grant.Snapshot()
+}
+
+// Acquisitions counts leases granted so far.
+func (c *Cluster) Acquisitions() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.acquisitions
+}
+
+// ExpiredLeases counts leases that hit their TTL and were force-released.
+func (c *Cluster) ExpiredLeases() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.expired
+}
+
+// MessagesSent reports protocol frames handed to the transport.
+func (c *Cluster) MessagesSent() uint64 {
+	c.busMu.Lock()
+	defer c.busMu.Unlock()
+	return c.reg.Counter(metrics.CtrSent)
+}
+
+// MessagesDelivered reports frames the transport delivered.
+func (c *Cluster) MessagesDelivered() uint64 {
+	c.busMu.Lock()
+	defer c.busMu.Unlock()
+	return c.reg.Counter(metrics.CtrDelivered)
+}
+
+// SpanSummary returns the span layer's fold of the run (zero value when
+// Config.Spans was off). Call after Stop.
+func (c *Cluster) SpanSummary() span.Summary {
+	if c.spans == nil {
+		return span.Summary{}
+	}
+	c.busMu.Lock()
+	defer c.busMu.Unlock()
+	return c.spans.Summary()
+}
+
+// onState serialises state transitions for the checker and resolves
+// pending acquisitions. It runs on the node's event loop.
 func (c *Cluster) onState(n *liveNode, old, new core.State) {
-	now := sim.FromDuration(time.Since(c.start))
+	now := c.now()
+	if c.bus.Wants(trace.KindState) {
+		c.emit(trace.Event{Kind: trace.KindState, Node: n.id, Peer: trace.NoNode,
+			Old: old.String(), New: new.String()})
+	}
 	c.mu.Lock()
 	c.checker.OnStateChange(n.id, old, new, now)
 	if new == core.Eating {
 		c.meals[n.id]++
 	}
-	stopped := c.stopped
 	c.mu.Unlock()
-	if stopped {
-		return
-	}
-	switch new {
-	case core.Eating:
-		time.AfterFunc(c.cfg.EatTime, func() {
-			n.inbox.push(event{kind: evExitCS})
-		})
-	case core.Thinking:
-		n.rngMu.Lock()
-		think := time.Duration(n.rng.Int64N(int64(c.cfg.ThinkMax)) + 1)
-		n.rngMu.Unlock()
-		time.AfterFunc(think, func() {
-			n.inbox.push(event{kind: evBecomeHungry})
-		})
+	if new == core.Eating {
+		c.grantLease(n)
 	}
 }
 
@@ -316,11 +602,11 @@ func (n *liveNode) loop() {
 		switch e.kind {
 		case evMessage:
 			n.proto.OnMessage(e.from, e.msg)
-		case evBecomeHungry:
+		case evAcquire:
 			if n.proto.State() == core.Thinking {
 				n.proto.BecomeHungry()
 			}
-		case evExitCS:
+		case evRelease:
 			if n.proto.State() == core.Eating {
 				n.proto.ExitCS()
 			}
@@ -329,19 +615,13 @@ func (n *liveNode) loop() {
 			// critical section for safety accounting — its forks
 			// are gone with it, exactly the paper's model.
 			crashed = true
+			if n.c.bus.Wants(trace.KindCrash) {
+				n.c.emit(trace.Event{Kind: trace.KindCrash, Node: n.id, Peer: trace.NoNode})
+			}
 		case evStop:
 			return
 		}
 	}
-}
-
-// CrashAfter fails node id after d of wall-clock time: it stops
-// processing events, exactly the paper's silent crash model. Call before
-// or during Run.
-func (c *Cluster) CrashAfter(id core.NodeID, d time.Duration) {
-	time.AfterFunc(d, func() {
-		c.nodes[id].inbox.push(event{kind: evCrash})
-	})
 }
 
 // liveEnv adapts a node to core.Env.
@@ -350,28 +630,28 @@ type liveEnv struct {
 }
 
 var _ core.Env = (*liveEnv)(nil)
+var _ trace.Emitter = (*liveEnv)(nil)
+var _ trace.Interest = (*liveEnv)(nil)
 
 func (e *liveEnv) ID() core.NodeID { return e.node.id }
 
-func (e *liveEnv) Now() sim.Time {
-	return sim.FromDuration(time.Since(e.node.cluster.start))
-}
+func (e *liveEnv) Now() sim.Time { return e.node.c.now() }
 
+// Neighbors returns the runtime-owned read-only view of the node's
+// static neighbourhood (the core.Env contract): callers that retain it
+// must copy, and the transports do (see the conformance and aliasing
+// tests).
 func (e *liveEnv) Neighbors() []core.NodeID {
-	return topoAdapter{e.node.cluster.g}.Neighbors(e.node.id)
+	return e.node.c.nbrs[e.node.id]
 }
 
 func (e *liveEnv) Send(to core.NodeID, msg core.Message) {
-	q, ok := e.node.cluster.links[[2]core.NodeID{e.node.id, to}]
-	if !ok {
-		return
-	}
-	q.push(event{kind: evMessage, from: e.node.id, msg: msg})
+	e.node.send(to, msg)
 }
 
 func (e *liveEnv) Broadcast(msg core.Message) {
 	for _, to := range e.Neighbors() {
-		e.Send(to, msg)
+		e.node.send(to, msg)
 	}
 }
 
@@ -380,5 +660,13 @@ func (e *liveEnv) Moving() bool { return false }
 func (e *liveEnv) SetState(s core.State) {
 	old := e.node.last
 	e.node.last = s
-	e.node.cluster.onState(e.node, old, s)
+	e.node.c.onState(e.node, old, s)
 }
+
+// Emit implements trace.Emitter: protocols publish doorway crossings and
+// diagnostics onto the cluster bus, exactly as they do on the simulator.
+func (e *liveEnv) Emit(ev trace.Event) { e.node.c.emit(ev) }
+
+// Wants implements trace.Interest so protocols skip building events
+// nobody subscribed to.
+func (e *liveEnv) Wants(k trace.Kind) bool { return e.node.c.bus.Wants(k) }

@@ -1,0 +1,270 @@
+package livenet
+
+import (
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lme/internal/core"
+	"lme/internal/graph"
+	"lme/internal/sim"
+)
+
+// Frame is one transport-level message on a directed link: the protocol
+// payload plus the runtime metadata the observability layer carries
+// through delivery (the sender's monotone message id and the send
+// instant, both stamped by the cluster).
+type Frame struct {
+	// From and To are the endpoints of the directed link.
+	From, To core.NodeID
+	// Msg is the opaque protocol payload.
+	Msg core.Message
+	// Mseq is the sender's monotone per-node message id (1-based). It
+	// doubles as the transport's duplicate-detection key — per directed
+	// link, delivered Mseq values are strictly increasing — and as the
+	// causality stamp the span layer reads from deliver events.
+	Mseq uint64
+	// SentAt is the cluster-relative send instant in microseconds; the
+	// delivery path derives the link delay from it.
+	SentAt sim.Time
+}
+
+// DeliverFunc receives frames from a transport. Calls are sequential per
+// directed link (the FIFO contract) but concurrent across links; the
+// callback must be safe for concurrent use.
+type DeliverFunc func(Frame)
+
+// Transport moves frames between the nodes of a static cluster. It is
+// the runtime boundary the live runtime is built around: the cluster and
+// the protocol state machines above it are transport-agnostic, so the
+// in-process channel transport (hermetic, race-clean tests) and the UDP
+// transport (real sockets) run the same protocol implementation
+// byte-for-byte.
+//
+// Contract, which the conformance suite enforces on every implementation:
+//
+//   - FIFO per directed link: frames sent on the same (from, to) pair are
+//     delivered in send order, exactly once. This is the paper's §3.1
+//     link assumption; implementations over lossy media (UDP) restore it
+//     with sequence numbers, a reorder buffer, retransmission and
+//     duplicate suppression.
+//   - No delivery on unknown links: Send on a pair that is not an edge of
+//     the cluster graph silently drops the frame.
+//   - No delivery after LinkDown(a, b): the link is removed in both
+//     directions, frames still in flight on it are destroyed — the same
+//     semantics the simulator gives a failing link — and frames sent
+//     after LinkDown returns are never delivered. (A single delivery
+//     already in progress when LinkDown runs may still complete; only
+//     Close gives the stronger wait-for-quiescence guarantee.)
+//   - No delivery after Close returns: Close stops all delivery, then
+//     waits for in-progress deliveries to finish.
+//
+// Send is safe for concurrent use by different senders; frames from one
+// sender on one link must be sent from a single goroutine at a time
+// (which the node event loop guarantees).
+//
+// Adjacency crossing the seam follows core.Env.Neighbors's read-only
+// rule: a transport handed topology at construction (a *graph.Graph or
+// neighbour slices) must snapshot what it retains — it may never alias
+// a slice the runtime hands to protocols, and the runtime never aliases
+// the transport's copy. TestUDPNeighborsNotAliased vets this by
+// comparing backing arrays.
+type Transport interface {
+	// Start wires the delivery callback and begins moving frames. It is
+	// called exactly once, before any Send.
+	Start(deliver DeliverFunc) error
+	// Send enqueues a frame on the directed link f.From→f.To.
+	Send(f Frame)
+	// LinkDown removes the link a—b in both directions, dropping frames
+	// in flight on it. Subsequent sends on the pair are dropped.
+	LinkDown(a, b core.NodeID)
+	// Close shuts the transport down. No frame is delivered after Close
+	// returns.
+	Close() error
+}
+
+// linkKey identifies a directed link.
+type linkKey [2]core.NodeID
+
+// frameQueue is an unbounded FIFO of frames with blocking pop, the
+// channel transport's per-link buffer.
+type frameQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []Frame
+	closed bool
+}
+
+func newFrameQueue() *frameQueue {
+	q := &frameQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *frameQueue) push(f Frame) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.items = append(q.items, f)
+	q.cond.Signal()
+}
+
+func (q *frameQueue) pop() (Frame, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if q.closed {
+		// A closed link destroys its in-flight frames (the simulator's
+		// LinkDown semantics); nothing is drained.
+		return Frame{}, false
+	}
+	f := q.items[0]
+	q.items = q.items[1:]
+	return f, true
+}
+
+// isClosed reports whether the link was torn down; the forwarder checks
+// it after its delay sleep so a frame in flight when LinkDown ran is
+// destroyed rather than delivered.
+func (q *frameQueue) isClosed() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.closed
+}
+
+func (q *frameQueue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.cond.Broadcast()
+}
+
+// ChannelTransport is the in-process transport: one unbounded FIFO queue
+// and one forwarder goroutine per directed link, each adding a uniform
+// random delay in (0, MaxDelay] before handing the frame to the cluster.
+// It keeps the live tests hermetic (no sockets) and race-clean, and it is
+// the transport the 10k-node load generator runs on.
+type ChannelTransport struct {
+	maxDelay time.Duration
+	seed     uint64
+
+	mu      sync.Mutex
+	links   map[linkKey]*frameQueue
+	started bool
+
+	deliver DeliverFunc
+	closed  atomic.Bool
+	wg      sync.WaitGroup
+}
+
+var _ Transport = (*ChannelTransport)(nil)
+
+// NewChannelTransport builds the in-process transport over the edges of
+// g. maxDelay bounds the per-frame link delay (the paper's ν); seed
+// derives the per-link delay streams.
+func NewChannelTransport(g *graph.Graph, maxDelay time.Duration, seed uint64) *ChannelTransport {
+	if maxDelay <= 0 {
+		maxDelay = DefaultMaxMessageDelay
+	}
+	t := &ChannelTransport{
+		maxDelay: maxDelay,
+		seed:     seed,
+		links:    make(map[linkKey]*frameQueue, 2*len(g.Edges())),
+	}
+	for _, e := range g.Edges() {
+		a, b := core.NodeID(e[0]), core.NodeID(e[1])
+		t.links[linkKey{a, b}] = newFrameQueue()
+		t.links[linkKey{b, a}] = newFrameQueue()
+	}
+	return t
+}
+
+// Start launches one forwarder goroutine per directed link.
+func (t *ChannelTransport) Start(deliver DeliverFunc) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.started {
+		return errAlreadyStarted
+	}
+	t.started = true
+	t.deliver = deliver
+	for key, q := range t.links {
+		t.wg.Add(1)
+		go t.forward(key, q)
+	}
+	return nil
+}
+
+// forward is the per-link goroutine: popping sequentially and sleeping
+// the random delay in between preserves FIFO order per link while frames
+// on different links race freely.
+func (t *ChannelTransport) forward(key linkKey, q *frameQueue) {
+	defer t.wg.Done()
+	rng := rand.New(rand.NewPCG(t.seed, linkSalt(key)))
+	for {
+		f, ok := q.pop()
+		if !ok {
+			return
+		}
+		time.Sleep(time.Duration(rng.Int64N(int64(t.maxDelay)) + 1))
+		if t.closed.Load() || q.isClosed() {
+			return
+		}
+		t.deliver(f)
+	}
+}
+
+// linkSalt derives a per-link PCG stream id from the directed pair.
+func linkSalt(key linkKey) uint64 {
+	return uint64(key[0])<<32 ^ uint64(uint32(key[1])) ^ 0x9e3779b97f4a7c15
+}
+
+// Send enqueues the frame, dropping it when the pair is not a live link.
+func (t *ChannelTransport) Send(f Frame) {
+	if t.closed.Load() {
+		return
+	}
+	t.mu.Lock()
+	q := t.links[linkKey{f.From, f.To}]
+	t.mu.Unlock()
+	if q != nil {
+		q.push(f)
+	}
+}
+
+// LinkDown removes the link in both directions; in-flight frames on it
+// are destroyed with the queues.
+func (t *ChannelTransport) LinkDown(a, b core.NodeID) {
+	t.mu.Lock()
+	qa, qb := t.links[linkKey{a, b}], t.links[linkKey{b, a}]
+	delete(t.links, linkKey{a, b})
+	delete(t.links, linkKey{b, a})
+	t.mu.Unlock()
+	if qa != nil {
+		qa.close()
+	}
+	if qb != nil {
+		qb.close()
+	}
+}
+
+// Close stops delivery and waits for the forwarders to exit.
+func (t *ChannelTransport) Close() error {
+	if t.closed.Swap(true) {
+		return nil
+	}
+	t.mu.Lock()
+	links := t.links
+	t.links = map[linkKey]*frameQueue{}
+	t.mu.Unlock()
+	for _, q := range links {
+		q.close()
+	}
+	t.wg.Wait()
+	return nil
+}

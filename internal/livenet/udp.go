@@ -1,0 +1,457 @@
+package livenet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lme/internal/core"
+	"lme/internal/graph"
+	"lme/internal/sim"
+)
+
+// The algorithms assume reliable FIFO links (§3.1); UDP gives neither.
+// UDPTransport restores the contract with a per-directed-link reliability
+// shim: every data frame carries a per-link sequence number, the receiver
+// delivers strictly in sequence through a reorder buffer, duplicates are
+// suppressed twice (by sequence number and by the sender's monotone
+// message id), and the sender retransmits unacknowledged frames on a
+// timer until the receiver's cumulative ACK covers them.
+//
+// Wire format (one frame per datagram, all integers big-endian):
+//
+//	byte    0     version (1)
+//	byte    1     kind: 0 data, 1 ack
+//	bytes  2..5   from  (uint32)
+//	bytes  6..9   to    (uint32)
+//	bytes 10..17  seq   (uint64)  per-directed-link, 1-based; for acks the
+//	                              cumulative highest in-order seq received
+//	bytes 18..25  mseq  (uint64)  sender's monotone message id (data only)
+//	bytes 26..33  sentAt (int64)  cluster-relative µs (data only)
+//	bytes 34..37  paylen (uint32) gob payload length (data only)
+//	bytes 38..    payload         gob-encoded wirePayload
+//
+// The length prefix lets a receiver reject truncated datagrams rather
+// than feeding a partial gob stream to the decoder. Protocol message
+// types register themselves with encoding/gob from their own packages
+// (lme1, lme2, baseline), so the transport never names them — the seam
+// that keeps algorithm cores free of any runtime import.
+const (
+	udpVersion    = 1
+	udpKindData   = 0
+	udpKindAck    = 1
+	udpHeaderLen  = 38
+	udpAckLen     = 18 // version..seq, no data fields
+	udpMaxPayload = 60 << 10
+)
+
+// wirePayload wraps the protocol message so gob encodes it as an
+// interface value (restoring the concrete registered type on decode).
+type wirePayload struct {
+	M core.Message
+}
+
+// udpSendLink is the sender half of one directed link.
+type udpSendLink struct {
+	mu      sync.Mutex
+	nextSeq uint64
+	unacked []udpPending
+	down    bool
+}
+
+type udpPending struct {
+	seq      uint64
+	pkt      []byte
+	lastSent time.Time
+}
+
+// udpRecvLink is the receiver half of one directed link.
+type udpRecvLink struct {
+	mu       sync.Mutex
+	nextSeq  uint64            // next in-order seq expected (1-based)
+	lastMseq uint64            // msg-id dedup guard: delivered ids are strictly increasing
+	reorder  map[uint64][]byte // out-of-order frames keyed by seq
+	down     bool
+}
+
+// udpReorderCap bounds the reorder buffer per link; datagrams beyond the
+// window are dropped and recovered by retransmission.
+const udpReorderCap = 1024
+
+// UDPTransport runs the cluster's links over loopback UDP sockets, one
+// socket per node, with the reliability shim documented above. It is the
+// deployment-shaped transport: same Transport contract as the channel
+// implementation, exercised by the same conformance suite.
+type UDPTransport struct {
+	n     int
+	nbrs  [][]core.NodeID // adjacency, copied — never aliases the cluster's view
+	conns []*net.UDPConn
+	addrs []*net.UDPAddr
+
+	send map[linkKey]*udpSendLink
+	recv map[linkKey]*udpRecvLink
+
+	deliver DeliverFunc
+	rto     time.Duration
+	started bool
+	closed  atomic.Bool
+	stopCh  chan struct{}
+	wg      sync.WaitGroup
+
+	// mangle, when set (tests only), intercepts every outgoing data
+	// datagram and returns the datagrams actually written — it simulates
+	// loss (empty slice), duplication and corruption so the conformance
+	// suite can exercise the shim without a lossy network.
+	mangle func(pkt []byte) [][]byte
+}
+
+var _ Transport = (*UDPTransport)(nil)
+
+// NewUDPTransport binds one loopback UDP socket per node of g and builds
+// the per-directed-link shim state. rto is the retransmission timeout
+// (default 20ms when ≤ 0).
+func NewUDPTransport(g *graph.Graph, rto time.Duration) (*UDPTransport, error) {
+	if rto <= 0 {
+		rto = 20 * time.Millisecond
+	}
+	n := g.N()
+	t := &UDPTransport{
+		n:      n,
+		nbrs:   make([][]core.NodeID, n),
+		conns:  make([]*net.UDPConn, n),
+		addrs:  make([]*net.UDPAddr, n),
+		send:   make(map[linkKey]*udpSendLink, 2*len(g.Edges())),
+		recv:   make(map[linkKey]*udpRecvLink, 2*len(g.Edges())),
+		rto:    rto,
+		stopCh: make(chan struct{}),
+	}
+	for i := 0; i < n; i++ {
+		// Copy-on-retain: the transport keeps its own adjacency slices so
+		// it never aliases a runtime-owned Neighbors() view.
+		for _, nb := range g.Neighbors(i) {
+			t.nbrs[i] = append(t.nbrs[i], core.NodeID(nb))
+		}
+		conn, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			t.closeConns()
+			return nil, fmt.Errorf("livenet: udp bind node %d: %w", i, err)
+		}
+		t.conns[i] = conn
+		t.addrs[i] = conn.LocalAddr().(*net.UDPAddr)
+	}
+	for _, e := range g.Edges() {
+		a, b := core.NodeID(e[0]), core.NodeID(e[1])
+		t.send[linkKey{a, b}] = &udpSendLink{nextSeq: 1}
+		t.send[linkKey{b, a}] = &udpSendLink{nextSeq: 1}
+		t.recv[linkKey{a, b}] = &udpRecvLink{nextSeq: 1, reorder: make(map[uint64][]byte)}
+		t.recv[linkKey{b, a}] = &udpRecvLink{nextSeq: 1, reorder: make(map[uint64][]byte)}
+	}
+	return t, nil
+}
+
+func (t *UDPTransport) closeConns() {
+	for _, c := range t.conns {
+		if c != nil {
+			c.Close()
+		}
+	}
+}
+
+// Start launches one reader goroutine per socket plus the retransmission
+// loop.
+func (t *UDPTransport) Start(deliver DeliverFunc) error {
+	if t.started {
+		return errAlreadyStarted
+	}
+	t.started = true
+	t.deliver = deliver
+	for i := range t.conns {
+		t.wg.Add(1)
+		go t.read(core.NodeID(i))
+	}
+	t.wg.Add(1)
+	go t.retransmitLoop()
+	return nil
+}
+
+// Send encodes the frame, registers it as unacknowledged and writes the
+// datagram. Drops silently on unknown or downed links, oversized
+// payloads, and after Close — the same semantics as the channel
+// transport.
+func (t *UDPTransport) Send(f Frame) {
+	if t.closed.Load() {
+		return
+	}
+	sl := t.send[linkKey{f.From, f.To}]
+	if sl == nil {
+		return
+	}
+	payload, err := encodePayload(f.Msg)
+	if err != nil || len(payload) > udpMaxPayload {
+		return
+	}
+	sl.mu.Lock()
+	if sl.down {
+		sl.mu.Unlock()
+		return
+	}
+	seq := sl.nextSeq
+	sl.nextSeq++
+	pkt := encodeData(f, seq, payload)
+	sl.unacked = append(sl.unacked, udpPending{seq: seq, pkt: pkt, lastSent: time.Now()})
+	sl.mu.Unlock()
+	t.write(f.From, f.To, pkt)
+}
+
+// write sends one datagram from's socket to to's address, applying the
+// test mangle hook to data frames.
+func (t *UDPTransport) write(from, to core.NodeID, pkt []byte) {
+	pkts := [][]byte{pkt}
+	if t.mangle != nil && pkt[1] == udpKindData {
+		pkts = t.mangle(pkt)
+	}
+	for _, p := range pkts {
+		t.conns[from].WriteToUDP(p, t.addrs[to]) //nolint:errcheck // lossy medium; the shim retransmits
+	}
+}
+
+// retransmitLoop rescans the unacknowledged frames of every link each
+// rto/2 and resends those older than rto — the ACK/retry half of the
+// shim.
+func (t *UDPTransport) retransmitLoop() {
+	defer t.wg.Done()
+	tick := time.NewTicker(t.rto / 2)
+	defer tick.Stop()
+	for {
+		select {
+		case <-t.stopCh:
+			return
+		case <-tick.C:
+		}
+		now := time.Now()
+		for key, sl := range t.send {
+			sl.mu.Lock()
+			var resend [][]byte
+			for i := range sl.unacked {
+				if !sl.down && now.Sub(sl.unacked[i].lastSent) >= t.rto {
+					sl.unacked[i].lastSent = now
+					resend = append(resend, sl.unacked[i].pkt)
+				}
+			}
+			sl.mu.Unlock()
+			for _, pkt := range resend {
+				if t.closed.Load() {
+					return
+				}
+				t.write(key[0], key[1], pkt)
+			}
+		}
+	}
+}
+
+// read is the per-node socket loop: it parses datagrams addressed to
+// node id, feeds acks to the sender state and data frames to the
+// receiver shim.
+func (t *UDPTransport) read(id core.NodeID) {
+	defer t.wg.Done()
+	buf := make([]byte, 64<<10)
+	for {
+		n, _, err := t.conns[id].ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed
+		}
+		if t.closed.Load() {
+			return
+		}
+		if n < udpAckLen || buf[0] != udpVersion {
+			continue
+		}
+		from := core.NodeID(binary.BigEndian.Uint32(buf[2:6]))
+		to := core.NodeID(binary.BigEndian.Uint32(buf[6:10]))
+		seq := binary.BigEndian.Uint64(buf[10:18])
+		if to != id || from < 0 || int(from) >= t.n {
+			continue
+		}
+		switch buf[1] {
+		case udpKindAck:
+			// The ack names the directed link id→from (we are the
+			// sender): drop everything the cumulative seq covers.
+			t.onAck(linkKey{id, from}, seq)
+		case udpKindData:
+			if n < udpHeaderLen {
+				continue
+			}
+			paylen := int(binary.BigEndian.Uint32(buf[34:38]))
+			if udpHeaderLen+paylen != n {
+				continue // truncated or padded datagram
+			}
+			pkt := make([]byte, n)
+			copy(pkt, buf[:n])
+			t.onData(linkKey{from, to}, seq, pkt)
+		}
+	}
+}
+
+// onAck discards acknowledged frames from the link's retransmit queue.
+func (t *UDPTransport) onAck(key linkKey, cum uint64) {
+	sl := t.send[key]
+	if sl == nil {
+		return
+	}
+	sl.mu.Lock()
+	keep := sl.unacked[:0]
+	for _, p := range sl.unacked {
+		if p.seq > cum {
+			keep = append(keep, p)
+		}
+	}
+	sl.unacked = keep
+	sl.mu.Unlock()
+}
+
+// onData runs the receiver shim for one data datagram: dedup, reorder,
+// in-sequence delivery, cumulative ack.
+func (t *UDPTransport) onData(key linkKey, seq uint64, pkt []byte) {
+	rl := t.recv[key]
+	if rl == nil {
+		return
+	}
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	if rl.down {
+		return // no delivery after LinkDown; no ack either — the link is gone
+	}
+	switch {
+	case seq < rl.nextSeq:
+		// Duplicate of a delivered frame (lost ack or retransmit race):
+		// suppress, but re-ack so the sender stops resending.
+		t.ack(key, rl.nextSeq-1)
+		return
+	case seq > rl.nextSeq:
+		if len(rl.reorder) < udpReorderCap {
+			rl.reorder[seq] = pkt
+		}
+		t.ack(key, rl.nextSeq-1)
+		return
+	}
+	// In sequence: deliver, then drain the reorder buffer.
+	t.deliverLocked(rl, key, pkt)
+	for {
+		next, ok := rl.reorder[rl.nextSeq]
+		if !ok {
+			break
+		}
+		delete(rl.reorder, rl.nextSeq)
+		t.deliverLocked(rl, key, next)
+	}
+	t.ack(key, rl.nextSeq-1)
+}
+
+// deliverLocked decodes and hands one in-sequence frame up, advancing
+// the shim state. Caller holds rl.mu, which serialises deliveries per
+// link — the FIFO contract.
+func (t *UDPTransport) deliverLocked(rl *udpRecvLink, key linkKey, pkt []byte) {
+	rl.nextSeq++
+	mseq := binary.BigEndian.Uint64(pkt[18:26])
+	if mseq <= rl.lastMseq {
+		// Msg-id dedup: per link the sender's message ids are strictly
+		// increasing, so a stale id here is a duplicate that slipped past
+		// the sequence check (e.g. a corrupted seq field).
+		return
+	}
+	msg, err := decodePayload(pkt[udpHeaderLen:])
+	if err != nil {
+		return // undecodable payload; retransmission cannot help, drop
+	}
+	rl.lastMseq = mseq
+	t.deliver(Frame{
+		From:   key[0],
+		To:     key[1],
+		Msg:    msg,
+		Mseq:   mseq,
+		SentAt: sim.Time(int64(binary.BigEndian.Uint64(pkt[26:34]))),
+	})
+}
+
+// ack writes a cumulative acknowledgement for the directed link key
+// (key[1] is the acking receiver, so the datagram leaves its socket).
+func (t *UDPTransport) ack(key linkKey, cum uint64) {
+	pkt := make([]byte, udpAckLen)
+	pkt[0] = udpVersion
+	pkt[1] = udpKindAck
+	// The ack travels receiver→sender: from is the acking receiver
+	// (key[1]), to is the original data sender (key[0]).
+	binary.BigEndian.PutUint32(pkt[2:6], uint32(key[1]))
+	binary.BigEndian.PutUint32(pkt[6:10], uint32(key[0]))
+	binary.BigEndian.PutUint64(pkt[10:18], cum)
+	t.conns[key[1]].WriteToUDP(pkt, t.addrs[key[0]]) //nolint:errcheck // lost acks are recovered by dedup
+}
+
+// LinkDown tears the link down in both directions: retransmission stops,
+// queued and in-flight frames are dropped, later datagrams are ignored.
+func (t *UDPTransport) LinkDown(a, b core.NodeID) {
+	for _, key := range []linkKey{{a, b}, {b, a}} {
+		if sl := t.send[key]; sl != nil {
+			sl.mu.Lock()
+			sl.down = true
+			sl.unacked = nil
+			sl.mu.Unlock()
+		}
+		if rl := t.recv[key]; rl != nil {
+			rl.mu.Lock()
+			rl.down = true
+			rl.reorder = make(map[uint64][]byte)
+			rl.mu.Unlock()
+		}
+	}
+}
+
+// Close shuts every socket and waits for the readers and the
+// retransmission loop to exit; no delivery happens after it returns.
+func (t *UDPTransport) Close() error {
+	if t.closed.Swap(true) {
+		return nil
+	}
+	close(t.stopCh)
+	t.closeConns()
+	t.wg.Wait()
+	return nil
+}
+
+// encodePayload gob-encodes a protocol message as an interface value.
+func encodePayload(msg core.Message) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(wirePayload{M: msg}); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// decodePayload restores the concrete registered message type.
+func decodePayload(b []byte) (core.Message, error) {
+	var p wirePayload
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&p); err != nil {
+		return nil, err
+	}
+	return p.M, nil
+}
+
+// encodeData builds one data datagram.
+func encodeData(f Frame, seq uint64, payload []byte) []byte {
+	pkt := make([]byte, udpHeaderLen+len(payload))
+	pkt[0] = udpVersion
+	pkt[1] = udpKindData
+	binary.BigEndian.PutUint32(pkt[2:6], uint32(f.From))
+	binary.BigEndian.PutUint32(pkt[6:10], uint32(f.To))
+	binary.BigEndian.PutUint64(pkt[10:18], seq)
+	binary.BigEndian.PutUint64(pkt[18:26], f.Mseq)
+	binary.BigEndian.PutUint64(pkt[26:34], uint64(int64(f.SentAt)))
+	binary.BigEndian.PutUint32(pkt[34:38], uint32(len(payload)))
+	copy(pkt[udpHeaderLen:], payload)
+	return pkt
+}

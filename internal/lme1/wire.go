@@ -1,0 +1,18 @@
+package lme1
+
+import "encoding/gob"
+
+// The live runtime's UDP transport moves protocol messages as gob-encoded
+// interface payloads; registering the concrete types here keeps the
+// algorithm core free of any runtime import (the transport never names
+// these types, and this package never names the transport).
+func init() {
+	gob.Register(msgDoorway{})
+	gob.Register(msgUpdateColor{})
+	gob.Register(msgStatus{})
+	gob.Register(msgReq{})
+	gob.Register(msgFork{})
+	gob.Register(msgNACK{})
+	gob.Register(msgGraph{})
+	gob.Register(msgTempColor{})
+}

@@ -1,0 +1,12 @@
+package lme2
+
+import "encoding/gob"
+
+// Register the protocol's message types for the live runtime's
+// gob-encoded UDP payloads; see internal/lme1/wire.go for the rationale.
+func init() {
+	gob.Register(msgNotification{})
+	gob.Register(msgSwitch{})
+	gob.Register(msgReq{})
+	gob.Register(msgFork{})
+}

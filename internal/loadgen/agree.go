@@ -1,0 +1,138 @@
+package loadgen
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"lme"
+	"lme/internal/graph"
+	"lme/internal/livenet"
+)
+
+// AgreementReport compares a discrete-event simulation with a live
+// lock-service run of the same algorithm on the same static topology.
+// Live runs are scheduled by the Go runtime and real clocks, so the two
+// cannot be compared trace-for-trace; agreement means the behaviours
+// the paper's model pins down regardless of scheduling:
+//
+//   - safety holds in both (zero checker violations),
+//   - no node starves in either (everyone eats at least once), and
+//   - protocol traffic per meal stays within a loose common band —
+//     a live run that needs 50× the messages per CS entry is running a
+//     different protocol, whatever the safety checker says.
+type AgreementReport struct {
+	Algorithm string
+
+	SimMeals       int
+	SimViolations  int
+	SimMsgsPerMeal float64
+
+	LiveMeals       int
+	LiveViolations  int
+	LiveMsgsPerMeal float64
+
+	Problems []string
+}
+
+// OK reports whether the live runtime agreed with the simulator.
+func (r AgreementReport) OK() bool { return len(r.Problems) == 0 }
+
+func (r AgreementReport) String() string {
+	verdict := "agreement ok"
+	if !r.OK() {
+		verdict = "DISAGREEMENT: " + strings.Join(r.Problems, "; ")
+	}
+	return fmt.Sprintf(
+		"%s on line(8): sim meals=%d violations=%d msgs/meal=%.1f | live meals=%d violations=%d msgs/meal=%.1f\n%s",
+		r.Algorithm, r.SimMeals, r.SimViolations, r.SimMsgsPerMeal,
+		r.LiveMeals, r.LiveViolations, r.LiveMsgsPerMeal, verdict)
+}
+
+// Agree runs the live-vs-sim differential for one algorithm on the
+// static line(8) topology and returns the comparison. The seed feeds
+// both runtimes; the live half still depends on real scheduling, so
+// only schedule-independent claims are checked.
+func Agree(alg lme.Algorithm, seed uint64) (AgreementReport, error) {
+	rep := AgreementReport{Algorithm: string(alg)}
+
+	// Simulated half: 8 nodes in a line, default paper parameters,
+	// 2s of virtual time — long enough for every node to eat many times.
+	s, err := lme.NewSimulation(lme.Config{
+		Algorithm: alg,
+		Topology:  lme.Line(8),
+		Seed:      seed,
+	})
+	if err != nil {
+		return rep, fmt.Errorf("loadgen: build simulation: %w", err)
+	}
+	if err := s.RunFor(2 * time.Second); err != nil {
+		return rep, fmt.Errorf("loadgen: run simulation: %w", err)
+	}
+	simRes := s.Results()
+	rep.SimMeals = simRes.TotalMeals
+	rep.SimViolations = simRes.SafetyViolations
+	if simRes.TotalMeals > 0 {
+		rep.SimMsgsPerMeal = float64(simRes.MessagesSent) / float64(simRes.TotalMeals)
+	}
+	simAte := make([]bool, 8)
+	for i := range simAte {
+		simAte[i] = s.EatCount(i) > 0
+	}
+
+	// Live half: the same algorithm instances on the same line graph,
+	// driven through the lease API by per-node clients for 600ms of
+	// wall clock (the live defaults eat/think in microseconds, so this
+	// is thousands of cycles).
+	g := graph.Line(8)
+	protos, err := lme.NewProtocols(alg, lme.FromGraph(g))
+	if err != nil {
+		return rep, fmt.Errorf("loadgen: build protocols: %w", err)
+	}
+	res, err := Run(Config{
+		Graph:     g,
+		Protocols: protos,
+		Duration:  600 * time.Millisecond,
+		Live:      livenet.Config{Seed: seed},
+		Seed:      seed,
+	})
+	if err != nil {
+		return rep, fmt.Errorf("loadgen: live run: %w", err)
+	}
+	rep.LiveMeals = int(res.Acquisitions)
+	rep.LiveViolations = res.Violations
+	rep.LiveMsgsPerMeal = res.PerAcquisition
+
+	// Schedule-independent agreement claims.
+	if rep.SimViolations != 0 {
+		rep.Problems = append(rep.Problems, fmt.Sprintf("simulator reported %d safety violations", rep.SimViolations))
+	}
+	if rep.LiveViolations != 0 {
+		rep.Problems = append(rep.Problems, fmt.Sprintf("live runtime reported %d safety violations", rep.LiveViolations))
+	}
+	for i, ate := range simAte {
+		if !ate {
+			rep.Problems = append(rep.Problems, fmt.Sprintf("node %d starved in simulation", i))
+		}
+	}
+	if res.NodesServed != 8 {
+		rep.Problems = append(rep.Problems, fmt.Sprintf("only %d/8 nodes were served live", res.NodesServed))
+	}
+	if rep.SimMeals == 0 {
+		rep.Problems = append(rep.Problems, "simulation made no progress")
+	}
+	if rep.LiveMeals == 0 {
+		rep.Problems = append(rep.Problems, "live runtime made no progress")
+	}
+	// Traffic band: live per-meal cost must stay within 10× of the
+	// simulated cost in either direction (both count the same protocol
+	// messages; the slack absorbs scheduling-dependent retries).
+	if rep.SimMsgsPerMeal > 0 && rep.LiveMsgsPerMeal > 0 {
+		ratio := rep.LiveMsgsPerMeal / rep.SimMsgsPerMeal
+		if ratio > 10 || ratio < 0.1 {
+			rep.Problems = append(rep.Problems,
+				fmt.Sprintf("msgs/meal diverge: sim %.1f vs live %.1f", rep.SimMsgsPerMeal, rep.LiveMsgsPerMeal))
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,248 @@
+// Package loadgen drives a live lock-service cluster with one client
+// goroutine per node — 10k+ of them on the channel transport — using
+// heavy-tailed think times (bounded Pareto), and reports acquisitions
+// per second and sketch-backed grant-latency quantiles. It is the
+// "heavy traffic from many users" face of the live runtime: everything
+// it measures flows through the public Acquire/Release lease API.
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sync"
+	"time"
+
+	"lme/internal/core"
+	"lme/internal/graph"
+	"lme/internal/livenet"
+	"lme/internal/metrics"
+	"lme/internal/sim"
+)
+
+// Config parameterises one load run.
+type Config struct {
+	// Graph is the static communication graph (required).
+	Graph *graph.Graph
+	// Protocols holds one algorithm instance per node (required).
+	Protocols []core.Protocol
+	// Transport overrides the cluster transport (nil = channel).
+	Transport livenet.Transport
+
+	// Duration is how long the clients drive the cluster (default 1s).
+	Duration time.Duration
+
+	// Hold is how long each client keeps its lease (the τ of the load;
+	// default livenet.DefaultEatTime).
+	Hold time.Duration
+
+	// ThinkMin is the scale x_m of the bounded-Pareto think time
+	// (default 200µs); ThinkAlpha its tail index α (default 1.5, an
+	// infinite-variance tail); ThinkMax the cap (default 50ms). Think
+	// times follow x_m·U^(−1/α) truncated at the cap — most clients
+	// return almost immediately, a heavy tail lingers.
+	ThinkMin   time.Duration
+	ThinkAlpha float64
+	ThinkMax   time.Duration
+
+	// Live tunes the cluster (ν, lease TTL, seed, spans). EatTime and
+	// think bounds of the embedded config are ignored — the load
+	// generator's own clients drive the cycle.
+	Live livenet.Config
+
+	// Seed drives the client randomness (default: Live seed).
+	Seed uint64
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.Duration <= 0 {
+		cfg.Duration = time.Second
+	}
+	if cfg.Hold <= 0 {
+		cfg.Hold = livenet.DefaultEatTime
+	}
+	if cfg.ThinkMin <= 0 {
+		cfg.ThinkMin = 200 * time.Microsecond
+	}
+	if cfg.ThinkAlpha <= 0 {
+		cfg.ThinkAlpha = 1.5
+	}
+	if cfg.ThinkMax <= 0 {
+		cfg.ThinkMax = 50 * time.Millisecond
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = cfg.Live.Seed
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = livenet.DefaultSeed
+	}
+	return cfg
+}
+
+// Result summarises a load run.
+type Result struct {
+	Nodes     int           `json:"nodes"`
+	Clients   int           `json:"clients"`
+	Duration  time.Duration `json:"-"`
+	WallMS    float64       `json:"wall_ms"`
+	Transport string        `json:"transport"`
+
+	// Acquisitions counts granted leases; AcqPerSec normalises by the
+	// measured wall clock.
+	Acquisitions uint64  `json:"acquisitions"`
+	AcqPerSec    float64 `json:"acq_per_sec"`
+
+	// Grant quantiles come from the cluster's mergeable latency sketch
+	// (±1% relative error); the snapshot itself rides along for pooling.
+	GrantP50  time.Duration          `json:"-"`
+	GrantP95  time.Duration          `json:"-"`
+	GrantP99  time.Duration          `json:"-"`
+	GrantMax  time.Duration          `json:"-"`
+	GrantMean time.Duration          `json:"-"`
+	Grant     metrics.SketchSnapshot `json:"grant_sketch"`
+
+	GrantP50US  int64 `json:"grant_p50_us"`
+	GrantP95US  int64 `json:"grant_p95_us"`
+	GrantP99US  int64 `json:"grant_p99_us"`
+	GrantMaxUS  int64 `json:"grant_max_us"`
+	GrantMeanUS int64 `json:"grant_mean_us"`
+
+	// ExpiredLeases counts TTL force-releases (0 unless clients die or
+	// hold past the TTL); Violations counts mutual exclusion breaches
+	// (any nonzero value is an algorithm bug).
+	ExpiredLeases uint64 `json:"expired_leases"`
+	Violations    int    `json:"violations"`
+
+	// MessagesSent / PerAcquisition give the protocol traffic cost of
+	// the load.
+	MessagesSent   uint64  `json:"messages_sent"`
+	PerAcquisition float64 `json:"msgs_per_acquisition"`
+
+	// NodesServed counts nodes granted at least one lease.
+	NodesServed int `json:"nodes_served"`
+}
+
+// String renders the result as the human-readable lmeload report.
+func (r Result) String() string {
+	return fmt.Sprintf(
+		"nodes=%d clients=%d transport=%s wall=%.0fms\n"+
+			"acquisitions=%d (%.0f/s, %d nodes served)\n"+
+			"grant latency p50=%v p95=%v p99=%v max=%v (mean %v)\n"+
+			"messages=%d (%.1f per acquisition) expired_leases=%d violations=%d",
+		r.Nodes, r.Clients, r.Transport, r.WallMS,
+		r.Acquisitions, r.AcqPerSec, r.NodesServed,
+		r.GrantP50, r.GrantP95, r.GrantP99, r.GrantMax, r.GrantMean,
+		r.MessagesSent, r.PerAcquisition, r.ExpiredLeases, r.Violations)
+}
+
+// Run builds the cluster, drives one client goroutine per node for the
+// configured duration, shuts everything down and reports. The returned
+// error is the safety checker's verdict (or a build failure).
+func Run(cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	cfg.Live.Transport = cfg.Transport
+	cluster, err := livenet.New(cfg.Live, cfg.Graph, cfg.Protocols)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := cluster.Start(); err != nil {
+		return Result{}, err
+	}
+	begin := time.Now()
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.Duration)
+	defer cancel()
+
+	n := cfg.Graph.N()
+	var clients sync.WaitGroup
+	for i := 0; i < n; i++ {
+		clients.Add(1)
+		go func(id core.NodeID) {
+			defer clients.Done()
+			client(ctx, cluster, id, cfg)
+		}(core.NodeID(i))
+	}
+	clients.Wait()
+	wall := time.Since(begin)
+	stopErr := cluster.Stop()
+
+	snap := cluster.GrantStats()
+	sk := metrics.FromSnapshot(snap)
+	served := 0
+	for _, meals := range cluster.Meals() {
+		if meals > 0 {
+			served++
+		}
+	}
+	transport := "channel"
+	if cfg.Transport != nil {
+		if _, ok := cfg.Transport.(*livenet.UDPTransport); ok {
+			transport = "udp"
+		} else {
+			transport = fmt.Sprintf("%T", cfg.Transport)
+		}
+	}
+	res := Result{
+		Nodes:         n,
+		Clients:       n,
+		Duration:      cfg.Duration,
+		WallMS:        float64(wall.Microseconds()) / 1000,
+		Transport:     transport,
+		Acquisitions:  cluster.Acquisitions(),
+		ExpiredLeases: cluster.ExpiredLeases(),
+		Violations:    len(cluster.Violations()),
+		MessagesSent:  cluster.MessagesSent(),
+		NodesServed:   served,
+		Grant:         snap,
+		GrantP50:      sim.ToDuration(sk.Quantile(0.50)),
+		GrantP95:      sim.ToDuration(sk.Quantile(0.95)),
+		GrantP99:      sim.ToDuration(sk.Quantile(0.99)),
+		GrantMax:      sim.ToDuration(sim.Time(sk.Max() + 0.5)),
+		GrantMean:     sim.ToDuration(sim.Time(sk.Mean() + 0.5)),
+	}
+	res.GrantP50US = int64(res.GrantP50 / time.Microsecond)
+	res.GrantP95US = int64(res.GrantP95 / time.Microsecond)
+	res.GrantP99US = int64(res.GrantP99 / time.Microsecond)
+	res.GrantMaxUS = int64(res.GrantMax / time.Microsecond)
+	res.GrantMeanUS = int64(res.GrantMean / time.Microsecond)
+	if wall > 0 {
+		res.AcqPerSec = float64(res.Acquisitions) / wall.Seconds()
+	}
+	if res.Acquisitions > 0 {
+		res.PerAcquisition = float64(res.MessagesSent) / float64(res.Acquisitions)
+	}
+	return res, stopErr
+}
+
+// client is one load-generating user: think (heavy-tailed) → acquire →
+// hold → release, until the run ends.
+func client(ctx context.Context, cluster *livenet.Cluster, id core.NodeID, cfg Config) {
+	rng := rand.New(rand.NewPCG(cfg.Seed, uint64(id)+0x9e3779b9))
+	handle := cluster.Node(id)
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(paretoThink(rng, cfg)):
+		}
+		lease, err := handle.Acquire(ctx)
+		if err != nil {
+			return
+		}
+		time.Sleep(cfg.Hold)
+		lease.Release() //nolint:errcheck // a TTL expiry during the hold is fine
+	}
+}
+
+// paretoThink draws a bounded-Pareto think time: scale·U^(−1/α), capped.
+func paretoThink(rng *rand.Rand, cfg Config) time.Duration {
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	d := time.Duration(float64(cfg.ThinkMin) * math.Pow(u, -1/cfg.ThinkAlpha))
+	if d > cfg.ThinkMax || d < 0 {
+		d = cfg.ThinkMax
+	}
+	return d
+}

@@ -1,0 +1,135 @@
+package loadgen
+
+import (
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"lme"
+	"lme/internal/core"
+	"lme/internal/graph"
+	"lme/internal/livenet"
+)
+
+func protocols(t *testing.T, alg lme.Algorithm, g *graph.Graph) []core.Protocol {
+	t.Helper()
+	ps, err := lme.NewProtocols(alg, lme.FromGraph(g))
+	if err != nil {
+		t.Fatalf("NewProtocols(%s): %v", alg, err)
+	}
+	return ps
+}
+
+// TestLoadSmall sanity-checks the generator end to end on a small ring:
+// every node gets served, quantiles are populated, no safety breach.
+func TestLoadSmall(t *testing.T) {
+	g := graph.Ring(8)
+	res, err := Run(Config{
+		Graph:     g,
+		Protocols: protocols(t, lme.ChoySingh, g),
+		Duration:  300 * time.Millisecond,
+		Live:      livenet.Config{Seed: 7},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Violations != 0 {
+		t.Fatalf("safety violations: %d", res.Violations)
+	}
+	if res.Acquisitions == 0 {
+		t.Fatal("no leases granted")
+	}
+	if res.NodesServed != 8 {
+		t.Errorf("nodes served = %d, want 8", res.NodesServed)
+	}
+	if res.GrantP99 <= 0 {
+		t.Errorf("p99 grant latency = %v, want > 0", res.GrantP99)
+	}
+	if res.GrantP50 > res.GrantP99 {
+		t.Errorf("p50 %v > p99 %v", res.GrantP50, res.GrantP99)
+	}
+	if res.AcqPerSec <= 0 {
+		t.Errorf("acq/sec = %v, want > 0", res.AcqPerSec)
+	}
+	t.Logf("\n%s", res)
+}
+
+// TestLoadScale drives scaleNodes client goroutines (10k without the
+// race detector, 1k with it — see scale_*.go) over the channel
+// transport on a ring and checks throughput is reported sanely. This is
+// the issue's "10k-goroutine load generator" acceptance test.
+func TestLoadScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k-goroutine run skipped in -short mode")
+	}
+	g := graph.Ring(scaleNodes)
+	res, err := Run(Config{
+		Graph:     g,
+		Protocols: protocols(t, lme.ChoySingh, g),
+		Duration:  500 * time.Millisecond,
+		Live:      livenet.Config{Seed: 11},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Clients != scaleNodes {
+		t.Fatalf("clients = %d, want %d", res.Clients, scaleNodes)
+	}
+	if res.Violations != 0 {
+		t.Fatalf("safety violations: %d", res.Violations)
+	}
+	if res.Acquisitions == 0 {
+		t.Fatal("no leases granted at scale")
+	}
+	if res.GrantP99 <= 0 || res.Grant.Count == 0 {
+		t.Errorf("grant sketch empty: p99=%v count=%d", res.GrantP99, res.Grant.Count)
+	}
+	t.Logf("\n%s", res)
+}
+
+// TestHeavyTailedThink checks the bounded-Pareto sampler: respects its
+// bounds, and is actually heavy-tailed (mean well above the median).
+func TestHeavyTailedThink(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	rng := rand.New(rand.NewPCG(1, 2))
+	var sum time.Duration
+	var over int
+	const n = 20000
+	samples := make([]time.Duration, n)
+	for i := range samples {
+		d := paretoThink(rng, cfg)
+		if d < cfg.ThinkMin || d > cfg.ThinkMax {
+			t.Fatalf("sample %v outside [%v, %v]", d, cfg.ThinkMin, cfg.ThinkMax)
+		}
+		samples[i] = d
+		sum += d
+		if d > 10*cfg.ThinkMin {
+			over++
+		}
+	}
+	mean := sum / n
+	// With α=1.5 the median is x_m·2^(1/α) ≈ 1.6·x_m but the mean is
+	// dominated by the tail; a light-tailed sampler would fail this.
+	if mean < 2*cfg.ThinkMin {
+		t.Errorf("mean think %v suspiciously light-tailed (scale %v)", mean, cfg.ThinkMin)
+	}
+	if over == 0 {
+		t.Error("no sample ever exceeded 10x the scale; tail missing")
+	}
+}
+
+// TestAgreementLine8 is the live-vs-sim differential from the issue:
+// same algorithm, same static line(8) topology, simulator and live
+// lock service must agree on the schedule-independent facts.
+func TestAgreementLine8(t *testing.T) {
+	for _, alg := range []lme.Algorithm{lme.ChoySingh, lme.Alg2} {
+		rep, err := Agree(alg, 3)
+		if err != nil {
+			t.Fatalf("Agree(%s): %v", alg, err)
+		}
+		t.Logf("\n%s", rep)
+		if !rep.OK() {
+			t.Errorf("%s: %v", alg, rep.Problems)
+		}
+	}
+}

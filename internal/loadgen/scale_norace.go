@@ -1,0 +1,9 @@
+//go:build !race
+
+package loadgen
+
+// scaleNodes sizes the big load test: 10k client goroutines (plus the
+// runtime's node loops and link forwarders) in a normal test run. The
+// race detector caps at 8192 goroutines, so the race build shrinks this
+// in scale_race.go.
+const scaleNodes = 10000

@@ -1,0 +1,8 @@
+//go:build race
+
+package loadgen
+
+// Under the race detector the scheduler slows ~10× and goroutine counts
+// are capped, so the scale test runs at 1k nodes; the full 10k run is
+// exercised by the non-race build (and by cmd/lmeload).
+const scaleNodes = 1000

@@ -160,18 +160,60 @@ func AlgorithmDoc(a Algorithm) string {
 type Point = graph.Point
 
 // Topology is a set of node positions plus the radio range that induces
-// the communication graph.
+// the communication graph — or, for the live runtime, a pre-built
+// communication graph with no coordinates (see FromGraph).
 type Topology struct {
 	Points []Point
 	Radius float64
+
+	// prebuilt, when set, short-circuits the unit-disk construction:
+	// the topology IS this graph. Point-free topologies drive the live
+	// runtime (which needs no coordinates) but cannot be simulated —
+	// the mobility substrate needs positions.
+	prebuilt *graph.Graph
 }
 
+// FromGraph wraps an explicit communication graph as a Topology, the
+// form the live runtime and the load generator consume (graph.Ring,
+// graph.Line, … construct in O(n), where the unit-disk induction is
+// O(n²)). A FromGraph topology has no coordinates: NewSimulation rejects
+// it, NewProtocols accepts it.
+func FromGraph(g *graph.Graph) Topology { return Topology{prebuilt: g} }
+
 // graph materialises the induced unit-disk communication graph.
-func (t Topology) graph() *graph.Graph { return graph.UnitDisk(t.Points, t.Radius) }
+func (t Topology) graph() *graph.Graph {
+	if t.prebuilt != nil {
+		return t.prebuilt
+	}
+	return graph.UnitDisk(t.Points, t.Radius)
+}
 
 // size returns (n, δ) of the induced graph, with δ floored at 1.
 func (t Topology) size() (n, delta int) {
-	return len(t.Points), max(t.graph().MaxDegree(), 1)
+	g := t.graph()
+	return g.N(), max(g.MaxDegree(), 1)
+}
+
+// Graph exposes the topology's communication graph — what the live
+// runtime (internal/livenet) is built over.
+func (t Topology) Graph() *graph.Graph { return t.graph() }
+
+// NewProtocols instantiates one protocol per node of the topology for
+// the named algorithm — the same registry (same names, same did-you-mean
+// suggestions) behind NewSimulation and lmesim -alg, exposed so the live
+// runtime, the load generator and the examples wire algorithms without
+// private duplicates of the registry.
+func NewProtocols(a Algorithm, t Topology) ([]core.Protocol, error) {
+	factory, err := protocolFactory(a, t, false)
+	if err != nil {
+		return nil, err
+	}
+	n := t.graph().N()
+	protos := make([]core.Protocol, n)
+	for i := range protos {
+		protos[i] = factory(core.NodeID(i))
+	}
+	return protos, nil
 }
 
 // Line places n nodes on a line with unit-disk adjacency between
@@ -272,6 +314,9 @@ type Simulation struct {
 
 // NewSimulation builds a simulation from the configuration.
 func NewSimulation(cfg Config) (*Simulation, error) {
+	if cfg.Topology.prebuilt != nil && len(cfg.Topology.Points) == 0 {
+		return nil, fmt.Errorf("lme: FromGraph topologies have no coordinates and cannot be simulated; use point topologies (Line, Grid, …) for NewSimulation")
+	}
 	factory, err := protocolFactory(cfg.Algorithm, cfg.Topology, cfg.InitialRecoloring)
 	if err != nil {
 		return nil, err
