@@ -11,6 +11,7 @@
 //	lmebench -quick -json           # machine-readable results for benchmark diffing
 //	lmebench -replicas 5 -parallel 8 # 5 seeded runs per cell on 8 workers
 //	lmebench -micro -json           # substrate microbenchmarks (BENCH_micro.json)
+//	lmebench -scale -json           # large-n sweep on the sharded engine (lme/scale/v1)
 //	lmebench -quick -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
@@ -20,6 +21,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"runtime"
@@ -34,6 +36,7 @@ import (
 	"lme/internal/harness"
 	"lme/internal/microbench"
 	"lme/internal/progress"
+	"lme/internal/sim"
 )
 
 func main() {
@@ -77,6 +80,12 @@ func run() error {
 		parallel   = flag.Int("parallel", 0, "worker count for the fleet pool; 0 = all cores")
 		replicas   = flag.Int("replicas", 1, "independent seeded runs per measurement cell")
 		micro      = flag.Bool("micro", false, "run the substrate microbenchmarks instead of the experiments")
+		scale      = flag.Bool("scale", false, "run the large-n scale sweep on the sharded engine instead of the experiments")
+		scaleNs    = flag.String("scale-n", "1000,10000,100000", "comma-separated node counts for -scale")
+		scaleHoriz = flag.Duration("scale-horizon", 150*time.Millisecond, "virtual-time span per -scale run")
+		scaleSeed  = flag.Uint64("scale-seed", 1, "seed for -scale runs")
+		scaleTiles = flag.Int("scale-tiles", 0, "tile grid side for -scale (0 = auto per n, 1 = single-heap reference)")
+		scaleWork  = flag.Int("scale-workers", 0, "worker goroutines for -scale (0 = GOMAXPROCS)")
 		check      = flag.Bool("check", false, "with -micro: compare against the committed baseline and fail on large regressions")
 		baseline   = flag.String("baseline", "BENCH_micro.json", "baseline file for -micro -check")
 		checkTol   = flag.Float64("check-tol", 2.0, "regression factor tolerated by -micro -check (ns/op may grow up to this multiple)")
@@ -126,6 +135,28 @@ func run() error {
 	}
 	if *check {
 		return fmt.Errorf("-check requires -micro")
+	}
+	if *scale {
+		var ns []int
+		for _, s := range strings.Split(*scaleNs, ",") {
+			var n int
+			if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &n); err != nil || n < 2 {
+				return fmt.Errorf("-scale-n: bad node count %q", s)
+			}
+			ns = append(ns, n)
+		}
+		// Virtual time is in µs; the flag takes a wall-style duration for
+		// readability (150ms → 150000 virtual µs).
+		horizon := sim.Time(scaleHoriz.Microseconds())
+		var logw io.Writer
+		if !*jsonOut {
+			logw = os.Stderr
+		}
+		out := io.Writer(os.Stdout)
+		if !*jsonOut {
+			out = io.Discard
+		}
+		return harness.RunScaleSweep(ns, *scaleSeed, horizon, *scaleTiles, *scaleWork, out, logw)
 	}
 
 	want := map[string]bool{}
@@ -276,6 +307,10 @@ type microResult struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	// Extras carries custom b.ReportMetric units — the scale sweeps
+	// publish "events/s" (engine throughput) and "heapB/node" here.
+	// Informational only: -check compares ns/op and allocs/op.
+	Extras map[string]float64 `json:"extras,omitempty"`
 }
 
 // microDoc is the lmebench -micro -json document (the layout of
@@ -304,10 +339,20 @@ func runMicro(jsonOut bool, baseline string, tol float64) error {
 			BytesPerOp:  r.AllocedBytesPerOp(),
 			AllocsPerOp: r.AllocsPerOp(),
 		}
+		if len(r.Extra) > 0 {
+			res.Extras = make(map[string]float64, len(r.Extra))
+			for unit, v := range r.Extra {
+				res.Extras[unit] = v
+			}
+		}
 		doc.Results = append(doc.Results, res)
 		if !jsonOut {
 			fmt.Printf("%-18s %12d ops %12.1f ns/op %8d B/op %6d allocs/op\n",
 				res.Name, res.Iterations, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+			if ev, ok := res.Extras["events/s"]; ok {
+				fmt.Printf("%-18s %12.0f events/s %10.0f heapB/node\n",
+					"", ev, res.Extras["heapB/node"])
+			}
 		}
 	}
 	var dark, observed float64

@@ -19,11 +19,28 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"lme"
 )
+
+// parseTiles resolves the -tiles flag: a grid side, or "auto" to let
+// lme.AutoTiles size the grid for n. Bad values get a did-you-mean-style
+// message pointing at the two accepted forms instead of a bare
+// strconv error.
+func parseTiles(s string, n int) (int, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "auto", "a":
+		return lme.AutoTiles(n), nil
+	}
+	v, err := strconv.Atoi(strings.TrimSpace(s))
+	if err != nil || v < 1 {
+		return 0, fmt.Errorf("-tiles: %q is not a tile grid side — did you mean \"auto\" (size for -n) or an integer like -tiles 4 (a 4×4 grid; 1 = classic engine)?", s)
+	}
+	return v, nil
+}
 
 // algUsage assembles the -alg help text from the algorithm registry so
 // the flag never drifts from what NewSimulation accepts.
@@ -76,10 +93,16 @@ func run() error {
 		progFlag = flag.Bool("progress", false, "print a live heartbeat to stderr while the run executes")
 		progOut  = flag.String("progress-out", "", "write lme/progress/v1 heartbeat records as JSONL to this file")
 		progEach = flag.Duration("progress-every", 2*time.Second, "wall-clock interval between heartbeats")
+		tiles    = flag.String("tiles", "1", "region-sharded engine tile grid side: an integer or \"auto\" (1 = classic single-heap engine; the trace is identical either way)")
+		shardW   = flag.Int("shard-workers", 0, "worker goroutines for the sharded engine (0 = GOMAXPROCS; needs -tiles > 1)")
 	)
 	flag.Parse()
 
 	topology, err := buildTopology(*topo, *n, *radius, *seed)
+	if err != nil {
+		return err
+	}
+	tileSide, err := parseTiles(*tiles, *n)
 	if err != nil {
 		return err
 	}
@@ -89,6 +112,8 @@ func run() error {
 		Seed:           *seed,
 		EatTime:        *eat,
 		ThinkMax:       *think,
+		Tiles:          tileSide,
+		ShardWorkers:   *shardW,
 		PostmortemPath: *postmort,
 		// Without -spans-out, a postmortem (whose dump lists open spans)
 		// or a -gantt chart (which needs interval history) nothing reads

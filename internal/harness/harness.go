@@ -70,6 +70,21 @@ type Spec struct {
 	// graph are dumped to this file. Requires Spans; a TraceRing makes
 	// the dump's ring section non-empty.
 	PostmortemPath string
+
+	// Tiles and ShardWorkers select manet's region-sharded parallel
+	// engine (see manet.Config): Tiles > 1 partitions the world into a
+	// Tiles×Tiles grid executed by up to ShardWorkers goroutines
+	// (0 = GOMAXPROCS). Zero or one keeps the single-heap engine. The
+	// event trace is bit-identical either way.
+	Tiles        int
+	ShardWorkers int
+
+	// Lean skips the per-message-type Registry instrumentation and the
+	// eating Timeline — the observers that make the bus do work for
+	// every traffic event. For very large worlds (lmebench -scale) this
+	// keeps per-event cost at the dark-run floor; the safety checker,
+	// response recorder and prober still observe state transitions.
+	Lean bool
 }
 
 // Run is an assembled simulation.
@@ -126,6 +141,8 @@ func Build(spec Spec) (*Run, error) {
 	}
 	cfg.NonFIFO = spec.NonFIFO
 	cfg.TraceRing = spec.TraceRing
+	cfg.Tiles = spec.Tiles
+	cfg.ShardWorkers = spec.ShardWorkers
 	w := manet.NewWorld(cfg)
 	for _, p := range spec.Points {
 		id := w.AddNode(p)
@@ -150,12 +167,14 @@ func Build(spec Spec) (*Run, error) {
 		Prober:   metrics.NewProber(),
 		Registry: metrics.NewRegistry(),
 	}
-	if !spec.SpanFold {
+	if !spec.SpanFold && !spec.Lean {
 		// The eating timeline (Gantt source) keeps one interval per meal
 		// — O(run) retained history, so streaming fold mode skips it.
 		r.Timeline = metrics.NewTimeline()
 	}
-	metrics.Instrument(w.Bus(), r.Registry, w.TypeNamer())
+	if !spec.Lean {
+		metrics.Instrument(w.Bus(), r.Registry, w.TypeNamer())
+	}
 	if spec.Spans || spec.SpanFold {
 		if spec.SpanFold {
 			r.Spans = span.NewStreaming()
@@ -191,14 +210,17 @@ func Build(spec Spec) (*Run, error) {
 			})
 		}
 	}
-	w.Scheduler().SetEventHook(func(sim.Time) { totalEvents.Add(1) })
+	w.SetEventHook(func(sim.Time) { totalEvents.Add(1) })
 	w.AddStateListener(r.Checker)
 	w.AddStateListener(r.Recorder)
 	w.AddStateListener(r.Prober)
 	if r.Timeline != nil {
 		w.AddStateListener(r.Timeline)
 	}
-	w.AddStateListener(r.Driver)
+	// The driver runs inline in the transitioning node's execution
+	// context (it schedules the node's follow-up events); under the
+	// single-heap engine this preserves its legacy last-listener slot.
+	w.AddLocalStateListener(r.Driver)
 	w.AddLinkListener(r.Checker)
 	w.AddMoveListener(r.Recorder)
 	return r, nil
@@ -235,9 +257,9 @@ func (r *Run) RunContext(ctx context.Context, d sim.Time) error {
 	if err := r.Start(); err != nil {
 		return err
 	}
-	sched := r.World.Scheduler()
-	deadline := sched.Now() + d
-	remaining := uint64(r.World.N()+1) * uint64(d/50+1_000_000)
+	w := r.World
+	deadline := w.Now() + d
+	remaining := uint64(w.N()+1) * uint64(d/50+1_000_000)
 	slice := d / 64
 	if slice < 1 {
 		slice = 1
@@ -246,21 +268,21 @@ func (r *Run) RunContext(ctx context.Context, d sim.Time) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		next := sched.Now() + slice
+		next := w.Now() + slice
 		if next > deadline {
 			next = deadline
 		}
-		before := sched.Processed()
-		if err := sched.RunUntil(next, remaining); err != nil {
+		before := w.Processed()
+		if err := w.RunUntil(next, remaining); err != nil {
 			return err
 		}
 		// RunUntil errors when it exhausts the budget, so on success
 		// strictly fewer events ran and the remainder stays positive.
-		remaining -= sched.Processed() - before
+		remaining -= w.Processed() - before
 		if r.progress != nil {
 			r.progress.Tick()
 		}
-		if sched.Now() >= deadline {
+		if w.Now() >= deadline {
 			break
 		}
 	}
@@ -273,11 +295,10 @@ func (r *Run) RunContext(ctx context.Context, d sim.Time) error {
 // per-slice cost is two time loads when quiet). Call Reporter.Final
 // after the run for the closing record.
 func (r *Run) AttachProgress(cfg progress.Config) *progress.Reporter {
-	sched := r.World.Scheduler()
 	bus := r.World.Bus()
 	src := progress.Sources{
-		Now:    sched.Now,
-		Events: sched.Processed,
+		Now:    r.World.Now,
+		Events: r.World.Processed,
 		Loss:   func() (uint64, uint64) { return bus.Overwritten(), bus.SinkDropped() },
 	}
 	if r.Spans != nil {
@@ -306,7 +327,7 @@ func (r *Run) FinalizeSpans() {
 		return
 	}
 	r.finalized = true
-	r.Spans.Finalize(r.World.Scheduler().Now())
+	r.Spans.Finalize(r.World.Now())
 }
 
 // TotalMeals counts critical-section entries across all nodes.

@@ -168,13 +168,16 @@ func TestMeasuredFailureLocalityContrast(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Seed 32 produces an alg1 blocking chain of depth 3 on this layout
+	// under the per-node random streams (the shared-stream substrate used
+	// 31; re-picked when the streams changed, same scenario shape).
 	horizon := sim.Time(3_000_000)
 	ctx := context.Background()
-	a1, err := blockedRadius(ctx, algA1Greedy, pts, radius, 31, horizon)
+	a1, err := blockedRadius(ctx, algA1Greedy, pts, radius, 32, horizon)
 	if err != nil {
 		t.Fatal(err)
 	}
-	a2, err := blockedRadius(ctx, algA2, pts, radius, 31, horizon)
+	a2, err := blockedRadius(ctx, algA2, pts, radius, 32, horizon)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,11 @@ import (
 	"lme/internal/microbench"
 )
 
-func BenchmarkMobilitySweep(b *testing.B)   { microbench.MobilitySweep(b) }
-func BenchmarkBroadcastFanout(b *testing.B) { microbench.BroadcastFanout(b) }
-func BenchmarkNeighborsView(b *testing.B)   { microbench.NeighborsView(b) }
+func BenchmarkMobilitySweep(b *testing.B)        { microbench.MobilitySweep(b) }
+func BenchmarkBroadcastFanout(b *testing.B)      { microbench.BroadcastFanout(b) }
+func BenchmarkNeighborsView(b *testing.B)        { microbench.NeighborsView(b) }
+func BenchmarkScaleSweep1k(b *testing.B)         { microbench.ScaleSweep1k(b) }
+func BenchmarkScaleSweep1kSharded(b *testing.B)  { microbench.ScaleSweep1kSharded(b) }
+func BenchmarkScaleSweep10k(b *testing.B)        { microbench.ScaleSweep10k(b) }
+func BenchmarkScaleSweep10kSharded(b *testing.B) { microbench.ScaleSweep10kSharded(b) }
+func BenchmarkShardedChurn(b *testing.B)         { microbench.ShardedChurn(b) }

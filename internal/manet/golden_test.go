@@ -24,7 +24,15 @@ import (
 // Regenerated for the span layer: per-node send sequence numbers
 // ("mseq") on send/deliver/drop events, and doorway "enter"/"abort"
 // events bracketing lme1's BeginEntry/Abort calls.
-const goldenTraceHash = "f68745a763aa438ab1ce544270563364b3d08f5ce6cb380952cfa0ba2bcca4db"
+//
+// Regenerated for the region-sharded engine: message delays, waypoint
+// draws and workload think times now come from per-node random streams
+// (instead of one shared scheduler stream), and events execute in the
+// canonical (time, owner, class, …) key order — the construction that
+// makes runs bit-identical across engines, tile grids and worker counts.
+// Once recorded on the single-heap engine, this hash is reproduced
+// exactly by every sharded configuration (see sharded_test.go).
+const goldenTraceHash = "4399863567ac1281cf86c93576a42cdec7948c626db996c8fd769699cd90a8c3"
 
 // runGoldenScenario builds and runs a fixed mid-size scenario that
 // exercises every substrate path: initial topology, waypoint mobility

@@ -13,6 +13,11 @@ import (
 // immediately; its links are recomputed every TickInterval as it advances
 // and once more on arrival, when it becomes static again. Starting a new
 // movement supersedes any movement in progress.
+//
+// Movement ticks are ClassTopo events owned by the mover: topology
+// mutations the sharded engine serialises on its coordinator between
+// windows. Callable from the mover's own execution context or while the
+// world is paused.
 func (w *World) MoveTo(id core.NodeID, dest graph.Point, speed float64) {
 	n := w.nodes[id]
 	if n.crashed || speed <= 0 {
@@ -29,6 +34,7 @@ func (w *World) MoveTo(id core.NodeID, dest graph.Point, speed float64) {
 // links recomputed, and it becomes static again after settle time units
 // (minimum one tick). Jump models the scripted "node moves to a new
 // neighbourhood" steps of the paper's scenarios without path simulation.
+// Coordinator context only (between runs, or inside a JumpAt event).
 func (w *World) Jump(id core.NodeID, dest graph.Point, settle sim.Time) {
 	n := w.nodes[id]
 	if n.crashed {
@@ -42,7 +48,7 @@ func (w *World) Jump(id core.NodeID, dest graph.Point, settle sim.Time) {
 	moveID := n.moveID
 	w.relocate(n, dest)
 	w.refreshLinks(id)
-	w.sched.After(settle, func() {
+	w.scheduleLocalAt(n, w.nowOf(n)+settle, func() {
 		if n.moveID != moveID || n.crashed {
 			return
 		}
@@ -50,16 +56,20 @@ func (w *World) Jump(id core.NodeID, dest graph.Point, settle sim.Time) {
 	})
 }
 
-// JumpAt schedules a Jump at time t.
+// JumpAt schedules a Jump at time t, as a topology event owned by id.
 func (w *World) JumpAt(id core.NodeID, dest graph.Point, settle, t sim.Time) {
-	w.sched.At(t, func() { w.Jump(id, dest, settle) })
+	n := w.nodes[id]
+	w.scheduleTopo(n, t, sim.Item{Fn: func() { w.Jump(id, dest, settle) }})
 }
 
 // moveTicker is one pooled movement-tick record: the sim.Runner the
 // movement engine schedules instead of a fresh closure per tick. A node
 // can have several ticks in flight after a superseding MoveTo, so each
 // scheduled tick gets its own record (carrying the moveID that validates
-// it) and returns to the pool after firing.
+// it) and returns to the pool after firing. Ticks always execute in
+// coordinator context (they are ClassTopo), so the pool needs no lock;
+// ticks scheduled from a tile worker (a waypoint trip start) allocate
+// fresh records instead of touching the shared pool.
 type moveTicker struct {
 	w      *World
 	n      *node
@@ -76,14 +86,17 @@ func (t *moveTicker) Run() {
 
 func (w *World) scheduleTick(n *node, moveID uint64) {
 	var t *moveTicker
-	if k := len(w.freeTickers); k > 0 {
-		t = w.freeTickers[k-1]
-		w.freeTickers = w.freeTickers[:k-1]
-	} else {
+	if sx := w.shard; sx == nil || !sx.inWindow {
+		if k := len(w.freeTickers); k > 0 {
+			t = w.freeTickers[k-1]
+			w.freeTickers = w.freeTickers[:k-1]
+		}
+	}
+	if t == nil {
 		t = new(moveTicker)
 	}
 	*t = moveTicker{w: w, n: n, moveID: moveID}
-	w.sched.AtRunner(w.sched.Now()+w.cfg.TickInterval, t)
+	w.scheduleTopo(n, w.nowOf(n)+w.cfg.TickInterval, sim.Item{R: t})
 }
 
 func (w *World) moveTick(n *node, moveID uint64) {
@@ -109,7 +122,9 @@ func (w *World) moveTick(n *node, moveID uint64) {
 
 // Waypoint drives a subset of nodes with the random-waypoint mobility
 // model: each mover repeatedly pauses, picks a uniform destination on the
-// unit square, and travels there at its speed.
+// unit square, and travels there at its speed. Pause lengths and
+// destinations are drawn from each mover's private random stream, so the
+// model is deterministic under both engines and any worker count.
 type Waypoint struct {
 	// Speed in plane units per second.
 	Speed float64
@@ -119,44 +134,64 @@ type Waypoint struct {
 	Until sim.Time
 }
 
-// Attach starts the waypoint process for each of the given nodes.
+// Attach starts the waypoint process for each of the given nodes. Each
+// mover gets one reusable wpRunner that carries the whole
+// pause→travel→arrive cycle: at most one pending event per mover, zero
+// allocations per trip.
 func (wp Waypoint) Attach(w *World, ids []core.NodeID) {
 	for _, id := range ids {
-		wp.scheduleNext(w, id)
+		r := &wpRunner{w: w, n: w.nodes[id], wp: wp}
+		r.scheduleNext()
 	}
 }
 
-func (wp Waypoint) scheduleNext(w *World, id core.NodeID) {
-	pause := wp.PauseMin
-	if span := int64(wp.PauseMax - wp.PauseMin); span > 0 {
-		pause += sim.Time(w.sched.Rand().Int64N(span + 1))
-	}
-	w.sched.After(pause, func() {
-		if w.nodes[id].crashed {
-			return
-		}
-		if wp.Until > 0 && w.sched.Now() >= wp.Until {
-			return
-		}
-		dest := graph.Point{X: w.sched.Rand().Float64(), Y: w.sched.Rand().Float64()}
-		w.MoveTo(id, dest, wp.Speed)
-		wp.watchArrival(w, id)
-	})
+// wpRunner is the per-mover waypoint state machine. Both of its states
+// are node-local events (ClassLocal, owned by the mover): starting a trip
+// touches only the mover's own movement fields and hands the actual
+// topology work to ClassTopo ticks, and arrival polling just reads the
+// mover's flag. watching selects the state: false = a pause is elapsing
+// and the next firing starts a trip; true = a trip is underway and the
+// next firing polls for arrival. Polling at tick granularity keeps the
+// mobility model independent of the movement engine's internals.
+type wpRunner struct {
+	w        *World
+	n        *node
+	wp       Waypoint
+	watching bool
 }
 
-// watchArrival polls for trip completion and then schedules the next trip.
-// Polling at tick granularity keeps the mobility model independent of the
-// movement engine's internals.
-func (wp Waypoint) watchArrival(w *World, id core.NodeID) {
-	w.sched.After(w.cfg.TickInterval, func() {
-		n := w.nodes[id]
-		if n.crashed {
-			return
-		}
+// Run implements sim.Runner.
+func (r *wpRunner) Run() {
+	w, n := r.w, r.n
+	if n.crashed {
+		return
+	}
+	now := w.nowOf(n)
+	if r.watching {
 		if n.moving {
-			wp.watchArrival(w, id)
+			w.scheduleLocalRunner(n, now+w.cfg.TickInterval, r)
 			return
 		}
-		wp.scheduleNext(w, id)
-	})
+		r.watching = false
+		r.scheduleNext()
+		return
+	}
+	// Pause elapsed: start the next trip.
+	if r.wp.Until > 0 && now >= r.wp.Until {
+		return
+	}
+	dest := graph.Point{X: n.rng.Float64(), Y: n.rng.Float64()}
+	w.MoveTo(n.id, dest, r.wp.Speed)
+	r.watching = true
+	w.scheduleLocalRunner(n, now+w.cfg.TickInterval, r)
+}
+
+// scheduleNext draws the pause before the mover's next trip and
+// reschedules the runner for it.
+func (r *wpRunner) scheduleNext() {
+	pause := r.wp.PauseMin
+	if span := int64(r.wp.PauseMax - r.wp.PauseMin); span > 0 {
+		pause += sim.Time(r.n.rng.Int64N(span + 1))
+	}
+	r.w.scheduleLocalRunner(r.n, r.w.nowOf(r.n)+pause, r)
 }

@@ -1,0 +1,486 @@
+package manet
+
+// The region-sharded execution engine (Config.Tiles > 1): conservative
+// parallel discrete-event simulation over a grid of spatial tiles.
+//
+// The bounding box of the initial node positions is split into a g×g grid
+// of tiles, each owning the nodes inside it and a private sim.EventHeap of
+// their pending events. Execution alternates between parallel windows and
+// serial barriers:
+//
+//   - Window: every tile whose earliest event precedes the window bound
+//     runs its events on a worker goroutine. The bound is
+//     KeyFloor(W + ν) where W is the globally earliest pending instant
+//     and ν = Config.MinDelay: inside a window, the only way one node
+//     affects another is a message, which arrives no earlier than ν after
+//     it was sent, hence at or after the bound — so no tile can receive
+//     an event it should already have executed (the classic conservative
+//     lookahead argument, with ν as the lookahead). Everything a tile
+//     touches in a window is owned by its own nodes; the topology is
+//     frozen.
+//
+//   - Barrier: cross-tile message deliveries produced during the window
+//     are routed to their receivers' tiles (they are all at or beyond the
+//     bound, so no tile has run past them), buffered observable effects
+//     (bus events, deferred listener callbacks) are merged and dispatched
+//     in canonical key order, and then at most one topology event — a
+//     movement tick or jump, which mutates two nodes' link state and the
+//     spatial index at once — runs serially on the coordinator. Windows
+//     never extend past the earliest pending topology event, so topology
+//     events interleave with node events in exact canonical order.
+//
+// Determinism: every event executes in the canonical sim.Key order — the
+// window bound arithmetic only decides how events are grouped into
+// windows, never their relative order, and all randomness is drawn from
+// per-node streams. A run's event sequence (and hence its trace) is
+// bit-identical to the single-heap engine's, for every tile-grid size and
+// every worker count. The differential tests in sharded_test.go and
+// TestGoldenTraceHash pin this.
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"runtime/debug"
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	"lme/internal/core"
+	"lme/internal/graph"
+	"lme/internal/sim"
+	"lme/internal/trace"
+)
+
+// effKind discriminates the buffered effect variants.
+type effKind uint8
+
+const (
+	effBus   effKind = iota // a bus event to publish
+	effState                // a deferred state-listener callback
+	effMove                 // a deferred move-listener callback
+)
+
+// effect is one observable occurrence buffered during a parallel window:
+// a bus publication or a deferred listener callback, stamped with the
+// canonical key of the event that produced it plus a per-event sub-index,
+// so the barrier can replay all tiles' effects as one stream in exactly
+// the order the single-heap engine would have produced them.
+type effect struct {
+	key  sim.Key
+	sub  uint32
+	kind effKind
+
+	ev         trace.Event // effBus
+	id         core.NodeID // effState, effMove
+	oldS, newS core.State  // effState
+	flag       bool        // effMove: moving
+	at         sim.Time    // effState, effMove
+}
+
+// tile is one spatial shard: a region of the plane, the event heap of the
+// nodes inside it, and the window-scratch state of its worker. All fields
+// are touched only by the tile's worker during a window and only by the
+// coordinator between windows.
+type tile struct {
+	idx  int32
+	heap sim.EventHeap
+
+	// now is the tile-local clock: the instant of the event being (or
+	// last) executed on this tile.
+	now sim.Time
+
+	// curKey and effSub stamp buffered effects: the canonical key of the
+	// currently executing event and a running sub-index within it.
+	curKey sim.Key
+	effSub uint32
+
+	processed               uint64
+	msgsSent, msgsDelivered uint64
+
+	// effs buffers the window's observable effects; outMsgs its
+	// cross-tile deliveries (routed at the barrier); outTopo its
+	// topology-event requests (pushed to the coordinator's heap at the
+	// barrier). freeDel is the tile-local delivery-record pool.
+	effs    []effect
+	outMsgs []sim.Item
+	outTopo []sim.Item
+	freeDel []*delivery
+}
+
+// buffer records one observable effect of the currently executing event.
+func (t *tile) buffer(e effect) {
+	e.key = t.curKey
+	e.sub = t.effSub
+	t.effSub++
+	t.effs = append(t.effs, e)
+}
+
+// run executes the tile's events strictly below bound.
+func (t *tile) run(bound sim.Key, hook func(sim.Time)) {
+	for {
+		k, ok := t.heap.MinKey()
+		if !ok || !k.Less(bound) {
+			return
+		}
+		it := t.heap.Pop()
+		t.now = k.At
+		t.curKey = k
+		t.effSub = 0
+		if it.Fn != nil {
+			it.Fn()
+		} else {
+			it.R.Run()
+		}
+		t.processed++
+		if hook != nil {
+			hook(t.now)
+		}
+	}
+}
+
+// shardExec is the sharded engine: the tile set, the coordinator's
+// topology-event heap, and the window/barrier loop state.
+type shardExec struct {
+	w     *World
+	g     int // tiles per side
+	tiles []*tile
+
+	// workers bounds the goroutines a window may use.
+	workers int
+
+	// topo is the coordinator's serial heap of ClassTopo events.
+	topo sim.EventHeap
+
+	// now is the coordinator clock: the latest instant any event has
+	// executed at (== the single-heap engine's clock at every barrier).
+	now sim.Time
+
+	// inWindow is true while tile workers run; it routes World methods
+	// called from tile context to tile-local resources. Written only at
+	// window edges on the coordinator (the workers' start/join form the
+	// happens-before edges).
+	inWindow bool
+
+	// hook is the per-event observer (World.SetEventHook). Under this
+	// engine it runs concurrently from tile workers.
+	hook func(sim.Time)
+
+	// processed counts coordinator-executed (topology) events; tiles
+	// count their own.
+	processed uint64
+
+	// lookahead is the conservative window width: ν = Config.MinDelay,
+	// the minimum time for any cross-node influence.
+	lookahead sim.Time
+
+	// Tile-grid geometry: tileIdx(p) maps a position to a tile.
+	minX, minY, invW, invH float64
+
+	// Reusable barrier scratch.
+	merged []effect
+	migBuf []sim.Item
+	active []*tile
+}
+
+// initShard builds the tile grid over the initial node positions and
+// switches the world to the sharded engine. Called from Start after the
+// initial topology is computed and before protocols initialise, so Init's
+// sends route into tile heaps.
+func (w *World) initShard() {
+	g := w.cfg.Tiles
+	sx := &shardExec{
+		w:         w,
+		g:         g,
+		workers:   w.cfg.ShardWorkers,
+		lookahead: w.cfg.MinDelay,
+	}
+	if sx.workers <= 0 {
+		sx.workers = runtime.GOMAXPROCS(0)
+	}
+	if sx.lookahead < 1 {
+		sx.lookahead = 1
+	}
+	// The tile grid covers the bounding box of the initial positions
+	// (layouts like LinePoints extend beyond the unit square). Geometry
+	// only shapes load balance, never results: a mover leaving the box
+	// is clamped to the border tiles.
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, n := range w.nodes {
+		minX, maxX = math.Min(minX, n.pos.X), math.Max(maxX, n.pos.X)
+		minY, maxY = math.Min(minY, n.pos.Y), math.Max(maxY, n.pos.Y)
+	}
+	width, height := maxX-minX, maxY-minY
+	if !(width > 0) {
+		width = 1
+	}
+	if !(height > 0) {
+		height = 1
+	}
+	sx.minX, sx.minY = minX, minY
+	sx.invW = float64(g) / width
+	sx.invH = float64(g) / height
+	sx.tiles = make([]*tile, g*g)
+	for i := range sx.tiles {
+		sx.tiles[i] = &tile{idx: int32(i)}
+	}
+	for _, n := range w.nodes {
+		n.tile = sx.tileIdx(n.pos)
+	}
+	sx.hook = w.pendingHook
+	w.pendingHook = nil
+	w.shard = sx
+	for _, it := range w.pending {
+		if it.K.Class == sim.ClassTopo {
+			sx.topo.Push(it)
+		} else {
+			sx.tiles[w.nodes[it.K.Owner].tile].heap.Push(it)
+		}
+	}
+	w.pending = nil
+}
+
+// tileIdx maps a position to its owning tile, clamped to the grid.
+func (sx *shardExec) tileIdx(p graph.Point) int32 {
+	x := int((p.X - sx.minX) * sx.invW)
+	if x < 0 {
+		x = 0
+	} else if x >= sx.g {
+		x = sx.g - 1
+	}
+	y := int((p.Y - sx.minY) * sx.invH)
+	if y < 0 {
+		y = 0
+	} else if y >= sx.g {
+		y = sx.g - 1
+	}
+	return int32(y*sx.g + x)
+}
+
+// migrate re-homes n after a relocation: if its position now falls in a
+// different tile, its pending events follow it. Coordinator context only
+// (relocations happen inside topology events); all outboxes are empty at
+// that point, so every pending event owned by n sits in its old tile's
+// heap.
+func (sx *shardExec) migrate(n *node) {
+	dst := sx.tileIdx(n.pos)
+	if dst == n.tile {
+		return
+	}
+	old := sx.tiles[n.tile]
+	sx.migBuf = old.heap.ExtractOwner(int32(n.id), sx.migBuf[:0])
+	to := sx.tiles[dst]
+	for _, it := range sx.migBuf {
+		to.heap.Push(it)
+	}
+	clear(sx.migBuf)
+	n.tile = dst
+}
+
+// totalProcessed sums executed events across the coordinator and tiles.
+func (sx *shardExec) totalProcessed() uint64 {
+	total := sx.processed
+	for _, t := range sx.tiles {
+		total += t.processed
+	}
+	return total
+}
+
+// runUntil is the engine's window/barrier loop: World.RunUntil routed
+// here when sharded. maxEvents is checked at barriers, so a call may
+// overshoot the budget by up to one window before reporting
+// sim.ErrEventLimit.
+func (sx *shardExec) runUntil(deadline sim.Time, maxEvents uint64) error {
+	start := sx.totalProcessed()
+	for {
+		// W: the globally earliest pending instant.
+		wstart, ok := sx.earliest()
+		if !ok || wstart.At > deadline {
+			break
+		}
+		// The window runs events strictly below min(W+ν, deadline+1),
+		// and never past the earliest topology event, which runs
+		// serially at the barrier if it falls inside the window.
+		tb := wstart.At + sx.lookahead
+		if deadline != sim.Infinity && tb > deadline+1 {
+			tb = deadline + 1
+		}
+		bound := sim.KeyFloor(tb)
+		topoKey, haveTopo := sx.topo.MinKey()
+		topoDue := haveTopo && topoKey.Less(bound)
+		if topoDue {
+			bound = topoKey
+		}
+		sx.runTiles(bound)
+		sx.drainOutboxes()
+		sx.dispatchEffects()
+		if topoDue {
+			it := sx.topo.Pop()
+			sx.now = it.K.At
+			if it.Fn != nil {
+				it.Fn()
+			} else {
+				it.R.Run()
+			}
+			sx.processed++
+			if sx.hook != nil {
+				sx.hook(sx.now)
+			}
+		}
+		if maxEvents > 0 {
+			if done := sx.totalProcessed() - start; done >= maxEvents {
+				return fmt.Errorf("%w (%d events by t=%v)", sim.ErrEventLimit, done, sx.now)
+			}
+		}
+	}
+	if deadline != sim.Infinity && sx.now < deadline {
+		sx.now = deadline
+	}
+	return nil
+}
+
+// earliest returns the smallest pending key across all tiles and the
+// topology heap.
+func (sx *shardExec) earliest() (sim.Key, bool) {
+	var best sim.Key
+	have := false
+	for _, t := range sx.tiles {
+		if k, ok := t.heap.MinKey(); ok && (!have || k.Less(best)) {
+			best, have = k, true
+		}
+	}
+	if k, ok := sx.topo.MinKey(); ok && (!have || k.Less(best)) {
+		best, have = k, true
+	}
+	return best, have
+}
+
+// runTiles executes one parallel window: every tile with work below bound
+// runs it, on up to sx.workers goroutines. Small windows (one active
+// tile, or a single-worker configuration) run inline — the common case
+// for lightly loaded simulations, and what makes Tiles>1 with one worker
+// a pure-overhead-free serial mode.
+func (sx *shardExec) runTiles(bound sim.Key) {
+	active := sx.active[:0]
+	for _, t := range sx.tiles {
+		if k, ok := t.heap.MinKey(); ok && k.Less(bound) {
+			active = append(active, t)
+		}
+	}
+	sx.active = active
+	if len(active) == 0 {
+		return
+	}
+	sx.inWindow = true
+	if sx.workers <= 1 || len(active) == 1 {
+		for _, t := range active {
+			t.run(bound, sx.hook)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		var panicOnce sync.Once
+		var panicVal any
+		var panicStack []byte
+		for range min(sx.workers, len(active)) {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() {
+					if r := recover(); r != nil {
+						panicOnce.Do(func() {
+							panicVal = r
+							panicStack = debug.Stack()
+						})
+					}
+				}()
+				for {
+					i := next.Add(1) - 1
+					if int(i) >= len(active) {
+						return
+					}
+					active[i].run(bound, sx.hook)
+				}
+			}()
+		}
+		wg.Wait()
+		if panicVal != nil {
+			panic(fmt.Sprintf("manet: shard worker panic: %v\n%s", panicVal, panicStack))
+		}
+	}
+	sx.inWindow = false
+	for _, t := range active {
+		if t.now > sx.now {
+			sx.now = t.now
+		}
+	}
+}
+
+// drainOutboxes routes the window's cross-tile deliveries to their
+// receivers' tiles and its topology requests to the coordinator heap.
+// Every routed delivery's instant is at or beyond the window bound, so no
+// tile has executed past it.
+func (sx *shardExec) drainOutboxes() {
+	w := sx.w
+	for _, t := range sx.active {
+		for i, it := range t.outMsgs {
+			sx.tiles[w.nodes[it.K.Owner].tile].heap.Push(it)
+			t.outMsgs[i] = sim.Item{}
+		}
+		t.outMsgs = t.outMsgs[:0]
+		for i, it := range t.outTopo {
+			sx.topo.Push(it)
+			t.outTopo[i] = sim.Item{}
+		}
+		t.outTopo = t.outTopo[:0]
+	}
+}
+
+// dispatchEffects merges the window's buffered effects from all active
+// tiles and replays them — bus publications and deferred listener
+// callbacks — in canonical (key, sub) order: exactly the stream the
+// single-heap engine would have produced inline.
+func (sx *shardExec) dispatchEffects() {
+	w := sx.w
+	merged := sx.merged[:0]
+	for _, t := range sx.active {
+		merged = append(merged, t.effs...)
+		clear(t.effs)
+		t.effs = t.effs[:0]
+	}
+	if len(merged) > 1 {
+		slices.SortFunc(merged, func(a, b effect) int {
+			if a.key.Less(b.key) {
+				return -1
+			}
+			if b.key.Less(a.key) {
+				return 1
+			}
+			if a.sub < b.sub {
+				return -1
+			}
+			if a.sub > b.sub {
+				return 1
+			}
+			return 0
+		})
+	}
+	for i := range merged {
+		e := &merged[i]
+		switch e.kind {
+		case effBus:
+			w.bus.Publish(e.ev)
+		case effState:
+			for _, l := range w.stateListeners {
+				l.OnStateChange(e.id, e.oldS, e.newS, e.at)
+			}
+		case effMove:
+			for _, l := range w.moveListeners {
+				l.OnMove(e.id, e.flag, e.at)
+			}
+		}
+	}
+	clear(merged)
+	sx.merged = merged[:0]
+}

@@ -1,0 +1,220 @@
+package manet
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"lme/internal/core"
+	"lme/internal/graph"
+)
+
+// shardedLayout is one topology family of the differential matrix. The
+// three shapes stress different tile geometries: line spans many tiles in
+// one row (most boundary crossings per trip), grid spreads load evenly,
+// and clique packs every node into one tile (degenerate sharding — all
+// parallelism lost, correctness must survive).
+type shardedLayout struct {
+	name   string
+	points []graph.Point
+	radius float64
+}
+
+func shardedLayouts(n int) []shardedLayout {
+	line := make([]graph.Point, n)
+	for i := range line {
+		line[i] = graph.Point{X: float64(i) * 0.1}
+	}
+	cols := 8
+	grid := make([]graph.Point, 0, n)
+	for i := 0; i < n; i++ {
+		grid = append(grid, graph.Point{
+			X: float64(i%cols) * 0.13,
+			Y: float64(i/cols) * 0.13,
+		})
+	}
+	clique := make([]graph.Point, n)
+	for i := range clique {
+		clique[i] = graph.Point{X: float64(i) * 0.001, Y: float64(i%7) * 0.001}
+	}
+	return []shardedLayout{
+		{"line", line, 0.11},
+		{"grid", grid, 0.14},
+		{"clique", clique, 0.2},
+	}
+}
+
+// shardedTrace runs the full scenario — waypoint movers crossing tile
+// boundaries, scripted jumps, crashes with messages in flight, all
+// scheduled before Start to also cover the pre-start pending path — and
+// returns the complete JSONL event stream. tiles ≤ 1 selects the
+// single-heap engine (the reference); larger values the sharded engine
+// with the given worker bound.
+func shardedTrace(t *testing.T, lay shardedLayout, seed uint64, tiles, workers int) []byte {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Seed = seed
+	cfg.Radius = lay.radius
+	cfg.Tiles = tiles
+	cfg.ShardWorkers = workers
+	w := NewWorld(cfg)
+	var buf bytes.Buffer
+	w.Bus().SetSink(&buf)
+
+	for _, p := range lay.points {
+		id := w.AddNode(p)
+		w.SetProtocol(id, &chatter{})
+	}
+	n := core.NodeID(len(lay.points))
+	movers := []core.NodeID{2, 9, 17, 25, 33, n - 3}
+	Waypoint{Speed: 0.7, PauseMin: 2_000, PauseMax: 25_000}.Attach(w, movers)
+	w.JumpAt(11, graph.Point{X: 0.05, Y: 0.05}, 30_000, 120_000)
+	w.JumpAt(n-1, graph.Point{X: 0.9, Y: 0.9}, 25_000, 210_000)
+	w.CrashAt(9, 150_000)
+	w.CrashAt(11, 260_000)
+
+	if err := w.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.RunUntil(500_000, 2_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Bus().Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// diffTraces fails with the first line of divergence between two streams.
+func diffTraces(t *testing.T, ref, got []byte, what string) {
+	t.Helper()
+	if len(ref) == 0 {
+		t.Fatal("reference run produced an empty trace")
+	}
+	if bytes.Equal(ref, got) {
+		return
+	}
+	line, start := 1, 0
+	for i := range ref {
+		if i >= len(got) || ref[i] != got[i] {
+			refEnd := bytes.IndexByte(ref[start:], '\n')
+			gotEnd := bytes.IndexByte(got[start:], '\n')
+			refLine, gotLine := "", ""
+			if refEnd >= 0 {
+				refLine = string(ref[start : start+refEnd])
+			}
+			if gotEnd >= 0 && start+gotEnd <= len(got) {
+				gotLine = string(got[start : start+gotEnd])
+			}
+			t.Fatalf("%s: traces diverge at line %d (ref %d bytes, got %d bytes)\n ref: %s\n got: %s",
+				what, line, len(ref), len(got), refLine, gotLine)
+		}
+		if ref[i] == '\n' {
+			line++
+			start = i + 1
+		}
+	}
+	t.Fatalf("%s: sharded trace is a strict prefix of the reference (%d vs %d bytes)",
+		what, len(got), len(ref))
+}
+
+// TestShardedMatchesSingleHeap is the engine's differential oracle: for
+// every layout × seed × tile-grid combination, the sharded engine's full
+// event stream must be byte-identical to the single-heap engine's — same
+// link transitions, message fates, mobility and crash handling, in the
+// same canonical order.
+func TestShardedMatchesSingleHeap(t *testing.T) {
+	for _, lay := range shardedLayouts(48) {
+		for _, seed := range []uint64{1, 7, 42, 1337} {
+			ref := shardedTrace(t, lay, seed, 1, 0)
+			for _, tiles := range []int{2, 4, 7} {
+				t.Run(fmt.Sprintf("%s/seed=%d/tiles=%d", lay.name, seed, tiles), func(t *testing.T) {
+					got := shardedTrace(t, lay, seed, tiles, 0)
+					diffTraces(t, ref, got, fmt.Sprintf("%s seed=%d tiles=%d", lay.name, seed, tiles))
+				})
+			}
+		}
+	}
+}
+
+// TestShardedWorkerCountInvariance pins the engine's scheduling-freedom
+// contract: 1, 2 and GOMAXPROCS workers over the same tiling produce
+// byte-identical streams (worker count only changes which goroutine runs
+// a tile, never what any tile executes).
+func TestShardedWorkerCountInvariance(t *testing.T) {
+	lay := shardedLayouts(48)[1] // grid: the layout with real cross-tile traffic
+	const seed, tiles = 42, 4
+	ref := shardedTrace(t, lay, seed, tiles, 1)
+	for _, workers := range []int{2, runtime.GOMAXPROCS(0) + 1} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			got := shardedTrace(t, lay, seed, tiles, workers)
+			diffTraces(t, ref, got, fmt.Sprintf("workers=%d vs 1", workers))
+		})
+	}
+}
+
+// TestShardedSchedulerUnavailable pins the API contract: the raw
+// scheduler does not exist under the sharded engine, and asking for it
+// panics with guidance instead of silently handing out a dead loop.
+func TestShardedSchedulerUnavailable(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Tiles = 2
+	w := NewWorld(cfg)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Scheduler() did not panic under the sharded engine")
+		}
+	}()
+	w.Scheduler()
+}
+
+// TestShardedRunDrains covers World.Run under the sharded engine: the
+// queues drain once the movers retire, Processed counts the work, and
+// the event budget trips ErrEventLimit. A static chatter network is
+// inert, so finite-lifetime movers supply the churn.
+func TestShardedRunDrains(t *testing.T) {
+	build := func() *World {
+		cfg := DefaultConfig()
+		cfg.Tiles = 3
+		w := NewWorld(cfg)
+		for i := 0; i < 30; i++ {
+			id := w.AddNode(graph.Point{X: float64(i%6) * 0.1, Y: float64(i/6) * 0.1})
+			w.SetProtocol(id, &chatter{})
+		}
+		Waypoint{Speed: 0.7, PauseMin: 1_000, PauseMax: 5_000, Until: 200_000}.
+			Attach(w, []core.NodeID{3, 14, 27})
+		if err := w.Start(); err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	w := build()
+	if err := w.Run(2_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if w.Processed() == 0 {
+		t.Fatal("no events executed")
+	}
+	w2 := build()
+	if err := w2.Run(3); err == nil {
+		t.Fatal("tiny event budget did not trip")
+	}
+}
+
+// TestAutoTiles pins the sizing heuristic's shape: one tile for small
+// worlds, monotone growth, and the 64-per-side clamp.
+func TestAutoTiles(t *testing.T) {
+	if g := AutoTiles(48); g != 1 {
+		t.Fatalf("AutoTiles(48) = %d, want 1", g)
+	}
+	if g := AutoTiles(1_000); g != 4 {
+		t.Fatalf("AutoTiles(1000) = %d, want 4", g)
+	}
+	if g := AutoTiles(10_000); g != 13 {
+		t.Fatalf("AutoTiles(10000) = %d, want 13", g)
+	}
+	if g := AutoTiles(1_000_000_000); g != 64 {
+		t.Fatalf("AutoTiles(1e9) = %d, want 64 (clamp)", g)
+	}
+}

@@ -6,19 +6,29 @@
 // failures, and the dispatch loop that drives each node's Protocol one
 // atomic event at a time.
 //
-// The transport and link-maintenance layer is allocation-lean: adjacency
-// is a per-node sorted ID slice updated incrementally on link up/down
-// (Neighbors and Broadcast never allocate), per-directed-link FIFO floors
-// and link epochs live in dense per-node slices indexed by peer, in-flight
-// messages are pooled sim.Runner records instead of per-send closures, and
-// link maintenance queries a uniform spatial hash (internal grid, cell
-// size = Radius) instead of scanning all n nodes. None of this changes
-// observable behaviour: same seed, bit-identical event trace (pinned by
-// TestGoldenTraceHash and the grid-vs-brute differential test).
+// The world has two interchangeable execution engines behind one API.
+// The single-heap engine (Config.Tiles ≤ 1) runs every event off one
+// sim.Scheduler — the exact legacy behaviour. The region-sharded engine
+// (Config.Tiles > 1, see shard.go) partitions the plane into a grid of
+// tiles, each with its own value-typed event heap and worker, synchronised
+// by conservative lookahead. Both engines execute events in the canonical
+// (time, owner, class, a, b) key order and draw every random number from
+// per-node streams, so a run's event trace is bit-identical regardless of
+// engine, tiling, or worker count (pinned by the sharded differential
+// tests and TestGoldenTraceHash).
+//
+// The transport and link-maintenance layer is allocation-lean and scales
+// to 100k+ nodes: adjacency is a per-node sorted ID slice with a parallel
+// FIFO-floor slice (O(degree) per node, not O(n)), link epochs live in
+// per-node maps that persist across link incarnations, in-flight messages
+// are pooled sim.Runner records instead of per-send closures, and link
+// maintenance queries a uniform spatial hash (internal grid, cell size =
+// Radius) instead of scanning all n nodes.
 package manet
 
 import (
 	"fmt"
+	"math/rand/v2"
 	"slices"
 
 	"lme/internal/core"
@@ -30,7 +40,9 @@ import (
 // Config carries the physical parameters of the world.
 type Config struct {
 	// Seed derives every random choice (delays, mobility); runs with the
-	// same seed and the same call sequence are identical.
+	// same seed and the same call sequence are identical. Each node owns
+	// an independent stream derived from (Seed, id), which is what keeps
+	// runs identical across engines and worker counts.
 	Seed uint64
 
 	// Radius is the radio range: two nodes are neighbours iff their
@@ -39,7 +51,9 @@ type Config struct {
 
 	// MinDelay and MaxDelay bound the end-to-end message delay; MaxDelay
 	// is the paper's ν. Delays are drawn uniformly per message, then
-	// clamped so that each directed link delivers in FIFO order.
+	// clamped so that each directed link delivers in FIFO order. MinDelay
+	// also lower-bounds how soon one node can affect another, which is
+	// the sharded engine's conservative lookahead.
 	MinDelay, MaxDelay sim.Time
 
 	// TickInterval is the mobility integration step for continuous
@@ -53,10 +67,21 @@ type Config struct {
 	// TraceRing sizes the event bus's retained-history ring (0 = keep
 	// no history; subscribers and sinks still receive every event).
 	TraceRing int
+
+	// Tiles selects the execution engine: ≤ 1 runs the single-heap
+	// scheduler (exact legacy behaviour); g > 1 partitions the node
+	// bounding box into a g×g grid of tiles executed by the sharded
+	// engine. The event trace is identical either way.
+	Tiles int
+
+	// ShardWorkers bounds the sharded engine's worker goroutines
+	// (0 = GOMAXPROCS). Ignored by the single-heap engine. The trace is
+	// identical for every worker count.
+	ShardWorkers int
 }
 
 // DefaultConfig returns the parameters used throughout the experiments:
-// ν = 10ms with a 1ms floor, 20ms mobility ticks.
+// ν = 10ms with a 1ms floor, 20ms mobility ticks, single-heap engine.
 func DefaultConfig() Config {
 	return Config{
 		Seed:         1,
@@ -65,6 +90,16 @@ func DefaultConfig() Config {
 		MaxDelay:     sim.Time(10_000),
 		TickInterval: sim.Time(20_000),
 	}
+}
+
+// AutoTiles suggests a tile-grid side for an n-node world: roughly 64
+// nodes per tile, clamped to [1, 64] tiles per side.
+func AutoTiles(n int) int {
+	g := 1
+	for g < 64 && g*g*64 < n {
+		g++
+	}
+	return g
 }
 
 // LinkListener observes communication-graph changes (used by the safety
@@ -95,24 +130,42 @@ type node struct {
 	crashed bool
 
 	// nbrs is the current neighbour set as an incrementally maintained
-	// sorted ID slice; adj is the dense O(1) membership index. Both are
-	// allocated at Start, when n is known.
-	nbrs []core.NodeID
-	adj  []bool
+	// sorted ID slice; lastOut is the parallel per-directed-link FIFO
+	// floor toward nbrs[i] (dropped with the entry on link-down, exactly
+	// the legacy reset-to-zero semantics). Memory is O(degree) per node.
+	nbrs    []core.NodeID
+	lastOut []sim.Time
 
-	// linkEpoch[p] counts incarnations of the link to p; a message whose
-	// link epoch changed before delivery is destroyed with the link. The
-	// two endpoints' counters are incremented together and always agree.
-	linkEpoch []uint64
-
-	// lastDelivery[p] enforces per-directed-link FIFO delivery (0 = no
-	// delivery pending on this incarnation).
-	lastDelivery []sim.Time
+	// epochs counts incarnations of the link to each peer a link ever
+	// existed to; a message whose link epoch changed before delivery is
+	// destroyed with the link. The two endpoints' counters are
+	// incremented together and always agree, so the receiver-side check
+	// in delivery.Run equals the legacy sender-side one. The map persists
+	// across link-downs — forgetting an epoch would resurrect stale
+	// messages on the next incarnation. Allocated lazily on first bump.
+	epochs map[core.NodeID]uint64
 
 	// sendSeq is the node's monotone message counter; every accepted
 	// send is stamped with the next value so traces carry a causal
 	// send→deliver identity even across equal-time deliveries.
 	sendSeq uint64
+
+	// oseq is the node's monotone schedule counter: the A component of
+	// every local and topology event key it owns. It is only ever
+	// touched from the node's own execution context (its tile's worker,
+	// or the coordinator while tiles are paused), so it needs no
+	// synchronisation.
+	oseq uint64
+
+	// rng is the node's private random stream, derived from (Seed, id).
+	// Message delays, waypoint draws and workload think times all come
+	// from here, which makes every draw independent of global execution
+	// order — the prerequisite for bit-identical parallel runs.
+	rng *rand.Rand
+
+	// tile is the index of the tile currently owning the node (sharded
+	// engine only; updated by the coordinator on migration).
+	tile int32
 
 	// movement target; valid while moving.
 	target graph.Point
@@ -120,21 +173,68 @@ type node struct {
 	moveID uint64  // invalidates stale movement ticks
 }
 
-// insertNeighbor adds j to the sorted neighbour slice and membership index.
+// nbrIndex locates j in the sorted neighbour slice.
+func (n *node) nbrIndex(j core.NodeID) (int, bool) {
+	return slices.BinarySearch(n.nbrs, j)
+}
+
+// hasNbr reports whether j is currently a neighbour.
+func (n *node) hasNbr(j core.NodeID) bool {
+	_, ok := slices.BinarySearch(n.nbrs, j)
+	return ok
+}
+
+// insertNeighbor adds j to the sorted neighbour slice with a fresh FIFO
+// floor.
 func (n *node) insertNeighbor(j core.NodeID) {
-	n.nbrs = core.InsertID(n.nbrs, j)
-	n.adj[j] = true
+	i, found := slices.BinarySearch(n.nbrs, j)
+	if found {
+		return
+	}
+	n.nbrs = slices.Insert(n.nbrs, i, j)
+	n.lastOut = slices.Insert(n.lastOut, i, sim.Time(0))
 }
 
-// removeNeighbor deletes j from the sorted neighbour slice and membership
-// index.
+// removeNeighbor deletes j from the sorted neighbour slice, dropping its
+// FIFO floor with it.
 func (n *node) removeNeighbor(j core.NodeID) {
-	n.nbrs = core.RemoveID(n.nbrs, j)
-	n.adj[j] = false
+	i, found := slices.BinarySearch(n.nbrs, j)
+	if !found {
+		return
+	}
+	n.nbrs = slices.Delete(n.nbrs, i, i+1)
+	n.lastOut = slices.Delete(n.lastOut, i, i+1)
 }
 
-// World is the simulated MANET. It is single-threaded: all mutation happens
-// inside scheduler events or before the run starts.
+// epoch returns the current incarnation count of the link to p.
+func (n *node) epoch(p core.NodeID) uint64 { return n.epochs[p] }
+
+// bumpEpoch increments the incarnation count of the link to p.
+func (n *node) bumpEpoch(p core.NodeID) {
+	if n.epochs == nil {
+		n.epochs = make(map[core.NodeID]uint64, 8)
+	}
+	n.epochs[p]++
+}
+
+// nodeSeed derives the per-node random stream seed (splitmix64 over the
+// world seed and the node ID, the same construction internal/fleet uses
+// for replica seeds).
+func nodeSeed(seed uint64, id core.NodeID) uint64 {
+	z := seed + 0x9e3779b97f4a7c15*uint64(int64(id)+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// World is the simulated MANET. With the single-heap engine all mutation
+// happens inside scheduler events or before the run starts; with the
+// sharded engine, node-local events run on tile workers while topology
+// events and all observable effects (bus, listeners) are serialised on the
+// coordinating goroutine in canonical key order.
 type World struct {
 	cfg   Config
 	sched *sim.Scheduler
@@ -148,13 +248,21 @@ type World struct {
 	bruteLinks bool
 
 	// freeDeliveries and freeTickers pool the reusable in-flight message
-	// and movement-tick records of the closure-free timer paths.
+	// and movement-tick records of the closure-free timer paths (the
+	// coordinator-context pools; tiles keep their own delivery pools).
 	freeDeliveries []*delivery
 	freeTickers    []*moveTicker
 
-	stateListeners []core.Listener
-	linkListeners  []LinkListener
-	moveListeners  []MoveListener
+	// stateListeners are deferred observers: in sharded windows their
+	// callbacks are buffered and replayed at barriers in canonical
+	// order. localStateListeners (the workload driver) run inline in the
+	// executing context, because they schedule follow-up events for the
+	// node itself; they are invoked after the deferred ones in single
+	// mode, preserving the legacy registration order.
+	stateListeners      []core.Listener
+	localStateListeners []core.Listener
+	linkListeners       []LinkListener
+	moveListeners       []MoveListener
 
 	// bus is the typed event stream every observable occurrence is
 	// published to; namer classifies message payloads for it.
@@ -163,10 +271,18 @@ type World struct {
 
 	started bool
 
+	// shard is the sharded executor; nil before Start and in single-heap
+	// mode. pending holds events scheduled before Start in sharded mode
+	// (routed into tile heaps once tiles exist); pendingHook likewise.
+	shard       *shardExec
+	pending     []sim.Item
+	pendingHook func(sim.Time)
+
 	// msgsSent and msgsDelivered count protocol messages (the paper's
 	// future-work measure of message complexity). They are maintained
 	// natively so the cheap headline numbers survive even when nothing
-	// subscribes to the bus.
+	// subscribes to the bus. Tile workers count into per-tile fields;
+	// readers sum.
 	msgsSent, msgsDelivered uint64
 }
 
@@ -183,6 +299,12 @@ func NewWorld(cfg Config) *World {
 	}
 	if cfg.MinDelay > cfg.MaxDelay {
 		cfg.MinDelay = cfg.MaxDelay
+	}
+	if cfg.Tiles < 1 {
+		cfg.Tiles = 1
+	}
+	if cfg.Tiles > 128 {
+		cfg.Tiles = 128
 	}
 	return &World{
 		cfg:   cfg,
@@ -201,14 +323,91 @@ func (w *World) Bus() *trace.Bus { return w.bus }
 // it to resolve dense type IDs back to schema names.
 func (w *World) TypeNamer() *trace.TypeNamer { return w.namer }
 
-// Scheduler exposes the world's event loop for workloads and harnesses.
-func (w *World) Scheduler() *sim.Scheduler { return w.sched }
+// Scheduler exposes the single-heap event loop for workloads and
+// harnesses that script scenarios with raw closures. It is unavailable in
+// sharded mode, where no global scheduler exists: use Now, RunUntil,
+// ScheduleLocal and the mobility/crash helpers instead — they work with
+// both engines.
+func (w *World) Scheduler() *sim.Scheduler {
+	if w.cfg.Tiles > 1 {
+		panic("manet: Scheduler() is unavailable with the sharded engine (Tiles > 1); use World.Now/RunUntil/ScheduleLocal")
+	}
+	return w.sched
+}
 
 // Config returns the world's configuration.
 func (w *World) Config() Config { return w.cfg }
 
 // N returns the number of nodes.
 func (w *World) N() int { return len(w.nodes) }
+
+// Now returns the current virtual time under either engine.
+func (w *World) Now() sim.Time {
+	if sx := w.shard; sx != nil {
+		return sx.now
+	}
+	return w.sched.Now()
+}
+
+// nowOf returns the virtual time of n's execution context: its tile clock
+// inside a sharded window, the coordinator clock otherwise.
+func (w *World) nowOf(n *node) sim.Time {
+	if sx := w.shard; sx != nil {
+		if sx.inWindow {
+			return sx.tiles[n.tile].now
+		}
+		return sx.now
+	}
+	return w.sched.Now()
+}
+
+// Processed reports how many events have been executed under either
+// engine.
+func (w *World) Processed() uint64 {
+	if sx := w.shard; sx != nil {
+		total := sx.processed
+		for _, t := range sx.tiles {
+			total += t.processed
+		}
+		return total
+	}
+	return w.sched.Processed()
+}
+
+// SetEventHook installs f to run after every executed event, at the
+// event's virtual time (nil uninstalls). Under the sharded engine the
+// hook is invoked concurrently from tile workers, so it must be
+// goroutine-safe (the harness's throughput counter is atomic).
+func (w *World) SetEventHook(f func(sim.Time)) {
+	if w.cfg.Tiles > 1 {
+		if sx := w.shard; sx != nil {
+			sx.hook = f
+		} else {
+			w.pendingHook = f
+		}
+		return
+	}
+	w.sched.SetEventHook(f)
+}
+
+// RunUntil executes events in canonical order until the queues are empty
+// or the next event is later than deadline; events at exactly the
+// deadline still run and the clock lands on deadline. maxEvents bounds
+// the total executed in this call (0 = no bound); exceeding it returns
+// sim.ErrEventLimit. Under the sharded engine the bound is checked at
+// window barriers, so it may overshoot by up to one window.
+func (w *World) RunUntil(deadline sim.Time, maxEvents uint64) error {
+	if sx := w.shard; sx != nil {
+		return sx.runUntil(deadline, maxEvents)
+	}
+	return w.sched.RunUntil(deadline, maxEvents)
+}
+
+// Run executes pending events (including ones they schedule) until the
+// queues drain, with an event budget.
+func (w *World) Run(maxEvents uint64) error {
+	return w.RunUntil(sim.Infinity, maxEvents)
+}
 
 // AddNode places a new node at pos and returns its ID. Must be called
 // before Start.
@@ -217,10 +416,12 @@ func (w *World) AddNode(pos graph.Point) core.NodeID {
 		panic("manet: AddNode after Start")
 	}
 	id := core.NodeID(len(w.nodes))
+	s := nodeSeed(w.cfg.Seed, id)
 	w.nodes = append(w.nodes, &node{
 		id:    id,
 		pos:   pos,
 		state: core.Thinking,
+		rng:   rand.New(rand.NewPCG(s, s^0x9e3779b97f4a7c15)),
 	})
 	return id
 }
@@ -234,9 +435,27 @@ func (w *World) SetProtocol(id core.NodeID, p core.Protocol) {
 	w.nodes[id].proto = p
 }
 
-// AddStateListener registers a dining-state transition observer.
+// NodeRand exposes id's private deterministic random stream (the workload
+// driver's think-time source). Draw only from id's own execution context.
+func (w *World) NodeRand(id core.NodeID) *rand.Rand { return w.nodes[id].rng }
+
+// AddStateListener registers a dining-state transition observer. Under
+// the sharded engine its callbacks are deferred to window barriers and
+// replayed in canonical event order; listeners must therefore derive
+// their state from the callback stream (plus the frozen-between-barriers
+// topology) rather than reading live node state — which every metrics
+// listener already does.
 func (w *World) AddStateListener(l core.Listener) {
 	w.stateListeners = append(w.stateListeners, l)
+}
+
+// AddLocalStateListener registers a state observer that runs inline in
+// the transitioning node's own execution context even under the sharded
+// engine — required for listeners that schedule follow-up events for the
+// node (the workload driver). Inline listeners run after the deferred
+// ones registered so far when both engines run single-threaded.
+func (w *World) AddLocalStateListener(l core.Listener) {
+	w.localStateListeners = append(w.localStateListeners, l)
 }
 
 // AddLinkListener registers a communication-graph change observer.
@@ -261,28 +480,50 @@ func (w *World) setMoving(n *node, moving bool) {
 		kind = trace.KindMoveStart
 	}
 	if w.bus.Wants(kind) {
-		w.emit(trace.Event{
+		w.emit(n, trace.Event{
 			Kind: kind, Node: n.id, Peer: trace.NoNode,
 			Detail: fmt.Sprintf("(%.3f,%.3f)", n.pos.X, n.pos.Y),
 		})
 	}
+	if len(w.moveListeners) == 0 {
+		return
+	}
+	at := w.nowOf(n)
+	if sx := w.shard; sx != nil && sx.inWindow {
+		sx.tiles[n.tile].buffer(effect{kind: effMove, id: n.id, flag: moving, at: at})
+		return
+	}
 	for _, l := range w.moveListeners {
-		l.OnMove(n.id, moving, w.sched.Now())
+		l.OnMove(n.id, moving, at)
 	}
 }
 
-// emit stamps the event with the current virtual time and publishes it.
-func (w *World) emit(e trace.Event) {
-	e.At = w.sched.Now()
+// emit stamps the event with the node's current virtual time and
+// publishes it — directly in coordinator context, or into the tile's
+// effect buffer inside a sharded window (replayed at the barrier in
+// canonical order, so the bus sees one monotone stream either way).
+func (w *World) emit(n *node, e trace.Event) {
+	if sx := w.shard; sx != nil && sx.inWindow {
+		t := sx.tiles[n.tile]
+		e.At = t.now
+		t.buffer(effect{kind: effBus, ev: e})
+		return
+	}
+	e.At = w.Now()
 	w.bus.Publish(e)
 }
 
-// relocate moves a node to p, keeping the spatial index in sync.
+// relocate moves a node to p, keeping the spatial index — and, under the
+// sharded engine, its tile assignment and pending events — in sync.
+// Coordinator context only (topology events are serialised there).
 func (w *World) relocate(n *node, p graph.Point) {
 	if !w.bruteLinks {
 		w.grid.move(n.id, n.pos, p)
 	}
 	n.pos = p
+	if sx := w.shard; sx != nil {
+		sx.migrate(n)
+	}
 }
 
 // addLink silently records the link a—b (Start's initial topology: no
@@ -295,7 +536,9 @@ func (w *World) addLink(a, b core.NodeID) {
 // Start computes the initial communication graph (silently: pre-existing
 // links generate no LinkUp indications; the paper's initial fork and colour
 // distributions are ID-based conventions each protocol applies in Init) and
-// initialises every protocol.
+// initialises every protocol. With Tiles > 1 it also partitions the node
+// bounding box into the tile grid and routes any pre-scheduled events to
+// their owners' tiles.
 func (w *World) Start() error {
 	if w.started {
 		return fmt.Errorf("manet: Start called twice")
@@ -307,11 +550,6 @@ func (w *World) Start() error {
 	}
 	w.started = true
 	nn := len(w.nodes)
-	for _, n := range w.nodes {
-		n.adj = make([]bool, nn)
-		n.linkEpoch = make([]uint64, nn)
-		n.lastDelivery = make([]sim.Time, nn)
-	}
 	r2 := w.cfg.Radius * w.cfg.Radius
 	if w.bruteLinks {
 		for i := range w.nodes {
@@ -338,6 +576,9 @@ func (w *World) Start() error {
 			}
 			w.scratch = cand[:0]
 		}
+	}
+	if w.cfg.Tiles > 1 {
+		w.initShard()
 	}
 	for _, n := range w.nodes {
 		n.proto.Init(&env{w: w, n: n})
@@ -380,11 +621,27 @@ func (w *World) CommGraph() *graph.Graph {
 
 // MessagesSent reports the number of protocol messages handed to the
 // transport so far.
-func (w *World) MessagesSent() uint64 { return w.msgsSent }
+func (w *World) MessagesSent() uint64 {
+	total := w.msgsSent
+	if sx := w.shard; sx != nil {
+		for _, t := range sx.tiles {
+			total += t.msgsSent
+		}
+	}
+	return total
+}
 
 // MessagesDelivered reports the number of protocol messages delivered so
 // far (sent minus dropped on link failures and crashes).
-func (w *World) MessagesDelivered() uint64 { return w.msgsDelivered }
+func (w *World) MessagesDelivered() uint64 {
+	total := w.msgsDelivered
+	if sx := w.shard; sx != nil {
+		for _, t := range sx.tiles {
+			total += t.msgsDelivered
+		}
+	}
+	return total
+}
 
 // MaxDegree returns δ of the current communication graph.
 func (w *World) MaxDegree() int {
@@ -395,6 +652,24 @@ func (w *World) MaxDegree() int {
 		}
 	}
 	return max
+}
+
+// countSent tallies one protocol message handed to the transport.
+func (w *World) countSent(src *node) {
+	if sx := w.shard; sx != nil && sx.inWindow {
+		sx.tiles[src.tile].msgsSent++
+		return
+	}
+	w.msgsSent++
+}
+
+// countDelivered tallies one delivered protocol message.
+func (w *World) countDelivered(dst *node) {
+	if sx := w.shard; sx != nil && sx.inWindow {
+		sx.tiles[dst.tile].msgsDelivered++
+		return
+	}
+	w.msgsDelivered++
 }
 
 // Crash fails node id at the current instant: it stops processing events,
@@ -409,18 +684,107 @@ func (w *World) Crash(id core.NodeID) {
 	w.setMoving(n, false)
 	n.moveID++ // cancel pending movement ticks
 	if w.bus.Wants(trace.KindCrash) {
-		w.emit(trace.Event{Kind: trace.KindCrash, Node: id, Peer: trace.NoNode})
+		w.emit(n, trace.Event{Kind: trace.KindCrash, Node: id, Peer: trace.NoNode})
 	}
 }
 
-// CrashAt schedules a crash of id at time t.
+// CrashAt schedules a crash of id at time t. The crash is a node-local
+// event owned by id, so it executes on id's tile under the sharded
+// engine.
 func (w *World) CrashAt(id core.NodeID, t sim.Time) {
-	w.sched.At(t, func() { w.Crash(id) })
+	w.scheduleLocalAt(w.nodes[id], t, func() { w.Crash(id) })
+}
+
+// ScheduleLocal schedules fn to run in id's execution context, after time
+// units from id's current instant. It is the engine-agnostic timer the
+// workload driver uses for dining follow-ups; fn must touch only id-local
+// state. Call it from id's own execution context (or while the world is
+// not running).
+func (w *World) ScheduleLocal(id core.NodeID, after sim.Time, fn func()) {
+	n := w.nodes[id]
+	w.scheduleLocalAt(n, w.nowOf(n)+after, fn)
+}
+
+// scheduleLocalAt schedules a ClassLocal event owned by n at time at.
+func (w *World) scheduleLocalAt(n *node, at sim.Time, fn func()) {
+	if now := w.nowOf(n); at < now {
+		at = now
+	}
+	n.oseq++
+	w.push(sim.Item{
+		K:  sim.Key{At: at, Owner: int32(n.id), Class: sim.ClassLocal, A: n.oseq},
+		Fn: fn,
+	}, n)
+}
+
+// scheduleLocalRunner is scheduleLocalAt for pooled runners (the waypoint
+// state machines).
+func (w *World) scheduleLocalRunner(n *node, at sim.Time, r sim.Runner) {
+	if now := w.nowOf(n); at < now {
+		at = now
+	}
+	n.oseq++
+	w.push(sim.Item{
+		K: sim.Key{At: at, Owner: int32(n.id), Class: sim.ClassLocal, A: n.oseq},
+		R: r,
+	}, n)
+}
+
+// scheduleTopo schedules a ClassTopo event owned by n at time at: a
+// topology mutation (movement tick, jump) the sharded engine serialises
+// on its coordinator.
+func (w *World) scheduleTopo(n *node, at sim.Time, it sim.Item) {
+	n.oseq++
+	it.K = sim.Key{At: at, Owner: int32(n.id), Class: sim.ClassTopo, A: n.oseq}
+	if w.cfg.Tiles > 1 {
+		sx := w.shard
+		if sx == nil {
+			w.pending = append(w.pending, it)
+			return
+		}
+		if sx.inWindow {
+			// Tile context: hand the request to the coordinator at the
+			// barrier. Topo events are always ≥ one tick or one settle
+			// ahead, hence outside the current window.
+			t := sx.tiles[n.tile]
+			t.outTopo = append(t.outTopo, it)
+			return
+		}
+		sx.topo.Push(it)
+		return
+	}
+	if it.Fn != nil {
+		w.sched.AtKey(it.K, it.Fn)
+	} else {
+		w.sched.AtRunnerKey(it.K, it.R)
+	}
+}
+
+// push routes an owned node-local event to the engine: the single heap,
+// the owner's tile heap, or the pre-Start pending list. In tile context
+// the owner is necessarily the executing node, so pushing into its own
+// heap is race-free.
+func (w *World) push(it sim.Item, n *node) {
+	if w.cfg.Tiles > 1 {
+		sx := w.shard
+		if sx == nil {
+			w.pending = append(w.pending, it)
+			return
+		}
+		sx.tiles[n.tile].heap.Push(it)
+		return
+	}
+	if it.Fn != nil {
+		w.sched.AtKey(it.K, it.Fn)
+	} else {
+		w.sched.AtRunnerKey(it.K, it.R)
+	}
 }
 
 // delivery is one pooled in-flight message: the sim.Runner the transport
 // schedules instead of capturing six variables in a fresh closure per
-// send. Records are recycled through World.freeDeliveries after firing.
+// send. Records are recycled through per-tile free lists (sharded) or
+// World.freeDeliveries after firing.
 type delivery struct {
 	w        *World
 	from, to core.NodeID
@@ -436,47 +800,80 @@ type delivery struct {
 
 // Run implements sim.Runner: deliver the message, or destroy it if its
 // link incarnation ended or the receiver crashed before the instant came.
+// It executes in the receiver's context and touches only receiver-local
+// state (the endpoints' epoch counters always agree, so the receiver-side
+// epoch check equals the legacy sender-side one).
 func (d *delivery) Run() {
 	w := d.w
-	src, dst := w.nodes[d.from], w.nodes[d.to]
-	if dst.crashed || src.linkEpoch[d.to] != d.ep || !dst.adj[d.from] {
+	dst := w.nodes[d.to]
+	if dst.crashed || dst.epoch(d.from) != d.ep || !dst.hasNbr(d.from) {
 		// Destroyed with the link, or receiver dead.
 		if d.observed && w.bus.Wants(trace.KindDrop) {
 			reason := "link-changed"
 			if dst.crashed {
 				reason = "receiver-crashed"
 			}
-			w.emit(trace.Event{
+			w.emit(dst, trace.Event{
 				Kind: trace.KindDrop, Node: d.to, Peer: d.from,
 				Msg: d.msgName, Size: d.msgSize, MsgSeq: d.seq, MsgID: d.msgID,
 				Detail: reason,
 			})
 		}
 	} else {
-		w.msgsDelivered++
+		w.countDelivered(dst)
 		if d.observed && w.bus.Wants(trace.KindDeliver) {
-			w.emit(trace.Event{
+			w.emit(dst, trace.Event{
 				Kind: trace.KindDeliver, Node: d.to, Peer: d.from,
 				Msg: d.msgName, Size: d.msgSize, MsgSeq: d.seq, MsgID: d.msgID,
-				Delay: w.sched.Now() - d.sentAt,
+				Delay: w.nowOf(dst) - d.sentAt,
 			})
 		}
 		dst.proto.OnMessage(d.from, d.msg)
 	}
 	d.msg = nil // release the payload before pooling
+	w.releaseDelivery(dst, d)
+}
+
+// allocDelivery takes a record from the executing context's pool.
+func (w *World) allocDelivery(src *node) *delivery {
+	pool := &w.freeDeliveries
+	if sx := w.shard; sx != nil && sx.inWindow {
+		pool = &sx.tiles[src.tile].freeDel
+	}
+	if k := len(*pool); k > 0 {
+		d := (*pool)[k-1]
+		*pool = (*pool)[:k-1]
+		return d
+	}
+	return new(delivery)
+}
+
+// releaseDelivery returns a fired record to the executing context's pool.
+func (w *World) releaseDelivery(dst *node, d *delivery) {
+	if sx := w.shard; sx != nil && sx.inWindow {
+		t := sx.tiles[dst.tile]
+		t.freeDel = append(t.freeDel, d)
+		return
+	}
 	w.freeDeliveries = append(w.freeDeliveries, d)
 }
 
 // send transmits a message over the link from→to, if it exists, with a
-// uniformly random delay in [MinDelay, MaxDelay], clamped to keep the
-// directed link FIFO. The message is destroyed if the link fails (or the
-// receiver crashes) before delivery.
+// uniformly random delay in [MinDelay, MaxDelay] drawn from the sender's
+// stream, clamped to keep the directed link FIFO. The message is destroyed
+// if the link fails (or the receiver crashes) before delivery. The
+// delivery event's canonical key is (arrival, receiver, deliver, sender,
+// sendSeq) — reproducible under any partitioning of the event population.
 func (w *World) send(from, to core.NodeID, msg core.Message) {
 	src := w.nodes[from]
-	if src.crashed || !src.adj[to] {
+	if src.crashed {
 		return
 	}
-	w.msgsSent++
+	oi, ok := src.nbrIndex(to)
+	if !ok {
+		return
+	}
+	w.countSent(src)
 	src.sendSeq++
 	observed := w.bus.Wants(trace.KindSend) ||
 		w.bus.Wants(trace.KindDeliver) || w.bus.Wants(trace.KindDrop)
@@ -486,55 +883,73 @@ func (w *World) send(from, to core.NodeID, msg core.Message) {
 	if observed {
 		msgName, msgSize, msgID = w.namer.Info(msg)
 		if w.bus.Wants(trace.KindSend) {
-			w.emit(trace.Event{
+			w.emit(src, trace.Event{
 				Kind: trace.KindSend, Node: from, Peer: to,
 				Msg: msgName, Size: msgSize, MsgSeq: src.sendSeq, MsgID: msgID,
 			})
 		}
 	}
-	sentAt := w.sched.Now()
+	sentAt := w.nowOf(src)
 	delay := w.cfg.MinDelay
 	if span := int64(w.cfg.MaxDelay - w.cfg.MinDelay); span > 0 {
-		delay += sim.Time(w.sched.Rand().Int64N(span + 1))
+		delay += sim.Time(src.rng.Int64N(span + 1))
 	}
 	at := sentAt + delay
 	if !w.cfg.NonFIFO {
-		if floor := src.lastDelivery[to]; at <= floor {
+		if floor := src.lastOut[oi]; at <= floor {
 			at = floor + 1
 		}
-		src.lastDelivery[to] = at
+		src.lastOut[oi] = at
 	}
-	var d *delivery
-	if k := len(w.freeDeliveries); k > 0 {
-		d = w.freeDeliveries[k-1]
-		w.freeDeliveries = w.freeDeliveries[:k-1]
-	} else {
-		d = new(delivery)
-	}
+	d := w.allocDelivery(src)
 	*d = delivery{
 		w: w, from: from, to: to, msg: msg, sentAt: sentAt,
-		ep: src.linkEpoch[to], seq: src.sendSeq,
+		ep: src.epoch(to), seq: src.sendSeq,
 		msgName: msgName, msgSize: msgSize, msgID: msgID, observed: observed,
 	}
-	w.sched.AtRunner(at, d)
+	key := sim.Key{At: at, Owner: int32(to), Class: sim.ClassDeliver, A: uint64(from), B: src.sendSeq}
+	if w.cfg.Tiles > 1 {
+		sx := w.shard
+		if sx == nil {
+			w.pending = append(w.pending, sim.Item{K: key, R: d})
+			return
+		}
+		if sx.inWindow {
+			st := sx.tiles[src.tile]
+			if w.nodes[to].tile == src.tile {
+				st.heap.Push(sim.Item{K: key, R: d})
+			} else {
+				// Cross-tile: arrival is ≥ window start + ν, so the
+				// coordinator can route it at the barrier before any
+				// tile could reach that instant.
+				st.outMsgs = append(st.outMsgs, sim.Item{K: key, R: d})
+			}
+			return
+		}
+		sx.tiles[w.nodes[to].tile].heap.Push(sim.Item{K: key, R: d})
+		return
+	}
+	w.sched.AtRunnerKey(key, d)
 }
 
 // setLink creates or destroys the link between a and b, dispatching the
 // biased notifications of §3.1. No-op if the link is already in the
-// requested state.
+// requested state. Coordinator context only: link transitions mutate both
+// endpoints and are serialised with every tile paused, which is also what
+// freezes the topology between sharded window barriers.
 func (w *World) setLink(a, b core.NodeID, up bool) {
 	na, nb := w.nodes[a], w.nodes[b]
-	if na.adj[b] == up {
+	if na.hasNbr(b) == up {
 		return
 	}
-	na.linkEpoch[b]++
-	nb.linkEpoch[a]++
+	na.bumpEpoch(b)
+	nb.bumpEpoch(a)
 	if up {
 		na.insertNeighbor(b)
 		nb.insertNeighbor(a)
 		movingSide := w.pickMovingSide(na, nb)
 		if w.bus.Wants(trace.KindLinkUp) {
-			w.emit(trace.Event{
+			w.emit(na, trace.Event{
 				Kind: trace.KindLinkUp, Node: a, Peer: b,
 				Detail: fmt.Sprint(movingSide),
 			})
@@ -555,10 +970,8 @@ func (w *World) setLink(a, b core.NodeID, up bool) {
 	} else {
 		na.removeNeighbor(b)
 		nb.removeNeighbor(a)
-		na.lastDelivery[b] = 0
-		nb.lastDelivery[a] = 0
 		if w.bus.Wants(trace.KindLinkDown) {
-			w.emit(trace.Event{Kind: trace.KindLinkDown, Node: a, Peer: b})
+			w.emit(na, trace.Event{Kind: trace.KindLinkDown, Node: a, Peer: b})
 		}
 		if !na.crashed {
 			na.proto.OnLinkDown(b)
@@ -568,7 +981,7 @@ func (w *World) setLink(a, b core.NodeID, up bool) {
 		}
 	}
 	for _, l := range w.linkListeners {
-		l.OnLink(a, b, up, w.sched.Now())
+		l.OnLink(a, b, up, w.Now())
 	}
 }
 
@@ -626,7 +1039,10 @@ func (w *World) refreshLinks(id core.NodeID) {
 	}
 }
 
-// setState records a protocol-reported dining transition and fans it out.
+// setState records a protocol-reported dining transition and fans it out:
+// the bus event and deferred listeners go through the effect path (exact
+// canonical order at barriers), the inline listeners (workload driver)
+// run immediately in the node's context.
 func (w *World) setState(n *node, s core.State) {
 	if n.state == s {
 		return
@@ -634,13 +1050,23 @@ func (w *World) setState(n *node, s core.State) {
 	old := n.state
 	n.state = s
 	if w.bus.Wants(trace.KindState) {
-		w.emit(trace.Event{
+		w.emit(n, trace.Event{
 			Kind: trace.KindState, Node: n.id, Peer: trace.NoNode,
 			Old: old.String(), New: s.String(),
 		})
 	}
-	for _, l := range w.stateListeners {
-		l.OnStateChange(n.id, old, s, w.sched.Now())
+	at := w.nowOf(n)
+	if sx := w.shard; sx != nil && sx.inWindow {
+		if len(w.stateListeners) > 0 {
+			sx.tiles[n.tile].buffer(effect{kind: effState, id: n.id, oldS: old, newS: s, at: at})
+		}
+	} else {
+		for _, l := range w.stateListeners {
+			l.OnStateChange(n.id, old, s, at)
+		}
+	}
+	for _, l := range w.localStateListeners {
+		l.OnStateChange(n.id, old, s, at)
 	}
 }
 
@@ -667,7 +1093,7 @@ func (e *env) ID() core.NodeID { return e.n.id }
 // Peer == 0 into NoNode).
 func (e *env) Emit(ev trace.Event) {
 	ev.Node = e.n.id
-	e.w.emit(ev)
+	e.w.emit(e.n, ev)
 }
 
 // Wants implements trace.Interest: protocols ask before assembling an
@@ -676,7 +1102,7 @@ func (e *env) Emit(ev trace.Event) {
 // would see that kind.
 func (e *env) Wants(k trace.Kind) bool { return e.w.bus.Wants(k) }
 
-func (e *env) Now() sim.Time { return e.w.sched.Now() }
+func (e *env) Now() sim.Time { return e.w.nowOf(e.n) }
 
 // Neighbors returns the node's current neighbours in ascending order, as
 // a read-only view owned by the world (valid until the next topology

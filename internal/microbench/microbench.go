@@ -40,6 +40,11 @@ func All() []Benchmark {
 		{Name: "MemorySteady", Fn: MemorySteady},
 		{Name: "EndToEndDark", Fn: EndToEndDark},
 		{Name: "EndToEndObserved", Fn: EndToEndObserved},
+		{Name: "ScaleSweep1k", Fn: ScaleSweep1k},
+		{Name: "ScaleSweep1kSharded", Fn: ScaleSweep1kSharded},
+		{Name: "ScaleSweep10k", Fn: ScaleSweep10k},
+		{Name: "ScaleSweep10kSharded", Fn: ScaleSweep10kSharded},
+		{Name: "ShardedChurn", Fn: ShardedChurn},
 	}
 }
 

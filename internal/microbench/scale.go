@@ -1,0 +1,147 @@
+package microbench
+
+import (
+	"runtime"
+	"testing"
+
+	"lme/internal/core"
+	"lme/internal/graph"
+	"lme/internal/manet"
+	"lme/internal/sim"
+)
+
+// pingMsg is the payload of the storm protocol; empty so the benchmarks
+// time the engine, not encoding.
+type pingMsg struct{}
+
+// pingProto keeps one message ping-ponging on every edge forever: Init
+// sends to each higher-id neighbour (one token per edge, not two), and
+// every delivery is answered. The resulting event rate is O(edges/ν) —
+// a uniform, unbounded storm that saturates the per-tile heaps without
+// any protocol logic in the profile.
+type pingProto struct {
+	env core.Env
+}
+
+func (p *pingProto) Init(env core.Env) {
+	p.env = env
+	me := env.ID()
+	for _, nb := range env.Neighbors() {
+		if nb > me {
+			env.Send(nb, pingMsg{})
+		}
+	}
+}
+func (p *pingProto) OnMessage(from core.NodeID, msg core.Message) { p.env.Send(from, pingMsg{}) }
+func (p *pingProto) OnLinkUp(core.NodeID, bool)                   {}
+func (p *pingProto) OnLinkDown(core.NodeID)                       {}
+func (p *pingProto) BecomeHungry()                                {}
+func (p *pingProto) ExitCS()                                      {}
+func (p *pingProto) State() core.State                            { return core.Thinking }
+
+// scaleWorld builds the large-n benchmark world: an n-node square lattice
+// with radius 1.45× the spacing (δ=8 interior degree), the storm protocol
+// on every node, and the requested engine configuration. tiles ≤ 1 is the
+// single-heap engine.
+func scaleWorld(b *testing.B, n, tiles, workers int) *manet.World {
+	b.Helper()
+	cfg := manet.DefaultConfig()
+	cfg.Seed = 1
+	side := 1
+	for side*side < n {
+		side++
+	}
+	spacing := 1.0 / float64(side)
+	cfg.Radius = 1.45 * spacing
+	cfg.Tiles = tiles
+	cfg.ShardWorkers = workers
+	w := manet.NewWorld(cfg)
+	for i := 0; i < n; i++ {
+		id := w.AddNode(graph.Point{
+			X: (float64(i%side) + 0.5) * spacing,
+			Y: (float64(i/side) + 0.5) * spacing,
+		})
+		w.SetProtocol(id, &pingProto{})
+	}
+	if err := w.Start(); err != nil {
+		b.Fatal(err)
+	}
+	return w
+}
+
+// runScaleChunks is the shared measurement loop: one op = one 5ms slab of
+// virtual time. Alongside the stock ns/op it reports the two headline
+// scale metrics — engine throughput (events/s of wall time) and resident
+// heap per node after the run (process-wide HeapAlloc/n, an upper bound
+// that includes the benchmark harness itself).
+func runScaleChunks(b *testing.B, w *manet.World, n int) {
+	b.Helper()
+	start := w.Processed()
+	const chunk = sim.Time(5_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.RunUntil(w.Now()+chunk, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	events := w.Processed() - start
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(events)/secs, "events/s")
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	b.ReportMetric(float64(ms.HeapAlloc)/float64(n), "heapB/node")
+}
+
+// ScaleSweep1k is the single-heap reference at n=1000: the baseline the
+// sharded engine's throughput is judged against.
+func ScaleSweep1k(b *testing.B) { runScaleChunks(b, scaleWorld(b, 1_000, 1, 0), 1_000) }
+
+// ScaleSweep1kSharded is the same world on the sharded engine (AutoTiles
+// grid, GOMAXPROCS workers). On a single-core host this measures the
+// sharding overhead; the speedup headroom only shows on multi-core.
+func ScaleSweep1kSharded(b *testing.B) {
+	runScaleChunks(b, scaleWorld(b, 1_000, manet.AutoTiles(1_000), 0), 1_000)
+}
+
+// ScaleSweep10k pushes the single-heap engine to n=10000.
+func ScaleSweep10k(b *testing.B) { runScaleChunks(b, scaleWorld(b, 10_000, 1, 0), 10_000) }
+
+// ScaleSweep10kSharded is n=10000 on the sharded engine — the
+// configuration the ≥4× multi-core acceptance target is measured on.
+func ScaleSweep10kSharded(b *testing.B) {
+	runScaleChunks(b, scaleWorld(b, 10_000, manet.AutoTiles(10_000), 0), 10_000)
+}
+
+// ShardedChurn layers mobility on the sharded storm: n=1000 with 64
+// random-waypoint movers crossing tile boundaries, so the profile
+// includes link churn, tile migration and the serialized topology path —
+// the worst case for the window loop, not just its steady state.
+func ShardedChurn(b *testing.B) {
+	const n = 1_000
+	cfg := manet.DefaultConfig()
+	cfg.Seed = 3
+	side := 32 // 32² ≥ 1000
+	spacing := 1.0 / float64(side)
+	cfg.Radius = 1.45 * spacing
+	cfg.Tiles = manet.AutoTiles(n)
+	w := manet.NewWorld(cfg)
+	for i := 0; i < n; i++ {
+		id := w.AddNode(graph.Point{
+			X: (float64(i%side) + 0.5) * spacing,
+			Y: (float64(i/side) + 0.5) * spacing,
+		})
+		w.SetProtocol(id, &pingProto{})
+	}
+	movers := make([]core.NodeID, 0, 64)
+	for i := 0; i < 64; i++ {
+		movers = append(movers, core.NodeID(i*15))
+	}
+	manet.Waypoint{Speed: 0.4, PauseMin: 1_000, PauseMax: 10_000}.Attach(w, movers)
+	if err := w.Start(); err != nil {
+		b.Fatal(err)
+	}
+	runScaleChunks(b, w, n)
+}

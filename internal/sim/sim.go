@@ -1,8 +1,13 @@
 // Package sim provides a deterministic discrete-event scheduler: the
 // substrate on which the MANET model of internal/manet executes. Virtual
-// time is a monotone int64 microsecond counter; events scheduled for the
-// same instant fire in schedule order (FIFO tie-breaking), which makes every
-// run fully deterministic for a given seed.
+// time is a monotone int64 microsecond counter; events are ordered by a
+// canonical key (time, owner, class, a, b) whose comparison is a total
+// order independent of how the event population is partitioned — the
+// property the region-sharded parallel engine relies on to execute the
+// exact same sequence as the single-heap engine. Events scheduled through
+// the legacy At/After/AtRunner entry points carry the reserved NoOwner
+// owner and the scheduler's monotone sequence number, which preserves the
+// old FIFO tie-breaking for ownerless callers.
 package sim
 
 import (
@@ -44,40 +49,209 @@ type Runner interface {
 	Run()
 }
 
-// event is one scheduled callback. Events are stored by value directly in
-// the heap slice — no per-event allocation, no interface boxing. Exactly
-// one of fn and r is set.
-type event struct {
-	at  Time
-	seq uint64
-	fn  func()
-	r   Runner
+// Event classes, the third component of the canonical key. At one instant
+// a node's local events run before its message deliveries, which run
+// before its topology events; the constants' numeric order is the
+// execution order.
+const (
+	// ClassLocal covers node-local callbacks: workload follow-ups,
+	// crashes, mobility trip bookkeeping, and every ownerless legacy
+	// event.
+	ClassLocal uint8 = iota
+	// ClassDeliver covers message deliveries; A is the sender and B the
+	// sender's monotone send sequence, so per-link FIFO ties break
+	// identically in every engine.
+	ClassDeliver
+	// ClassTopo covers topology mutations (movement ticks, jumps): the
+	// events the sharded engine serialises on its coordinator because
+	// they touch two nodes' protocols and the spatial index at once.
+	ClassTopo
+)
+
+// NoOwner is the reserved owner of legacy ownerless events; it orders
+// before every real node ID.
+const NoOwner int32 = -1
+
+// Key is the canonical total order over events. Comparison is
+// lexicographic over (At, Owner, Class, A, B); every scheduled event's key
+// is unique, so the order is total and identical regardless of which heap
+// — global or per-tile — the event happens to sit in.
+type Key struct {
+	At    Time
+	Owner int32
+	Class uint8
+	A, B  uint64
 }
 
-// before reports the (time, sequence) order of the heap; seq values are
-// unique, so the order is total and ties at the same instant preserve
-// schedule (FIFO) order.
-func (e *event) before(o *event) bool {
-	if e.at != o.at {
-		return e.at < o.at
+// Less reports whether k orders before o in the canonical order.
+func (k Key) Less(o Key) bool {
+	if k.At != o.At {
+		return k.At < o.At
 	}
-	return e.seq < o.seq
+	if k.Owner != o.Owner {
+		return k.Owner < o.Owner
+	}
+	if k.Class != o.Class {
+		return k.Class < o.Class
+	}
+	if k.A != o.A {
+		return k.A < o.A
+	}
+	return k.B < o.B
+}
+
+// KeyFloor is the smallest possible key at time t: the exclusive upper
+// bound "every event strictly before instant t" used by the sharded
+// engine's window arithmetic.
+func KeyFloor(t Time) Key {
+	return Key{At: t, Owner: -1 << 31}
+}
+
+// Item is one queued event: a key plus exactly one of Fn and R.
+type Item struct {
+	K  Key
+	Fn func()
+	R  Runner
+}
+
+// EventHeap is a value-typed 4-ary min-heap of Items ordered by Key. The
+// zero value is an empty, usable heap. It is the shared queue
+// implementation of the single-heap Scheduler and of every tile of the
+// sharded engine: the shallower tree (log₄ vs log₂ depth) and the value
+// layout (one contiguous slice, no indirection) keep the push/pop churn of
+// a simulation cache-resident and free of per-event allocations.
+type EventHeap struct {
+	items []Item
+}
+
+// Len reports how many events are queued.
+func (h *EventHeap) Len() int { return len(h.items) }
+
+// MinKey returns the smallest queued key, if any.
+func (h *EventHeap) MinKey() (Key, bool) {
+	if len(h.items) == 0 {
+		return Key{}, false
+	}
+	return h.items[0].K, true
+}
+
+// Push inserts it and restores the heap order (sift-up).
+func (h *EventHeap) Push(it Item) {
+	s := append(h.items, it)
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !s[i].K.Less(s[parent].K) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+	h.items = s
+}
+
+// Pop removes and returns the earliest event. The caller must have checked
+// that the heap is non-empty.
+func (h *EventHeap) Pop() Item {
+	s := h.items
+	root := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s[last] = Item{} // release fn/r references
+	s = s[:last]
+	h.items = s
+	// Sift-down: promote the smallest of up to four children.
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= last {
+			break
+		}
+		min := first
+		end := first + 4
+		if end > last {
+			end = last
+		}
+		for c := first + 1; c < end; c++ {
+			if s[c].K.Less(s[min].K) {
+				min = c
+			}
+		}
+		if !s[min].K.Less(s[i].K) {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	return root
+}
+
+// ExtractOwner removes every event whose key names the given owner,
+// appends them to buf and returns it. It is the mover-migration primitive
+// of the sharded engine: when a node crosses a tile boundary its pending
+// events follow it. The scan is O(len) with an O(len) re-heapify — cheap
+// because migrations only happen at mobility-tick granularity.
+func (h *EventHeap) ExtractOwner(owner int32, buf []Item) []Item {
+	s := h.items
+	kept := s[:0]
+	for _, it := range s {
+		if it.K.Owner == owner {
+			buf = append(buf, it)
+		} else {
+			kept = append(kept, it)
+		}
+	}
+	if len(kept) == len(s) {
+		return buf // nothing extracted, heap order untouched
+	}
+	for i := len(kept); i < len(s); i++ {
+		s[i] = Item{} // release references of vacated tail slots
+	}
+	h.items = kept
+	h.heapify()
+	return buf
+}
+
+// heapify restores the heap invariant over an arbitrarily ordered slice.
+func (h *EventHeap) heapify() {
+	s := h.items
+	n := len(s)
+	for i := (n - 2) / 4; i >= 0; i-- {
+		// Sift-down from i.
+		j := i
+		for {
+			first := 4*j + 1
+			if first >= n {
+				break
+			}
+			min := first
+			end := first + 4
+			if end > n {
+				end = n
+			}
+			for c := first + 1; c < end; c++ {
+				if s[c].K.Less(s[min].K) {
+					min = c
+				}
+			}
+			if !s[min].K.Less(s[j].K) {
+				break
+			}
+			s[j], s[min] = s[min], s[j]
+			j = min
+		}
+	}
 }
 
 // Scheduler is a discrete-event executor. The zero value is not usable; use
 // NewScheduler. Scheduler is not safe for concurrent use: it is the single
-// thread of control of a simulation.
-//
-// The pending-event queue is an inlined 4-ary heap of event values: the
-// shallower tree (log₄ vs log₂ depth) and the value layout (one contiguous
-// slice, no *event indirection) keep the push/pop churn of a simulation —
-// two heap operations per executed event — cache-resident and free of
-// per-event allocations.
+// thread of control of a simulation (the sharded engine of internal/manet
+// runs one EventHeap per tile instead and never touches a Scheduler).
 type Scheduler struct {
-	now    Time
-	seq    uint64
-	events []event
-	rng    *rand.Rand
+	now  Time
+	seq  uint64
+	heap EventHeap
+	rng  *rand.Rand
 
 	// processed counts events executed so far (for diagnostics and
 	// runaway detection in tests).
@@ -111,68 +285,18 @@ func (s *Scheduler) Processed() uint64 { return s.processed }
 func (s *Scheduler) SetEventHook(f func(at Time)) { s.hook = f }
 
 // Pending reports how many events are queued.
-func (s *Scheduler) Pending() int { return len(s.events) }
-
-// push inserts ev and restores the heap order (sift-up).
-func (s *Scheduler) push(ev event) {
-	h := append(s.events, ev)
-	i := len(h) - 1
-	for i > 0 {
-		parent := (i - 1) / 4
-		if !h[i].before(&h[parent]) {
-			break
-		}
-		h[i], h[parent] = h[parent], h[i]
-		i = parent
-	}
-	s.events = h
-}
-
-// pop removes and returns the earliest event. The caller must have checked
-// that the queue is non-empty.
-func (s *Scheduler) pop() event {
-	h := s.events
-	root := h[0]
-	last := len(h) - 1
-	h[0] = h[last]
-	h[last] = event{} // release fn/r references
-	h = h[:last]
-	s.events = h
-	// Sift-down: promote the smallest of up to four children.
-	i := 0
-	for {
-		first := 4*i + 1
-		if first >= last {
-			break
-		}
-		min := first
-		end := first + 4
-		if end > last {
-			end = last
-		}
-		for c := first + 1; c < end; c++ {
-			if h[c].before(&h[min]) {
-				min = c
-			}
-		}
-		if !h[min].before(&h[i]) {
-			break
-		}
-		h[i], h[min] = h[min], h[i]
-		i = min
-	}
-	return root
-}
+func (s *Scheduler) Pending() int { return s.heap.Len() }
 
 // At schedules fn to run at the given virtual time. Scheduling in the past
-// is clamped to the present (the event runs after already-queued events for
-// the current instant).
+// is clamped to the present. Ownerless events order by (time, schedule
+// sequence): interleaved At and AtRunner calls for one instant fire in
+// call order, before any owned event of that instant.
 func (s *Scheduler) At(t Time, fn func()) {
 	if t < s.now {
 		t = s.now
 	}
 	s.seq++
-	s.push(event{at: t, seq: s.seq, fn: fn})
+	s.heap.Push(Item{K: Key{At: t, Owner: NoOwner, Class: ClassLocal, A: s.seq}, Fn: fn})
 }
 
 // After schedules fn to run d time units from now.
@@ -181,24 +305,40 @@ func (s *Scheduler) After(d Time, fn func()) {
 }
 
 // AtRunner schedules r.Run at the given virtual time, sharing the FIFO
-// sequence space with At: interleaved At and AtRunner calls for the same
-// instant fire in call order. Unlike At it captures nothing, so a pooled
+// sequence space with At. Unlike At it captures nothing, so a pooled
 // Runner makes the schedule-execute cycle allocation-free.
 func (s *Scheduler) AtRunner(t Time, r Runner) {
 	if t < s.now {
 		t = s.now
 	}
 	s.seq++
-	s.push(event{at: t, seq: s.seq, r: r})
+	s.heap.Push(Item{K: Key{At: t, Owner: NoOwner, Class: ClassLocal, A: s.seq}, R: r})
+}
+
+// AtKey schedules fn under an explicit canonical key (time clamped to the
+// present). The caller owns key uniqueness.
+func (s *Scheduler) AtKey(k Key, fn func()) {
+	if k.At < s.now {
+		k.At = s.now
+	}
+	s.heap.Push(Item{K: k, Fn: fn})
+}
+
+// AtRunnerKey schedules r.Run under an explicit canonical key.
+func (s *Scheduler) AtRunnerKey(k Key, r Runner) {
+	if k.At < s.now {
+		k.At = s.now
+	}
+	s.heap.Push(Item{K: k, R: r})
 }
 
 // run executes one popped event.
-func (s *Scheduler) run(ev *event) {
-	s.now = ev.at
-	if ev.fn != nil {
-		ev.fn()
+func (s *Scheduler) run(it *Item) {
+	s.now = it.K.At
+	if it.Fn != nil {
+		it.Fn()
 	} else {
-		ev.r.Run()
+		it.R.Run()
 	}
 	s.processed++
 	if s.hook != nil {
@@ -217,12 +357,12 @@ var ErrEventLimit = errors.New("sim: event limit exceeded")
 // (0 means no bound); exceeding it returns ErrEventLimit.
 func (s *Scheduler) RunUntil(deadline Time, maxEvents uint64) error {
 	executed := uint64(0)
-	for len(s.events) > 0 {
-		if s.events[0].at > deadline {
+	for s.heap.Len() > 0 {
+		if s.heap.items[0].K.At > deadline {
 			break
 		}
-		ev := s.pop()
-		s.run(&ev)
+		it := s.heap.Pop()
+		s.run(&it)
 		executed++
 		if maxEvents > 0 && executed >= maxEvents {
 			return fmt.Errorf("%w (%d events by t=%v)", ErrEventLimit, executed, s.now)
@@ -243,10 +383,10 @@ func (s *Scheduler) Run(maxEvents uint64) error {
 
 // Step executes the single next event, if any, and reports whether one ran.
 func (s *Scheduler) Step() bool {
-	if len(s.events) == 0 {
+	if s.heap.Len() == 0 {
 		return false
 	}
-	ev := s.pop()
-	s.run(&ev)
+	it := s.heap.Pop()
+	s.run(&it)
 	return true
 }

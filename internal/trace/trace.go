@@ -23,7 +23,10 @@ import (
 	"fmt"
 	"io"
 	"reflect"
+	"slices"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"lme/internal/core"
 	"lme/internal/sim"
@@ -451,9 +454,19 @@ type MsgType uint32
 
 // TypeNamer caches the normalised name, shallow byte size and dense ID
 // of message payload types, so per-message classification costs one map
-// lookup instead of reflection. Not safe for concurrent use; give each
-// world its own.
+// lookup instead of reflection. The cache is copy-on-write: the warm
+// path (every type already seen — reached within the first events of a
+// run) is one atomic load plus a read of an immutable snapshot, so
+// concurrent readers — the sharded engine classifies messages from tile
+// workers — pay no lock; a miss copies the snapshot under a mutex.
 type TypeNamer struct {
+	snap atomic.Pointer[namerSnap]
+	mu   sync.Mutex // serialises snapshot replacement on cache misses
+}
+
+// namerSnap is one immutable cache generation; misses replace it
+// wholesale, never mutate it.
+type namerSnap struct {
 	names map[reflect.Type]typeInfo
 	byID  []string // byID[id-1] is the normalised name behind MsgType id
 }
@@ -466,7 +479,9 @@ type typeInfo struct {
 
 // NewTypeNamer returns an empty cache.
 func NewTypeNamer() *TypeNamer {
-	return &TypeNamer{names: make(map[reflect.Type]typeInfo)}
+	tn := &TypeNamer{}
+	tn.snap.Store(&namerSnap{names: make(map[reflect.Type]typeInfo)})
+	return tn
 }
 
 // Name returns the normalised type name and in-memory size of msg.
@@ -485,36 +500,53 @@ func (tn *TypeNamer) Info(msg any) (name string, size int, id MsgType) {
 
 func (tn *TypeNamer) info(msg any) typeInfo {
 	t := reflect.TypeOf(msg)
-	if info, ok := tn.names[t]; ok {
+	if info, ok := tn.snap.Load().names[t]; ok {
+		return info
+	}
+	tn.mu.Lock()
+	defer tn.mu.Unlock()
+	// Re-check against the latest snapshot: another goroutine may have
+	// published this type while we waited for the lock.
+	cur := tn.snap.Load()
+	if info, ok := cur.names[t]; ok {
 		return info
 	}
 	info := typeInfo{name: NormalizeTypeName(fmt.Sprintf("%T", msg)), size: int(t.Size())}
-	for i, n := range tn.byID {
+	for i, n := range cur.byID {
 		if n == info.name {
 			info.id = MsgType(i + 1)
 			break
 		}
 	}
-	if info.id == 0 {
-		tn.byID = append(tn.byID, info.name)
-		info.id = MsgType(len(tn.byID))
+	next := &namerSnap{
+		names: make(map[reflect.Type]typeInfo, len(cur.names)+1),
+		byID:  cur.byID,
 	}
-	tn.names[t] = info
+	for k, v := range cur.names {
+		next.names[k] = v
+	}
+	if info.id == 0 {
+		next.byID = append(slices.Clip(cur.byID), info.name)
+		info.id = MsgType(len(next.byID))
+	}
+	next.names[t] = info
+	tn.snap.Store(next)
 	return info
 }
 
 // TypeName returns the normalised name behind a minted ID, or "" for 0
 // and IDs never minted.
 func (tn *TypeNamer) TypeName(id MsgType) string {
-	if id == 0 || int(id) > len(tn.byID) {
+	byID := tn.snap.Load().byID
+	if id == 0 || int(id) > len(byID) {
 		return ""
 	}
-	return tn.byID[id-1]
+	return byID[id-1]
 }
 
 // NumTypes reports how many distinct message-type IDs have been minted;
 // valid IDs are 1..NumTypes.
-func (tn *TypeNamer) NumTypes() int { return len(tn.byID) }
+func (tn *TypeNamer) NumTypes() int { return len(tn.snap.Load().byID) }
 
 // NormalizeTypeName reduces a Go type name to the schema's message-type
 // identifier: package path and pointer markers stripped, the conventional

@@ -4,6 +4,14 @@
 // paper's bounded eating time). The driver is a state listener: it reacts
 // to protocol-reported transitions, so it also handles algorithm-initiated
 // demotions (eating → hungry on movement) correctly.
+//
+// The driver is engine-agnostic and shard-safe: every follow-up it
+// schedules is a node-local event in the transitioning node's own
+// execution context (Host.ScheduleLocal), every random draw comes from
+// that node's private stream (Host.NodeRand), and its per-node records
+// live in plain slices indexed by node — no state is shared between
+// nodes, so the world may run its nodes on parallel tile workers with the
+// driver attached inline (manet's AddLocalStateListener).
 package workload
 
 import (
@@ -15,7 +23,11 @@ import (
 
 // Host is the runtime surface the driver needs; *manet.World satisfies it.
 type Host interface {
-	Scheduler() *sim.Scheduler
+	// ScheduleLocal schedules fn after the given delay in id's execution
+	// context; fn must touch only id-local state.
+	ScheduleLocal(id core.NodeID, after sim.Time, fn func())
+	// NodeRand is id's private deterministic random stream.
+	NodeRand(id core.NodeID) *rand.Rand
 	Protocol(core.NodeID) core.Protocol
 	Crashed(core.NodeID) bool
 	N() int
@@ -51,17 +63,17 @@ func DefaultConfig() Config {
 	}
 }
 
-// Driver runs the cycle. Create with New, register it as a state listener
-// on the world, then call Start.
+// Driver runs the cycle. Create with New, register it as a local state
+// listener on the world, then call Start.
 type Driver struct {
 	host Host
 	cfg  Config
-	rng  *rand.Rand
 
 	// gen invalidates scheduled follow-ups when a node's state changed
 	// again before they fired (e.g. an eating node demoted to hungry by
-	// the algorithm must not receive the pending ExitCS).
-	gen map[core.NodeID]uint64
+	// the algorithm must not receive the pending ExitCS). gen[id] is only
+	// touched from id's own execution context.
+	gen []uint64
 
 	participant map[core.NodeID]bool
 }
@@ -77,8 +89,7 @@ func New(host Host, cfg Config) *Driver {
 	d := &Driver{
 		host: host,
 		cfg:  cfg,
-		rng:  rand.New(rand.NewPCG(0xd1ce, uint64(host.N())+1)),
-		gen:  make(map[core.NodeID]uint64),
+		gen:  make([]uint64, host.N()),
 	}
 	if cfg.Participants != nil {
 		d.participant = make(map[core.NodeID]bool, len(cfg.Participants))
@@ -96,9 +107,9 @@ func (d *Driver) Participates(id core.NodeID) bool {
 	return d.participant == nil || d.participant[id]
 }
 
-// Start schedules the initial hunger of every participant.
+// Start schedules the initial hunger of every participant, staggered by a
+// draw from each participant's own stream.
 func (d *Driver) Start() {
-	sched := d.host.Scheduler()
 	for i := 0; i < d.host.N(); i++ {
 		id := core.NodeID(i)
 		if !d.Participates(id) {
@@ -106,37 +117,37 @@ func (d *Driver) Start() {
 		}
 		var at sim.Time
 		if d.cfg.InitialStagger > 0 {
-			at = sim.Time(d.rng.Int64N(int64(d.cfg.InitialStagger) + 1))
+			at = sim.Time(d.host.NodeRand(id).Int64N(int64(d.cfg.InitialStagger) + 1))
 		}
 		gen := d.gen[id]
-		sched.At(at, func() { d.makeHungry(id, gen) })
+		d.host.ScheduleLocal(id, at, func() { d.makeHungry(id, gen) })
 	}
 }
 
 // OnStateChange implements core.Listener: it schedules the follow-up
-// transition for each protocol-reported one.
+// transition for each protocol-reported one. It runs inline in the
+// transitioning node's execution context.
 func (d *Driver) OnStateChange(id core.NodeID, old, new core.State, at sim.Time) {
 	if !d.Participates(id) {
 		return
 	}
 	d.gen[id]++
 	gen := d.gen[id]
-	sched := d.host.Scheduler()
 	switch new {
 	case core.Eating:
-		sched.After(d.cfg.EatTime, func() { d.exitCS(id, gen) })
+		d.host.ScheduleLocal(id, d.cfg.EatTime, func() { d.exitCS(id, gen) })
 	case core.Thinking:
-		sched.After(d.thinkTime(), func() { d.makeHungry(id, gen) })
+		d.host.ScheduleLocal(id, d.thinkTime(id), func() { d.makeHungry(id, gen) })
 	case core.Hungry:
 		// Either our own makeHungry or an algorithm demotion; the
 		// algorithm is now responsible for reaching eating.
 	}
 }
 
-func (d *Driver) thinkTime() sim.Time {
+func (d *Driver) thinkTime(id core.NodeID) sim.Time {
 	t := d.cfg.ThinkMin
 	if span := int64(d.cfg.ThinkMax - d.cfg.ThinkMin); span > 0 {
-		t += sim.Time(d.rng.Int64N(span + 1))
+		t += sim.Time(d.host.NodeRand(id).Int64N(span + 1))
 	}
 	return t
 }

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"math/rand/v2"
 	"testing"
 
 	"lme/internal/core"
@@ -11,6 +12,7 @@ import (
 // a zero-contention environment for exercising the driver alone.
 type fakeHost struct {
 	sched   *sim.Scheduler
+	rngs    []*rand.Rand
 	protos  []*fakeProto
 	crashed map[core.NodeID]bool
 }
@@ -19,11 +21,16 @@ func newFakeHost(n int) *fakeHost {
 	h := &fakeHost{sched: sim.NewScheduler(1), crashed: make(map[core.NodeID]bool)}
 	for i := 0; i < n; i++ {
 		h.protos = append(h.protos, &fakeProto{})
+		s := uint64(i + 1)
+		h.rngs = append(h.rngs, rand.New(rand.NewPCG(s, s^0xabcd)))
 	}
 	return h
 }
 
-func (h *fakeHost) Scheduler() *sim.Scheduler             { return h.sched }
+func (h *fakeHost) ScheduleLocal(id core.NodeID, after sim.Time, fn func()) {
+	h.sched.After(after, fn)
+}
+func (h *fakeHost) NodeRand(id core.NodeID) *rand.Rand    { return h.rngs[id] }
 func (h *fakeHost) Protocol(id core.NodeID) core.Protocol { return h.protos[id] }
 func (h *fakeHost) Crashed(id core.NodeID) bool           { return h.crashed[id] }
 func (h *fakeHost) N() int                                { return len(h.protos) }
@@ -182,7 +189,7 @@ func TestThinkTimeRange(t *testing.T) {
 	h := newFakeHost(1)
 	d := New(h, Config{EatTime: 10, ThinkMin: 20, ThinkMax: 40})
 	for i := 0; i < 100; i++ {
-		tt := d.thinkTime()
+		tt := d.thinkTime(0)
 		if tt < 20 || tt > 40 {
 			t.Fatalf("think time %v outside [20,40]", tt)
 		}

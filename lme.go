@@ -288,7 +288,26 @@ type Config struct {
 	// remain available via the harness; the default is sketch-only,
 	// accurate to ±1% relative error.
 	RetainSamples bool
+
+	// Tiles selects the region-sharded parallel engine: values > 1
+	// partition the deployment's bounding box into a Tiles×Tiles grid of
+	// spatial shards, each with its own event heap, executed by up to
+	// ShardWorkers goroutines with conservative lookahead ν. 0 or 1 run
+	// the single-heap engine — the exact legacy behaviour. The event
+	// trace (and hence every result) is bit-identical across engines,
+	// tilings and worker counts; only the wall-clock changes. Use
+	// AutoTiles(n) for a size-appropriate default.
+	Tiles int
+
+	// ShardWorkers bounds the sharded engine's worker goroutines
+	// (0 = GOMAXPROCS); ignored when Tiles ≤ 1.
+	ShardWorkers int
 }
+
+// AutoTiles suggests a tile-grid side for an n-node world (roughly 64
+// nodes per tile, clamped to [1, 64]) — the default lmesim/lmebench use
+// when asked for "auto" sharding.
+func AutoTiles(n int) int { return manet.AutoTiles(n) }
 
 // ProgressConfig configures live run telemetry: a wall-clock heartbeat
 // sampling events/sec, virtual-time rate, open spans, heap bytes and
@@ -321,6 +340,12 @@ func NewSimulation(cfg Config) (*Simulation, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Tiles < 0 || cfg.Tiles > 128 {
+		return nil, fmt.Errorf("lme: invalid Tiles %d (want 0..128; 0 or 1 = single-heap engine, or AutoTiles(n))", cfg.Tiles)
+	}
+	if cfg.ShardWorkers < 0 {
+		return nil, fmt.Errorf("lme: invalid ShardWorkers %d (want ≥ 0; 0 = GOMAXPROCS)", cfg.ShardWorkers)
+	}
 	wl := workload.DefaultConfig()
 	if cfg.EatTime > 0 {
 		wl.EatTime = sim.FromDuration(cfg.EatTime)
@@ -349,6 +374,8 @@ func NewSimulation(cfg Config) (*Simulation, error) {
 		SpanFold:       cfg.FoldSpans,
 		RetainSamples:  cfg.RetainSamples,
 		PostmortemPath: cfg.PostmortemPath,
+		Tiles:          cfg.Tiles,
+		ShardWorkers:   cfg.ShardWorkers,
 	}
 	if cfg.MaxMessageDelay > 0 {
 		spec.MaxDelay = sim.FromDuration(cfg.MaxMessageDelay)
@@ -428,7 +455,7 @@ func (s *Simulation) RunContext(ctx context.Context, d time.Duration) error {
 
 // Now returns the current virtual time.
 func (s *Simulation) Now() time.Duration {
-	return sim.ToDuration(s.run.World.Scheduler().Now())
+	return sim.ToDuration(s.run.World.Now())
 }
 
 // checkNodes validates node IDs against the world size.
@@ -513,7 +540,7 @@ func (r Results) String() string {
 // Results snapshots the run's metrics.
 func (s *Simulation) Results() Results {
 	st := s.run.Recorder.Stats()
-	now := s.run.World.Scheduler().Now()
+	now := s.run.World.Now()
 	var starved []int
 	for _, id := range s.run.Prober.Blocked(now, now/5) {
 		starved = append(starved, int(id))
@@ -564,7 +591,7 @@ func (s *Simulation) Gantt(window time.Duration, width int) string {
 	if s.run.Timeline == nil {
 		return ""
 	}
-	now := s.run.World.Scheduler().Now()
+	now := s.run.World.Now()
 	from := now - sim.FromDuration(window)
 	if from < 0 {
 		from = 0
@@ -694,7 +721,6 @@ func (s *Simulation) Report(wall time.Duration) Report {
 	res := s.Results()
 	reg := s.run.Registry
 	st := s.run.Recorder.Stats()
-	sched := s.run.World.Scheduler()
 
 	byType := make(map[string]MessageTypeReport)
 	for name, v := range reg.CountersWithPrefix(metrics.PrefixSent) {
@@ -725,8 +751,8 @@ func (s *Simulation) Report(wall time.Duration) Report {
 		Schema:      ReportSchema,
 		Algorithm:   string(s.alg),
 		Nodes:       s.run.World.N(),
-		SimulatedUS: int64(sched.Now()),
-		SchedEvents: sched.Processed(),
+		SimulatedUS: int64(s.run.World.Now()),
+		SchedEvents: s.run.World.Processed(),
 		Meals:       res.TotalMeals,
 		Violations:  res.SafetyViolations,
 		Starved:     starved,
