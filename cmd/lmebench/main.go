@@ -86,6 +86,7 @@ func run() error {
 		scaleSeed  = flag.Uint64("scale-seed", 1, "seed for -scale runs")
 		scaleTiles = flag.Int("scale-tiles", 0, "tile grid side for -scale (0 = auto per n, 1 = single-heap reference)")
 		scaleWork  = flag.Int("scale-workers", 0, "worker goroutines for -scale (0 = GOMAXPROCS)")
+		scaleTel   = flag.Bool("scale-telemetry", true, "attach per-tile engine telemetry to -scale results (out-of-band; result_hash is unaffected)")
 		check      = flag.Bool("check", false, "with -micro: compare against the committed baseline and fail on large regressions")
 		baseline   = flag.String("baseline", "BENCH_micro.json", "baseline file for -micro -check")
 		checkTol   = flag.Float64("check-tol", 2.0, "regression factor tolerated by -micro -check (ns/op may grow up to this multiple)")
@@ -156,7 +157,7 @@ func run() error {
 		if !*jsonOut {
 			out = io.Discard
 		}
-		return harness.RunScaleSweep(ns, *scaleSeed, horizon, *scaleTiles, *scaleWork, out, logw)
+		return harness.RunScaleSweep(ns, *scaleSeed, horizon, *scaleTiles, *scaleWork, *scaleTel, out, logw)
 	}
 
 	want := map[string]bool{}
@@ -321,7 +322,19 @@ type microDoc struct {
 	Schema         string        `json:"schema"`
 	Results        []microResult `json:"results"`
 	ObservedVsDark float64       `json:"observed_vs_dark,omitempty"`
+	// TelemetryVsDark is TelemetryFold's interleaved-slab overhead ratio
+	// (telemetry-on ns / telemetry-off ns over alternating 5ms slabs of
+	// identical worlds) — the whole price of engine telemetry on the
+	// sharded window loop. Unlike ObservedVsDark it is load-bearing:
+	// -check fails when it exceeds telemetryOverheadBudget.
+	TelemetryVsDark float64 `json:"telemetry_vs_dark,omitempty"`
 }
+
+// telemetryOverheadBudget caps TelemetryVsDark under -check: telemetry
+// collection may cost at most 2% of the sharded window loop. The two
+// benchmarks run identical worlds back to back in one process, so the
+// ratio is far less noisy than cross-run ns/op comparisons.
+const telemetryOverheadBudget = 1.02
 
 // runMicro runs the substrate microbenchmarks of internal/microbench via
 // testing.Benchmark — the same bodies `go test -bench` runs in
@@ -355,13 +368,15 @@ func runMicro(jsonOut bool, baseline string, tol float64) error {
 			}
 		}
 	}
-	var dark, observed float64
+	var dark, observed, overhead float64
 	for _, r := range doc.Results {
 		switch r.Name {
 		case "EndToEndDark":
 			dark = r.NsPerOp
 		case "EndToEndObserved":
 			observed = r.NsPerOp
+		case "TelemetryFold":
+			overhead = r.Extras["overhead_x"]
 		}
 	}
 	if dark > 0 && observed > 0 {
@@ -369,6 +384,13 @@ func runMicro(jsonOut bool, baseline string, tol float64) error {
 		if !jsonOut {
 			fmt.Printf("observed-vs-dark   %.2fx (dark %.1f ns/op, observed %.1f ns/op)\n",
 				doc.ObservedVsDark, dark, observed)
+		}
+	}
+	if overhead > 0 {
+		doc.TelemetryVsDark = overhead
+		if !jsonOut {
+			fmt.Printf("telemetry-vs-dark  %.3fx (interleaved slabs, budget %.2fx)\n",
+				doc.TelemetryVsDark, telemetryOverheadBudget)
 		}
 	}
 	if jsonOut {
@@ -421,6 +443,14 @@ func checkMicro(doc microDoc, baseline string, tol float64) error {
 		if status != "ok" {
 			regressions = append(regressions, r.Name)
 		}
+	}
+	if doc.TelemetryVsDark > 0 {
+		status := "ok"
+		if doc.TelemetryVsDark > telemetryOverheadBudget {
+			status = fmt.Sprintf("REGRESSION: %.3fx vs the %.2fx budget", doc.TelemetryVsDark, telemetryOverheadBudget)
+			regressions = append(regressions, "telemetry-vs-dark")
+		}
+		fmt.Fprintf(os.Stderr, "check: %-18s %s (%.3fx)\n", "telemetry-vs-dark", status, doc.TelemetryVsDark)
 	}
 	if len(regressions) > 0 {
 		return fmt.Errorf("-check: %d benchmark(s) regressed vs %s: %s",

@@ -95,6 +95,7 @@ func run() error {
 		progEach = flag.Duration("progress-every", 2*time.Second, "wall-clock interval between heartbeats")
 		tiles    = flag.String("tiles", "1", "region-sharded engine tile grid side: an integer or \"auto\" (1 = classic single-heap engine; the trace is identical either way)")
 		shardW   = flag.Int("shard-workers", 0, "worker goroutines for the sharded engine (0 = GOMAXPROCS; needs -tiles > 1)")
+		telFlag  = flag.Bool("telemetry", false, "collect engine execution telemetry (lme/telemetry/v1) and attach it to -progress heartbeats; out-of-band, the trace is unchanged")
 	)
 	flag.Parse()
 
@@ -114,6 +115,7 @@ func run() error {
 		ThinkMax:       *think,
 		Tiles:          tileSide,
 		ShardWorkers:   *shardW,
+		Telemetry:      *telFlag,
 		PostmortemPath: *postmort,
 		// Without -spans-out, a postmortem (whose dump lists open spans)
 		// or a -gantt chart (which needs interval history) nothing reads

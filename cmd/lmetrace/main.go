@@ -26,10 +26,12 @@
 //	lmetrace -phases run.jsonl                  # phase aggregates
 //	lmetrace -waitfor 1.5s run.jsonl            # who blocks whom at 1.5s
 //	lmetrace -progress progress.jsonl           # render a -progress-out stream
+//	lmetrace -top progress.jsonl                # live tile heat view (lmetop)
 package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -113,6 +115,8 @@ func run() error {
 		phases   = flag.Bool("phases", false, "fold the trace into spans and print the aggregate phase table")
 		waitfor  = flag.Duration("waitfor", 0, "print the wait-for graph (who is blocked on whom) as of this virtual time")
 		progress = flag.Bool("progress", false, "render an lme/progress/v1 heartbeat stream (lmesim/lmebench -progress-out) instead of a trace")
+		top      = flag.Bool("top", false, "lmetop: live tile-grid heat view of a heartbeat stream with telemetry sections; follows a growing file until the final record")
+		topEvery = flag.Duration("top-every", 200*time.Millisecond, "poll interval when -top follows a growing file")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: lmetrace [flags] [trace.jsonl]\n\n"+
@@ -125,6 +129,7 @@ func run() error {
 	flag.Parse()
 
 	var in io.Reader = os.Stdin
+	fromFile := false
 	if flag.NArg() > 1 {
 		return fmt.Errorf("expected at most one trace file, got %d", flag.NArg())
 	}
@@ -135,10 +140,16 @@ func run() error {
 		}
 		defer f.Close()
 		in = f
+		fromFile = true
 	}
 
+	if *top {
+		// Follow only when reading a file: re-reading after EOF picks up
+		// appended heartbeats; a pipe is drained once.
+		return topRun(in, os.Stdout, fromFile, *topEvery, isTerminal(os.Stdout))
+	}
 	if *progress {
-		return progressView(in)
+		return progressView(in, os.Stdout)
 	}
 	if *spans || *phases || *waitfor > 0 {
 		return spanView(in, *spans, *phases, *waitfor)
@@ -399,44 +410,82 @@ func (s *summary) print(w io.Writer) {
 
 // progressView renders an lme/progress/v1 heartbeat stream: each record
 // as its human one-liner, then a run roll-up (peak rates, peak heap,
-// total trace loss) from the final/last record.
-func progressView(in io.Reader) error {
-	dec := json.NewDecoder(bufio.NewReader(in))
+// total trace loss, engine/transport telemetry when the run carried it)
+// from the final/last record. Lines of other schemas — a mixed stream
+// that interleaves trace events with heartbeats, say — are skipped and
+// counted rather than treated as errors, and records written by older
+// builds (no engine/transport sections) render exactly as before.
+func progressView(in io.Reader, out io.Writer) error {
+	sc := bufio.NewScanner(in)
+	// Telemetry sections can carry a per-tile array for up to 64×64
+	// tiles; give lines far more headroom than the 64KiB default.
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
 	var (
 		last           progress.Record
-		n              int
+		n, skipped     int
 		peakEv, peakUS float64
 		peakHeap       uint64
 	)
-	for {
-		var rec progress.Record
-		if err := dec.Decode(&rec); err == io.EOF {
-			break
-		} else if err != nil {
-			return fmt.Errorf("record %d: %w", n+1, err)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
 		}
-		if rec.Schema != progress.Schema {
-			return fmt.Errorf("record %d: schema %q, want %q", n+1, rec.Schema, progress.Schema)
+		var rec progress.Record
+		if err := json.Unmarshal(line, &rec); err != nil || rec.Schema != progress.Schema {
+			skipped++
+			continue
 		}
 		n++
 		last = rec
 		peakEv = max(peakEv, rec.EventsPerSec)
 		peakUS = max(peakUS, rec.SimUSPerSec)
 		peakHeap = max(peakHeap, rec.HeapBytes)
-		fmt.Println(rec.HumanLine())
+		fmt.Fprintln(out, rec.HumanLine())
+	}
+	if err := sc.Err(); err != nil {
+		return err
 	}
 	if n == 0 {
-		return fmt.Errorf("no progress records")
+		return fmt.Errorf("no progress records (skipped %d non-progress lines)", skipped)
 	}
-	fmt.Printf("\nrecords %d, wall %.1fs, events %d\n", n, last.WallMS/1000, last.Events)
-	fmt.Printf("peak %.0f ev/s", peakEv)
+	fmt.Fprintf(out, "\nrecords %d, wall %.1fs, events %d\n", n, last.WallMS/1000, last.Events)
+	fmt.Fprintf(out, "peak %.0f ev/s", peakEv)
 	if peakUS > 0 {
-		fmt.Printf(" (×%.1f real time)", peakUS/1e6)
+		fmt.Fprintf(out, " (×%.1f real time)", peakUS/1e6)
 	}
-	fmt.Printf(", peak heap %d bytes\n", peakHeap)
+	fmt.Fprintf(out, ", peak heap %d bytes\n", peakHeap)
 	if last.RingOverwritten > 0 || last.SinkDropped > 0 {
-		fmt.Printf("trace loss: %d ring-overwritten, %d sink-dropped\n",
+		fmt.Fprintf(out, "trace loss: %d ring-overwritten, %d sink-dropped\n",
 			last.RingOverwritten, last.SinkDropped)
+	}
+	if e := last.Engine; e != nil {
+		fmt.Fprintf(out, "engine: %d×%d tiles, %d workers, %d windows", e.Tiles, e.Tiles, e.Workers, e.Windows)
+		if e.Imbalance > 0 {
+			fmt.Fprintf(out, ", imbalance %.2f", e.Imbalance)
+		}
+		if e.StealAttempts > 0 {
+			fmt.Fprintf(out, ", steals %d/%d", e.StealHits, e.StealAttempts)
+		}
+		if e.CrossTileMsgs > 0 {
+			fmt.Fprintf(out, ", cross-tile msgs %d", e.CrossTileMsgs)
+		}
+		fmt.Fprintln(out)
+		if e.BarrierStallNS.Count > 0 {
+			fmt.Fprintf(out, "barrier stall p50=%sns p99=%sns\n",
+				sketchQ(e.BarrierStallNS, 0.50), sketchQ(e.BarrierStallNS, 0.99))
+		}
+	}
+	if ts := last.Transport; ts != nil {
+		fmt.Fprintf(out, "wire: %s, %d links, frames %d/%d, retransmits %d, dup drops %d, reorder hw %d, overflow %d\n",
+			ts.Kind, ts.Links, ts.FramesSent, ts.FramesDelivered,
+			ts.Retransmits, ts.DupDrops, ts.ReorderDepthHW, ts.ReorderOverflow)
+		if ts.AckRTTUS.Count > 0 {
+			fmt.Fprintf(out, "ack rtt p50=%sµs p99=%sµs\n", sketchQ(ts.AckRTTUS, 0.50), sketchQ(ts.AckRTTUS, 0.99))
+		}
+	}
+	if skipped > 0 {
+		fmt.Fprintf(out, "skipped %d non-progress lines\n", skipped)
 	}
 	return nil
 }

@@ -85,6 +85,12 @@ type Spec struct {
 	// keeps per-event cost at the dark-run floor; the safety checker,
 	// response recorder and prober still observe state transitions.
 	Lean bool
+
+	// Telemetry enables the engine's execution-telemetry counters
+	// (World.EngineTelemetry, surfaced through the progress heartbeat's
+	// engine section). Out-of-band: traces, hashes and tables are
+	// bit-identical with it on or off.
+	Telemetry bool
 }
 
 // Run is an assembled simulation.
@@ -143,6 +149,7 @@ func Build(spec Spec) (*Run, error) {
 	cfg.TraceRing = spec.TraceRing
 	cfg.Tiles = spec.Tiles
 	cfg.ShardWorkers = spec.ShardWorkers
+	cfg.Telemetry = spec.Telemetry
 	w := manet.NewWorld(cfg)
 	for _, p := range spec.Points {
 		id := w.AddNode(p)
@@ -303,6 +310,12 @@ func (r *Run) AttachProgress(cfg progress.Config) *progress.Reporter {
 	}
 	if r.Spans != nil {
 		src.OpenSpans = r.Spans.OpenCount
+	}
+	// The engine section rides along when the world collects telemetry.
+	// Safe here because this reporter is ticked at slice boundaries —
+	// coordinator context, no window in flight.
+	if r.World.Config().Telemetry {
+		src.Engine = r.World.EngineTelemetry
 	}
 	r.progress = progress.New(cfg, src)
 	return r.progress

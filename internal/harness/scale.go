@@ -15,6 +15,7 @@ import (
 	"lme/internal/manet"
 	"lme/internal/metrics"
 	"lme/internal/sim"
+	"lme/internal/telemetry"
 	"lme/internal/workload"
 )
 
@@ -36,6 +37,10 @@ type ScaleSpec struct {
 	// 1 = single-heap reference; workers 0 = GOMAXPROCS).
 	Tiles   int
 	Workers int
+	// Telemetry collects the engine's execution telemetry and attaches
+	// it to the result as extras. Never part of ResultHash: two runs of
+	// the same (N, Seed, Horizon) hash identically with it on or off.
+	Telemetry bool
 }
 
 // ScaleResult is one run's measurement. Every field except the wall-clock
@@ -65,6 +70,12 @@ type ScaleResult struct {
 	EventsPerSec float64 `json:"events_per_sec"`
 	HeapBPerNode float64 `json:"heap_bytes_per_node"`
 	ResultHash   string  `json:"result_hash"`
+
+	// Telemetry is the engine's lme/telemetry/v1 record (per-tile
+	// breakdown, imbalance, window/stall sketches) when ScaleSpec asked
+	// for it. Extras only: like the wall-clock fields it never enters
+	// ResultHash, so telemetry on/off runs hash identically.
+	Telemetry *telemetry.EngineStats `json:"telemetry,omitempty"`
 }
 
 // ScaleDoc is the lmebench -scale JSON document.
@@ -114,6 +125,7 @@ func RunScale(spec ScaleSpec) (ScaleResult, error) {
 		Tiles:        tiles,
 		ShardWorkers: spec.Workers,
 		Lean:         true,
+		Telemetry:    spec.Telemetry,
 	})
 	if err != nil {
 		return ScaleResult{}, err
@@ -165,6 +177,7 @@ func RunScale(spec ScaleSpec) (ScaleResult, error) {
 	runtime.ReadMemStats(&ms)
 	res.HeapBPerNode = float64(ms.HeapAlloc) / float64(spec.N)
 	res.ResultHash = res.hash()
+	res.Telemetry = r.World.EngineTelemetry()
 	return res, nil
 }
 
@@ -183,11 +196,12 @@ func (r ScaleResult) hash() string {
 
 // RunScaleSweep runs the sweep over node counts and writes the JSON
 // document to out (with progress lines to logw when non-nil).
-func RunScaleSweep(ns []int, seed uint64, horizon sim.Time, tiles, workers int, out, logw io.Writer) error {
+func RunScaleSweep(ns []int, seed uint64, horizon sim.Time, tiles, workers int, tel bool, out, logw io.Writer) error {
 	doc := ScaleDoc{Schema: ScaleSchema, Results: []ScaleResult{}}
 	for _, n := range ns {
 		res, err := RunScale(ScaleSpec{
 			N: n, Seed: seed, Horizon: horizon, Tiles: tiles, Workers: workers,
+			Telemetry: tel,
 		})
 		if err != nil {
 			return fmt.Errorf("scale n=%d: %w", n, err)

@@ -1,0 +1,46 @@
+package harness
+
+import (
+	"testing"
+
+	"lme/internal/telemetry"
+)
+
+// TestScaleResultHashTelemetryInvariant pins the -scale contract for the
+// telemetry extras: the same (N, Seed, Horizon) run hashes identically
+// with telemetry on and off, across tile grids — the extras ride along
+// in the JSON but never enter result_hash.
+func TestScaleResultHashTelemetryInvariant(t *testing.T) {
+	base := ScaleSpec{N: 300, Seed: 11, Horizon: 120_000}
+	ref, err := RunScale(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.ResultHash == "" {
+		t.Fatal("reference run has no result_hash")
+	}
+	for _, tiles := range []int{1, 4} {
+		for _, tel := range []bool{false, true} {
+			spec := base
+			spec.Tiles = tiles
+			spec.Telemetry = tel
+			res, err := RunScale(spec)
+			if err != nil {
+				t.Fatalf("tiles=%d telemetry=%v: %v", tiles, tel, err)
+			}
+			if res.ResultHash != ref.ResultHash {
+				t.Errorf("tiles=%d telemetry=%v: result_hash %s, want %s",
+					tiles, tel, res.ResultHash, ref.ResultHash)
+			}
+			if tel && res.Telemetry == nil {
+				t.Errorf("tiles=%d: telemetry requested but absent from the result", tiles)
+			}
+			if tel && res.Telemetry != nil && res.Telemetry.Schema != telemetry.Schema {
+				t.Errorf("tiles=%d: telemetry schema %q", tiles, res.Telemetry.Schema)
+			}
+			if !tel && res.Telemetry != nil {
+				t.Errorf("tiles=%d: telemetry attached without being requested", tiles)
+			}
+		}
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"lme/internal/metrics"
 	"lme/internal/sim"
 	"lme/internal/span"
+	"lme/internal/telemetry"
 	"lme/internal/trace"
 )
 
@@ -519,6 +520,17 @@ func (c *Cluster) Violations() []metrics.Violation {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.checker.Violations()
+}
+
+// TransportStats snapshots the transport's wire telemetry, or nil for a
+// transport that does not implement StatsSource. Safe after Stop — the
+// counters outlive the sockets.
+func (c *Cluster) TransportStats() *telemetry.TransportStats {
+	if src, ok := c.tr.(StatsSource); ok {
+		ts := src.Stats()
+		return &ts
+	}
+	return nil
 }
 
 // GrantStats snapshots the grant-latency sketch: the Acquire-to-lease

@@ -8,7 +8,9 @@ import (
 
 	"lme/internal/core"
 	"lme/internal/graph"
+	"lme/internal/metrics"
 	"lme/internal/sim"
+	"lme/internal/telemetry"
 )
 
 // Frame is one transport-level message on a directed link: the protocol
@@ -82,6 +84,19 @@ type Transport interface {
 	// Close shuts the transport down. No frame is delivered after Close
 	// returns.
 	Close() error
+}
+
+// StatsSource is the telemetry face of a transport: cumulative
+// per-directed-link wire counters aggregated into one lme/telemetry/v1
+// record. It is deliberately not part of Transport — a minimal
+// implementation stays four methods — but both shipped transports
+// provide it (the channel transport with mostly-zero shim counters, so
+// the seam contract is observable on either side), and the conformance
+// suite exercises it on both.
+type StatsSource interface {
+	// Stats snapshots the transport's wire telemetry. Safe to call at
+	// any point in the lifecycle, including after Close.
+	Stats() telemetry.TransportStats
 }
 
 // linkKey identifies a directed link.
@@ -160,9 +175,16 @@ type ChannelTransport struct {
 	deliver DeliverFunc
 	closed  atomic.Bool
 	wg      sync.WaitGroup
+
+	framesSent      atomic.Uint64
+	framesDelivered atomic.Uint64
 }
 
-var _ Transport = (*ChannelTransport)(nil)
+var (
+	_ Transport   = (*ChannelTransport)(nil)
+	_ StatsSource = (*ChannelTransport)(nil)
+	_ StatsSource = (*UDPTransport)(nil)
+)
 
 // NewChannelTransport builds the in-process transport over the edges of
 // g. maxDelay bounds the per-frame link delay (the paper's ν); seed
@@ -215,6 +237,7 @@ func (t *ChannelTransport) forward(key linkKey, q *frameQueue) {
 		if t.closed.Load() || q.isClosed() {
 			return
 		}
+		t.framesDelivered.Add(1)
 		t.deliver(f)
 	}
 }
@@ -233,7 +256,25 @@ func (t *ChannelTransport) Send(f Frame) {
 	q := t.links[linkKey{f.From, f.To}]
 	t.mu.Unlock()
 	if q != nil {
+		t.framesSent.Add(1)
 		q.push(f)
+	}
+}
+
+// Stats reports the channel transport's telemetry: frame counts plus
+// zeros for the reliability-shim counters — in-process queues never
+// retransmit, duplicate or reorder, and the zeros say so explicitly.
+func (t *ChannelTransport) Stats() telemetry.TransportStats {
+	t.mu.Lock()
+	links := len(t.links)
+	t.mu.Unlock()
+	return telemetry.TransportStats{
+		Schema:          telemetry.Schema,
+		Kind:            "channel",
+		Links:           links,
+		FramesSent:      t.framesSent.Load(),
+		FramesDelivered: t.framesDelivered.Load(),
+		AckRTTUS:        metrics.NewSketch().Snapshot(),
 	}
 }
 

@@ -12,7 +12,9 @@ import (
 
 	"lme/internal/core"
 	"lme/internal/graph"
+	"lme/internal/metrics"
 	"lme/internal/sim"
+	"lme/internal/telemetry"
 )
 
 // The algorithms assume reliable FIFO links (§3.1); UDP gives neither.
@@ -62,12 +64,17 @@ type udpSendLink struct {
 	nextSeq uint64
 	unacked []udpPending
 	down    bool
+
+	// Wire telemetry, cumulative, guarded by mu.
+	sent        uint64 // frames accepted by Send
+	retransmits uint64 // datagrams resent by the RTO loop
 }
 
 type udpPending struct {
 	seq      uint64
 	pkt      []byte
 	lastSent time.Time
+	resent   bool // ever retransmitted — its ACK is ambiguous for RTT (Karn's rule)
 }
 
 // udpRecvLink is the receiver half of one directed link.
@@ -77,6 +84,12 @@ type udpRecvLink struct {
 	lastMseq uint64            // msg-id dedup guard: delivered ids are strictly increasing
 	reorder  map[uint64][]byte // out-of-order frames keyed by seq
 	down     bool
+
+	// Wire telemetry, cumulative, guarded by mu.
+	delivered uint64 // frames handed to the delivery callback
+	dupDrops  uint64 // duplicates suppressed (stale seq or stale mseq)
+	depthHW   uint64 // reorder-buffer high-water depth
+	overflow  uint64 // datagrams discarded because the reorder buffer was full
 }
 
 // udpReorderCap bounds the reorder buffer per link; datagrams beyond the
@@ -102,6 +115,12 @@ type UDPTransport struct {
 	closed  atomic.Bool
 	stopCh  chan struct{}
 	wg      sync.WaitGroup
+
+	// rtt sketches the send→cumulative-ACK round trip (µs) across all
+	// links; reader goroutines observe into it concurrently, hence the
+	// dedicated lock.
+	rttMu sync.Mutex
+	rtt   *metrics.Sketch
 
 	// mangle, when set (tests only), intercepts every outgoing data
 	// datagram and returns the datagrams actually written — it simulates
@@ -129,6 +148,7 @@ func NewUDPTransport(g *graph.Graph, rto time.Duration) (*UDPTransport, error) {
 		recv:   make(map[linkKey]*udpRecvLink, 2*len(g.Edges())),
 		rto:    rto,
 		stopCh: make(chan struct{}),
+		rtt:    metrics.NewSketch(),
 	}
 	for i := 0; i < n; i++ {
 		// Copy-on-retain: the transport keeps its own adjacency slices so
@@ -202,6 +222,7 @@ func (t *UDPTransport) Send(f Frame) {
 	}
 	seq := sl.nextSeq
 	sl.nextSeq++
+	sl.sent++
 	pkt := encodeData(f, seq, payload)
 	sl.unacked = append(sl.unacked, udpPending{seq: seq, pkt: pkt, lastSent: time.Now()})
 	sl.mu.Unlock()
@@ -240,6 +261,8 @@ func (t *UDPTransport) retransmitLoop() {
 			for i := range sl.unacked {
 				if !sl.down && now.Sub(sl.unacked[i].lastSent) >= t.rto {
 					sl.unacked[i].lastSent = now
+					sl.unacked[i].resent = true
+					sl.retransmits++
 					resend = append(resend, sl.unacked[i].pkt)
 				}
 			}
@@ -297,21 +320,34 @@ func (t *UDPTransport) read(id core.NodeID) {
 	}
 }
 
-// onAck discards acknowledged frames from the link's retransmit queue.
+// onAck discards acknowledged frames from the link's retransmit queue
+// and samples their round trips (first-transmission frames only — a
+// retransmitted frame's ACK cannot be attributed to one send).
 func (t *UDPTransport) onAck(key linkKey, cum uint64) {
 	sl := t.send[key]
 	if sl == nil {
 		return
 	}
+	now := time.Now()
+	var rtts []float64
 	sl.mu.Lock()
 	keep := sl.unacked[:0]
 	for _, p := range sl.unacked {
 		if p.seq > cum {
 			keep = append(keep, p)
+		} else if !p.resent {
+			rtts = append(rtts, float64(now.Sub(p.lastSent))/float64(time.Microsecond))
 		}
 	}
 	sl.unacked = keep
 	sl.mu.Unlock()
+	if len(rtts) > 0 {
+		t.rttMu.Lock()
+		for _, v := range rtts {
+			t.rtt.ObserveFloat(v)
+		}
+		t.rttMu.Unlock()
+	}
 }
 
 // onData runs the receiver shim for one data datagram: dedup, reorder,
@@ -330,11 +366,23 @@ func (t *UDPTransport) onData(key linkKey, seq uint64, pkt []byte) {
 	case seq < rl.nextSeq:
 		// Duplicate of a delivered frame (lost ack or retransmit race):
 		// suppress, but re-ack so the sender stops resending.
+		rl.dupDrops++
 		t.ack(key, rl.nextSeq-1)
 		return
 	case seq > rl.nextSeq:
-		if len(rl.reorder) < udpReorderCap {
+		if _, dup := rl.reorder[seq]; dup {
+			rl.dupDrops++
+		} else if len(rl.reorder) < udpReorderCap {
 			rl.reorder[seq] = pkt
+			if d := uint64(len(rl.reorder)); d > rl.depthHW {
+				rl.depthHW = d
+			}
+		} else {
+			// Beyond the reorder window: the datagram is discarded and
+			// recovered by the sender's retransmission once the buffer
+			// drains. Counted — a hot reorder_overflow means the cap (or
+			// the RTO) is mistuned for the link.
+			rl.overflow++
 		}
 		t.ack(key, rl.nextSeq-1)
 		return
@@ -362,6 +410,7 @@ func (t *UDPTransport) deliverLocked(rl *udpRecvLink, key linkKey, pkt []byte) {
 		// Msg-id dedup: per link the sender's message ids are strictly
 		// increasing, so a stale id here is a duplicate that slipped past
 		// the sequence check (e.g. a corrupted seq field).
+		rl.dupDrops++
 		return
 	}
 	msg, err := decodePayload(pkt[udpHeaderLen:])
@@ -369,6 +418,7 @@ func (t *UDPTransport) deliverLocked(rl *udpRecvLink, key linkKey, pkt []byte) {
 		return // undecodable payload; retransmission cannot help, drop
 	}
 	rl.lastMseq = mseq
+	rl.delivered++
 	t.deliver(Frame{
 		From:   key[0],
 		To:     key[1],
@@ -409,6 +459,38 @@ func (t *UDPTransport) LinkDown(a, b core.NodeID) {
 			rl.mu.Unlock()
 		}
 	}
+}
+
+// Stats aggregates the shim's per-directed-link wire counters into the
+// lme/telemetry/v1 transport record. Safe any time (including after
+// Close): the link maps are immutable after construction and every
+// counter sits under its link's lock.
+func (t *UDPTransport) Stats() telemetry.TransportStats {
+	ts := telemetry.TransportStats{
+		Schema: telemetry.Schema,
+		Kind:   "udp",
+		Links:  len(t.send),
+	}
+	for _, sl := range t.send {
+		sl.mu.Lock()
+		ts.FramesSent += sl.sent
+		ts.Retransmits += sl.retransmits
+		sl.mu.Unlock()
+	}
+	for _, rl := range t.recv {
+		rl.mu.Lock()
+		ts.FramesDelivered += rl.delivered
+		ts.DupDrops += rl.dupDrops
+		ts.ReorderOverflow += rl.overflow
+		if rl.depthHW > ts.ReorderDepthHW {
+			ts.ReorderDepthHW = rl.depthHW
+		}
+		rl.mu.Unlock()
+	}
+	t.rttMu.Lock()
+	ts.AckRTTUS = t.rtt.Snapshot()
+	t.rttMu.Unlock()
+	return ts
 }
 
 // Close shuts every socket and waits for the readers and the

@@ -19,6 +19,7 @@ import (
 	"lme/internal/livenet"
 	"lme/internal/metrics"
 	"lme/internal/sim"
+	"lme/internal/telemetry"
 )
 
 // Config parameterises one load run.
@@ -121,11 +122,16 @@ type Result struct {
 
 	// NodesServed counts nodes granted at least one lease.
 	NodesServed int `json:"nodes_served"`
+
+	// TransportStats carries the transport's lme/telemetry/v1 wire
+	// counters (retransmits, duplicate drops, reorder overflow, ACK RTT
+	// sketch); nil when the transport does not expose them.
+	TransportStats *telemetry.TransportStats `json:"transport_stats,omitempty"`
 }
 
 // String renders the result as the human-readable lmeload report.
 func (r Result) String() string {
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"nodes=%d clients=%d transport=%s wall=%.0fms\n"+
 			"acquisitions=%d (%.0f/s, %d nodes served)\n"+
 			"grant latency p50=%v p95=%v p99=%v max=%v (mean %v)\n"+
@@ -134,6 +140,18 @@ func (r Result) String() string {
 		r.Acquisitions, r.AcqPerSec, r.NodesServed,
 		r.GrantP50, r.GrantP95, r.GrantP99, r.GrantMax, r.GrantMean,
 		r.MessagesSent, r.PerAcquisition, r.ExpiredLeases, r.Violations)
+	if ts := r.TransportStats; ts != nil {
+		s += fmt.Sprintf(
+			"\nwire links=%d frames=%d/%d retransmits=%d dup_drops=%d reorder_hw=%d reorder_overflow=%d",
+			ts.Links, ts.FramesSent, ts.FramesDelivered,
+			ts.Retransmits, ts.DupDrops, ts.ReorderDepthHW, ts.ReorderOverflow)
+		if ts.AckRTTUS.Count > 0 {
+			rtt := metrics.FromSnapshot(ts.AckRTTUS)
+			s += fmt.Sprintf(" ack_rtt p50=%dµs p99=%dµs",
+				int64(rtt.Quantile(0.50)), int64(rtt.Quantile(0.99)))
+		}
+	}
+	return s
 }
 
 // Run builds the cluster, drives one client goroutine per node for the
@@ -183,22 +201,23 @@ func Run(cfg Config) (Result, error) {
 		}
 	}
 	res := Result{
-		Nodes:         n,
-		Clients:       n,
-		Duration:      cfg.Duration,
-		WallMS:        float64(wall.Microseconds()) / 1000,
-		Transport:     transport,
-		Acquisitions:  cluster.Acquisitions(),
-		ExpiredLeases: cluster.ExpiredLeases(),
-		Violations:    len(cluster.Violations()),
-		MessagesSent:  cluster.MessagesSent(),
-		NodesServed:   served,
-		Grant:         snap,
-		GrantP50:      sim.ToDuration(sk.Quantile(0.50)),
-		GrantP95:      sim.ToDuration(sk.Quantile(0.95)),
-		GrantP99:      sim.ToDuration(sk.Quantile(0.99)),
-		GrantMax:      sim.ToDuration(sim.Time(sk.Max() + 0.5)),
-		GrantMean:     sim.ToDuration(sim.Time(sk.Mean() + 0.5)),
+		Nodes:          n,
+		Clients:        n,
+		Duration:       cfg.Duration,
+		WallMS:         float64(wall.Microseconds()) / 1000,
+		Transport:      transport,
+		Acquisitions:   cluster.Acquisitions(),
+		ExpiredLeases:  cluster.ExpiredLeases(),
+		Violations:     len(cluster.Violations()),
+		MessagesSent:   cluster.MessagesSent(),
+		NodesServed:    served,
+		Grant:          snap,
+		GrantP50:       sim.ToDuration(sk.Quantile(0.50)),
+		GrantP95:       sim.ToDuration(sk.Quantile(0.95)),
+		GrantP99:       sim.ToDuration(sk.Quantile(0.99)),
+		GrantMax:       sim.ToDuration(sim.Time(sk.Max() + 0.5)),
+		GrantMean:      sim.ToDuration(sim.Time(sk.Mean() + 0.5)),
+		TransportStats: cluster.TransportStats(),
 	}
 	res.GrantP50US = int64(res.GrantP50 / time.Microsecond)
 	res.GrantP95US = int64(res.GrantP95 / time.Microsecond)

@@ -42,9 +42,20 @@ const goldenTraceHash = "4399863567ac1281cf86c93576a42cdec7948c626db996c8fd76969
 // test, a file for TestDumpGoldenTrace).
 func runGoldenScenario(t *testing.T, sink io.Writer) {
 	t.Helper()
+	runGoldenScenarioCfg(t, sink, nil)
+}
+
+// runGoldenScenarioCfg is runGoldenScenario with a config hook, so the
+// telemetry-invariance test can flip out-of-band knobs (telemetry
+// collection, tiling) and pin that the recorded stream never moves.
+func runGoldenScenarioCfg(t *testing.T, sink io.Writer, mutate func(*manet.Config)) {
+	t.Helper()
 	cfg := manet.DefaultConfig()
 	cfg.Seed = 2026
 	cfg.Radius = 0.28
+	if mutate != nil {
+		mutate(&cfg)
+	}
 	w := manet.NewWorld(cfg)
 	w.Bus().SetSink(sink)
 
@@ -106,6 +117,20 @@ func TestGoldenTraceHash(t *testing.T) {
 	if got != goldenTraceHash {
 		t.Fatalf("golden trace hash changed:\n got  %s\n want %s\n"+
 			"the substrate no longer reproduces the recorded event stream bit for bit",
+			got, goldenTraceHash)
+	}
+}
+
+// TestGoldenTraceHashTelemetryOn pins the out-of-band contract at the
+// strongest oracle we have: collecting execution telemetry must
+// reproduce the recorded golden stream bit for bit. (The scenario's
+// workload uses Scheduler(), so it runs single-heap only; the sharded
+// grids are covered by TestTelemetryInvariance's byte-level diffs.)
+func TestGoldenTraceHashTelemetryOn(t *testing.T) {
+	h := sha256.New()
+	runGoldenScenarioCfg(t, h, func(cfg *manet.Config) { cfg.Telemetry = true })
+	if got := hex.EncodeToString(h.Sum(nil)); got != goldenTraceHash {
+		t.Fatalf("telemetry collection changed the golden trace:\n got  %s\n want %s",
 			got, goldenTraceHash)
 	}
 }

@@ -43,12 +43,16 @@ import (
 	"runtime"
 	"runtime/debug"
 	"slices"
+	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"lme/internal/core"
 	"lme/internal/graph"
+	"lme/internal/metrics"
 	"lme/internal/sim"
+	"lme/internal/telemetry"
 	"lme/internal/trace"
 )
 
@@ -181,6 +185,154 @@ type shardExec struct {
 	merged []effect
 	migBuf []sim.Item
 	active []*tile
+
+	// tel accumulates execution telemetry when Config.Telemetry is set;
+	// nil on the dark path, where the only residue is nil checks and
+	// worker-local integer increments — no allocation, no time calls, no
+	// change to how events are grouped or ordered.
+	tel *shardTelemetry
+}
+
+// shardTelemetry is the engine's telemetry accumulator. All cumulative
+// fields are owned by the coordinator and folded at window barriers; the
+// w-prefixed slices are window scratch written by workers (one slot per
+// worker — disjoint, and the WaitGroup join orders them before the
+// coordinator's fold). Out-of-band by construction: nothing here feeds
+// back into window bounds, event order or randomness.
+type shardTelemetry struct {
+	windows       uint64
+	stealAttempts uint64
+	stealHits     uint64
+	crossMsgs     uint64
+
+	// sumMax/sumMean accumulate each window's max and mean
+	// events-per-active-tile; their quotient is the imbalance summary.
+	sumMax, sumMean float64
+
+	windowSpan   *metrics.Sketch // virtual window width, µs
+	barrierStall *metrics.Sketch // per-worker stall at the join, ns
+
+	// traffic is the sparse tile→tile delivery matrix, keyed
+	// from<<32|to; lastProc remembers each tile's event count at the
+	// previous barrier so per-window deltas need no extra work in the
+	// tile hot loop.
+	traffic  map[uint64]uint64
+	lastProc []uint64
+
+	wAttempts []uint64
+	wHits     []uint64
+	wFinish   []time.Time
+}
+
+func newShardTelemetry(tiles, workers int) *shardTelemetry {
+	return &shardTelemetry{
+		windowSpan:   metrics.NewSketch(),
+		barrierStall: metrics.NewSketch(),
+		traffic:      make(map[uint64]uint64),
+		lastProc:     make([]uint64, tiles),
+		wAttempts:    make([]uint64, workers),
+		wHits:        make([]uint64, workers),
+		wFinish:      make([]time.Time, workers),
+	}
+}
+
+// workerDone records one worker's window tally: its draws on the shared
+// work queue and the instant it ran out of tiles. Worker context; slot
+// wi is exclusively this worker's.
+func (tel *shardTelemetry) workerDone(wi int, attempts, hits uint64) {
+	tel.wAttempts[wi] = attempts
+	tel.wHits[wi] = hits
+	tel.wFinish[wi] = time.Now()
+}
+
+// foldWorkers folds the window's worker slots after the join: draw
+// counters into the steal totals, and each worker's gap to the last
+// finisher into the barrier-stall sketch. Coordinator context.
+func (tel *shardTelemetry) foldWorkers(nw int) {
+	last := tel.wFinish[0]
+	for _, ts := range tel.wFinish[1:nw] {
+		if ts.After(last) {
+			last = ts
+		}
+	}
+	for wi := 0; wi < nw; wi++ {
+		tel.stealAttempts += tel.wAttempts[wi]
+		tel.stealHits += tel.wHits[wi]
+		tel.barrierStall.ObserveFloat(float64(last.Sub(tel.wFinish[wi])))
+	}
+}
+
+// foldWindow accumulates one window's shape: its virtual width and the
+// max/mean events per active tile. Coordinator context, called between
+// runTiles and the next window.
+func (sx *shardExec) foldWindow(wstartAt, boundAt sim.Time) {
+	tel := sx.tel
+	tel.windows++
+	tel.windowSpan.ObserveFloat(float64(boundAt - wstartAt))
+	if len(sx.active) == 0 {
+		return
+	}
+	var maxEv, sumEv uint64
+	for _, t := range sx.active {
+		d := t.processed - tel.lastProc[t.idx]
+		tel.lastProc[t.idx] = t.processed
+		if d > maxEv {
+			maxEv = d
+		}
+		sumEv += d
+	}
+	tel.sumMax += float64(maxEv)
+	tel.sumMean += float64(sumEv) / float64(len(sx.active))
+}
+
+// telemetrySnapshot assembles the engine's lme/telemetry/v1 record.
+// Coordinator context only (between RunUntil slices, or after the run):
+// it reads tile counters the workers own during windows.
+func (sx *shardExec) telemetrySnapshot() *telemetry.EngineStats {
+	tel := sx.tel
+	if tel == nil {
+		return nil
+	}
+	es := &telemetry.EngineStats{
+		Schema:         telemetry.Schema,
+		Tiles:          sx.g,
+		Workers:        sx.workers,
+		Windows:        tel.windows,
+		Events:         sx.totalProcessed(),
+		StealAttempts:  tel.stealAttempts,
+		StealHits:      tel.stealHits,
+		CrossTileMsgs:  tel.crossMsgs,
+		WindowSpanUS:   tel.windowSpan.Snapshot(),
+		BarrierStallNS: tel.barrierStall.Snapshot(),
+	}
+	if tel.windows > 0 {
+		es.ImbalanceMaxAvg = tel.sumMax / float64(tel.windows)
+		es.ImbalanceMeanAvg = tel.sumMean / float64(tel.windows)
+		if es.ImbalanceMeanAvg > 0 {
+			es.Imbalance = es.ImbalanceMaxAvg / es.ImbalanceMeanAvg
+		}
+	}
+	es.PerTile = make([]telemetry.TileStats, len(sx.tiles))
+	for i, t := range sx.tiles {
+		es.PerTile[i] = telemetry.TileStats{
+			Tile: t.idx, Events: t.processed,
+			MsgsSent: t.msgsSent, MsgsDelivered: t.msgsDelivered,
+		}
+	}
+	if len(tel.traffic) > 0 {
+		keys := make([]uint64, 0, len(tel.traffic))
+		for k := range tel.traffic {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		es.Traffic = make([]telemetry.TileLink, len(keys))
+		for i, k := range keys {
+			es.Traffic[i] = telemetry.TileLink{
+				From: int32(k >> 32), To: int32(uint32(k)), Msgs: tel.traffic[k],
+			}
+		}
+	}
+	return es
 }
 
 // initShard builds the tile grid over the initial node positions and
@@ -200,6 +352,9 @@ func (w *World) initShard() {
 	}
 	if sx.lookahead < 1 {
 		sx.lookahead = 1
+	}
+	if w.cfg.Telemetry {
+		sx.tel = newShardTelemetry(g*g, max(sx.workers, 1))
 	}
 	// The tile grid covers the bounding box of the initial positions
 	// (layouts like LinePoints extend beyond the unit square). Geometry
@@ -313,6 +468,9 @@ func (sx *shardExec) runUntil(deadline sim.Time, maxEvents uint64) error {
 			bound = topoKey
 		}
 		sx.runTiles(bound)
+		if sx.tel != nil {
+			sx.foldWindow(wstart.At, bound.At)
+		}
 		sx.drainOutboxes()
 		sx.dispatchEffects()
 		if topoDue {
@@ -377,13 +535,20 @@ func (sx *shardExec) runTiles(bound sim.Key) {
 		for _, t := range active {
 			t.run(bound, sx.hook)
 		}
+		if tel := sx.tel; tel != nil {
+			// Serial window: every draw hits, nobody stalls.
+			tel.stealAttempts += uint64(len(active))
+			tel.stealHits += uint64(len(active))
+		}
 	} else {
+		tel := sx.tel
+		nw := min(sx.workers, len(active))
 		var next atomic.Int64
 		var wg sync.WaitGroup
 		var panicOnce sync.Once
 		var panicVal any
 		var panicStack []byte
-		for range min(sx.workers, len(active)) {
+		for wi := range nw {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
@@ -395,18 +560,27 @@ func (sx *shardExec) runTiles(bound sim.Key) {
 						})
 					}
 				}()
+				var attempts, hits uint64
 				for {
 					i := next.Add(1) - 1
+					attempts++
 					if int(i) >= len(active) {
-						return
+						break
 					}
+					hits++
 					active[i].run(bound, sx.hook)
+				}
+				if tel != nil {
+					tel.workerDone(wi, attempts, hits)
 				}
 			}()
 		}
 		wg.Wait()
 		if panicVal != nil {
 			panic(fmt.Sprintf("manet: shard worker panic: %v\n%s", panicVal, panicStack))
+		}
+		if tel != nil {
+			tel.foldWorkers(nw)
 		}
 	}
 	sx.inWindow = false
@@ -423,9 +597,15 @@ func (sx *shardExec) runTiles(bound sim.Key) {
 // tile has executed past it.
 func (sx *shardExec) drainOutboxes() {
 	w := sx.w
+	tel := sx.tel
 	for _, t := range sx.active {
 		for i, it := range t.outMsgs {
-			sx.tiles[w.nodes[it.K.Owner].tile].heap.Push(it)
+			dst := w.nodes[it.K.Owner].tile
+			if tel != nil {
+				tel.crossMsgs++
+				tel.traffic[uint64(uint32(t.idx))<<32|uint64(uint32(dst))]++
+			}
+			sx.tiles[dst].heap.Push(it)
 			t.outMsgs[i] = sim.Item{}
 		}
 		t.outMsgs = t.outMsgs[:0]

@@ -33,7 +33,9 @@ import (
 
 	"lme/internal/core"
 	"lme/internal/graph"
+	"lme/internal/metrics"
 	"lme/internal/sim"
+	"lme/internal/telemetry"
 	"lme/internal/trace"
 )
 
@@ -78,6 +80,12 @@ type Config struct {
 	// (0 = GOMAXPROCS). Ignored by the single-heap engine. The trace is
 	// identical for every worker count.
 	ShardWorkers int
+
+	// Telemetry enables the engine's execution-telemetry counters
+	// (EngineTelemetry). Out-of-band: it never changes the event order,
+	// the trace or any result — a run with telemetry on is bit-identical
+	// to the same run with it off, which TestTelemetryInvariance pins.
+	Telemetry bool
 }
 
 // DefaultConfig returns the parameters used throughout the experiments:
@@ -372,6 +380,38 @@ func (w *World) Processed() uint64 {
 		return total
 	}
 	return w.sched.Processed()
+}
+
+// EngineTelemetry assembles the execution-layer lme/telemetry/v1 record,
+// or nil when Config.Telemetry is off (or the sharded engine has not
+// started yet). The single-heap engine reports the degenerate 1×1 grid —
+// one tile, zero windows and steals — so consumers see one shape from
+// both engines. Coordinator context only: call between RunUntil slices
+// or after the run, never from an event handler under the sharded
+// engine.
+func (w *World) EngineTelemetry() *telemetry.EngineStats {
+	if !w.cfg.Telemetry {
+		return nil
+	}
+	if w.cfg.Tiles > 1 {
+		if sx := w.shard; sx != nil {
+			return sx.telemetrySnapshot()
+		}
+		return nil
+	}
+	events := w.sched.Processed()
+	empty := metrics.NewSketch().Snapshot()
+	return &telemetry.EngineStats{
+		Schema: telemetry.Schema,
+		Tiles:  1, Workers: 1,
+		Events:         events,
+		WindowSpanUS:   empty,
+		BarrierStallNS: empty,
+		PerTile: []telemetry.TileStats{{
+			Tile: 0, Events: events,
+			MsgsSent: w.msgsSent, MsgsDelivered: w.msgsDelivered,
+		}},
+	}
 }
 
 // SetEventHook installs f to run after every executed event, at the

@@ -44,6 +44,8 @@ func All() []Benchmark {
 		{Name: "ScaleSweep1kSharded", Fn: ScaleSweep1kSharded},
 		{Name: "ScaleSweep10k", Fn: ScaleSweep10k},
 		{Name: "ScaleSweep10kSharded", Fn: ScaleSweep10kSharded},
+		{Name: "ShardBarrier", Fn: ShardBarrier},
+		{Name: "TelemetryFold", Fn: TelemetryFold},
 		{Name: "ShardedChurn", Fn: ShardedChurn},
 	}
 }

@@ -3,6 +3,7 @@ package microbench
 import (
 	"runtime"
 	"testing"
+	"time"
 
 	"lme/internal/core"
 	"lme/internal/graph"
@@ -44,6 +45,12 @@ func (p *pingProto) State() core.State                            { return core.
 // on every node, and the requested engine configuration. tiles ≤ 1 is the
 // single-heap engine.
 func scaleWorld(b *testing.B, n, tiles, workers int) *manet.World {
+	return scaleWorldTel(b, n, tiles, workers, false)
+}
+
+// scaleWorldTel is scaleWorld with the telemetry switch exposed, for the
+// ShardBarrier/TelemetryFold overhead pair.
+func scaleWorldTel(b *testing.B, n, tiles, workers int, tel bool) *manet.World {
 	b.Helper()
 	cfg := manet.DefaultConfig()
 	cfg.Seed = 1
@@ -55,6 +62,7 @@ func scaleWorld(b *testing.B, n, tiles, workers int) *manet.World {
 	cfg.Radius = 1.45 * spacing
 	cfg.Tiles = tiles
 	cfg.ShardWorkers = workers
+	cfg.Telemetry = tel
 	w := manet.NewWorld(cfg)
 	for i := 0; i < n; i++ {
 		id := w.AddNode(graph.Point{
@@ -113,6 +121,58 @@ func ScaleSweep10k(b *testing.B) { runScaleChunks(b, scaleWorld(b, 10_000, 1, 0)
 // configuration the ≥4× multi-core acceptance target is measured on.
 func ScaleSweep10kSharded(b *testing.B) {
 	runScaleChunks(b, scaleWorld(b, 10_000, manet.AutoTiles(10_000), 0), 10_000)
+}
+
+// ShardBarrier is the telemetry-overhead reference: the n=1000 sharded
+// storm with an explicit 2-worker bound (so the parallel window/barrier
+// path runs even on a single-core host) and telemetry off — the dark
+// fast path, which must stay allocation-free.
+func ShardBarrier(b *testing.B) {
+	runScaleChunks(b, scaleWorldTel(b, 1_000, manet.AutoTiles(1_000), 2, false), 1_000)
+}
+
+// TelemetryFold prices engine telemetry: two identical sharded worlds —
+// telemetry off and on — advance in interleaved 5ms slabs, each slab
+// timed separately. Interleaving makes the ratio robust against clock
+// drift, GC pressure and frequency scaling that sink cross-benchmark
+// ns/op comparisons; the "overhead_x" extra (telemetry ns / dark ns) is
+// the whole price of the per-window fold (per-tile deltas, imbalance,
+// span/stall sketches, worker scratch), and lmebench -micro -check
+// fails if it exceeds the pinned budget.
+func TelemetryFold(b *testing.B) {
+	dark := scaleWorldTel(b, 1_000, manet.AutoTiles(1_000), 2, false)
+	tel := scaleWorldTel(b, 1_000, manet.AutoTiles(1_000), 2, true)
+	const chunk = sim.Time(5_000)
+	// Warm both worlds past the initial link-up storm so the measured
+	// slabs see the same steady state, and start from a clean heap.
+	for i := 0; i < 10; i++ {
+		if err := dark.RunUntil(dark.Now()+chunk, 0); err != nil {
+			b.Fatal(err)
+		}
+		if err := tel.RunUntil(tel.Now()+chunk, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	runtime.GC()
+	var darkNS, telNS int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		if err := dark.RunUntil(dark.Now()+chunk, 0); err != nil {
+			b.Fatal(err)
+		}
+		t1 := time.Now()
+		if err := tel.RunUntil(tel.Now()+chunk, 0); err != nil {
+			b.Fatal(err)
+		}
+		darkNS += t1.Sub(t0).Nanoseconds()
+		telNS += time.Since(t1).Nanoseconds()
+	}
+	b.StopTimer()
+	if darkNS > 0 {
+		b.ReportMetric(float64(telNS)/float64(darkNS), "overhead_x")
+	}
 }
 
 // ShardedChurn layers mobility on the sharded storm: n=1000 with 64

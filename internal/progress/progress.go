@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"lme/internal/sim"
+	"lme/internal/telemetry"
 )
 
 // Schema identifies the JSONL record layout; bump on breaking changes.
@@ -56,6 +57,13 @@ type Record struct {
 	// jobs source (JobsTotal may be 0 when unknown).
 	JobsDone  int `json:"jobs_done,omitempty"`
 	JobsTotal int `json:"jobs_total,omitempty"`
+	// Engine and Transport are the optional lme/telemetry/v1 sections:
+	// the sharded engine's per-tile/window counters and a live
+	// transport's wire counters. Absent (nil) when the run collects no
+	// telemetry — old lme/progress/v1 records simply lack the keys, and
+	// readers must tolerate that.
+	Engine    *telemetry.EngineStats    `json:"engine,omitempty"`
+	Transport *telemetry.TransportStats `json:"transport,omitempty"`
 	// Final marks the closing record emitted after the run completes.
 	Final bool `json:"final,omitempty"`
 }
@@ -74,6 +82,13 @@ type Sources struct {
 	Loss func() (overwritten, dropped uint64)
 	// Jobs reports fleet progress (done, total); total 0 = unknown.
 	Jobs func() (done, total int)
+	// Engine snapshots the execution engine's telemetry (nil result =
+	// section omitted). Sampled at tick time, on the ticking goroutine —
+	// the source must be safe to call there.
+	Engine func() *telemetry.EngineStats
+	// Transport snapshots a live transport's wire telemetry (nil result
+	// = section omitted).
+	Transport func() *telemetry.TransportStats
 }
 
 // Config configures a Reporter.
@@ -160,6 +175,12 @@ func (r *Reporter) Sample(now time.Time, final bool) Record {
 	if r.src.Jobs != nil {
 		rec.JobsDone, rec.JobsTotal = r.src.Jobs()
 	}
+	if r.src.Engine != nil {
+		rec.Engine = r.src.Engine()
+	}
+	if r.src.Transport != nil {
+		rec.Transport = r.src.Transport()
+	}
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	rec.HeapBytes = ms.HeapAlloc
@@ -215,6 +236,21 @@ func (r Record) HumanLine() string {
 	b = fmt.Appendf(b, " open=%d heap=%s", r.OpenSpans, siBytes(r.HeapBytes))
 	if r.RingOverwritten > 0 || r.SinkDropped > 0 {
 		b = fmt.Appendf(b, " loss=%d/%d", r.RingOverwritten, r.SinkDropped)
+	}
+	if e := r.Engine; e != nil && e.Tiles > 1 {
+		b = fmt.Appendf(b, " tiles=%d×%d", e.Tiles, e.Tiles)
+		if e.Imbalance > 0 {
+			b = fmt.Appendf(b, " imb=%.2f", e.Imbalance)
+		}
+		if e.StealAttempts > 0 {
+			b = fmt.Appendf(b, " steals=%d/%d", e.StealHits, e.StealAttempts)
+		}
+	}
+	if ts := r.Transport; ts != nil {
+		b = fmt.Appendf(b, " wire=%s/%d/%d", ts.Kind, ts.FramesSent, ts.FramesDelivered)
+		if ts.Retransmits > 0 || ts.ReorderOverflow > 0 {
+			b = fmt.Appendf(b, " retx=%d ovfl=%d", ts.Retransmits, ts.ReorderOverflow)
+		}
 	}
 	return string(b)
 }

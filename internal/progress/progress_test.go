@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"lme/internal/sim"
+	"lme/internal/telemetry"
 )
 
 // fakeClock advances only when told, making intervals deterministic.
@@ -125,7 +126,12 @@ type recordWire struct {
 	SinkDropped     uint64  `json:"sink_dropped"`
 	JobsDone        int     `json:"jobs_done"`
 	JobsTotal       int     `json:"jobs_total"`
-	Final           bool    `json:"final"`
+	// Engine/Transport are the optional lme/telemetry/v1 sections; their
+	// internal layout is pinned by internal/telemetry's own schema tests,
+	// so the envelope only asserts presence here.
+	Engine    json.RawMessage `json:"engine"`
+	Transport json.RawMessage `json:"transport"`
+	Final     bool            `json:"final"`
 }
 
 // TestProgressSchemaRoundTrip strict-decodes a fully-populated record
@@ -167,5 +173,54 @@ func TestProgressSchemaRoundTrip(t *testing.T) {
 	}
 	if back != rec {
 		t.Fatalf("round trip mutated the record:\n in  %+v\n out %+v", rec, back)
+	}
+}
+
+// TestProgressTelemetrySections checks the reporter samples the optional
+// engine/transport telemetry sources into the record, that the sections
+// survive the wire strictly, and that records without them omit the keys
+// entirely (old-reader compatibility).
+func TestProgressTelemetrySections(t *testing.T) {
+	clock := newFakeClock()
+	eng := &telemetry.EngineStats{Schema: telemetry.Schema, Tiles: 4, Workers: 2, Windows: 17}
+	ts := &telemetry.TransportStats{Schema: telemetry.Schema, Kind: "udp", Links: 6, ReorderOverflow: 2}
+	r := New(Config{Interval: time.Second, Clock: clock.Now}, Sources{
+		Events:    func() uint64 { return 10 },
+		Engine:    func() *telemetry.EngineStats { return eng },
+		Transport: func() *telemetry.TransportStats { return ts },
+	})
+	clock.Advance(time.Second)
+	rec := r.Sample(clock.Now(), true)
+	if rec.Engine == nil || rec.Engine.Tiles != 4 || rec.Engine.Windows != 17 {
+		t.Fatalf("engine section not sampled: %+v", rec.Engine)
+	}
+	if rec.Transport == nil || rec.Transport.Kind != "udp" || rec.Transport.ReorderOverflow != 2 {
+		t.Fatalf("transport section not sampled: %+v", rec.Transport)
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var wire recordWire
+	if err := dec.Decode(&wire); err != nil {
+		t.Fatalf("schema drift: %v\nencoded: %s", err, data)
+	}
+	if wire.Engine == nil || wire.Transport == nil {
+		t.Fatalf("telemetry sections missing on the wire: %s", data)
+	}
+
+	// Without sources the keys must be absent, not null: old readers see
+	// a byte-identical lme/progress/v1 record.
+	r2 := New(Config{Interval: time.Second, Clock: clock.Now}, Sources{})
+	plain, err := json.Marshal(r2.Sample(clock.Now(), true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"engine"`, `"transport"`} {
+		if bytes.Contains(plain, []byte(key)) {
+			t.Errorf("record without telemetry carries %s: %s", key, plain)
+		}
 	}
 }

@@ -302,6 +302,13 @@ type Config struct {
 	// ShardWorkers bounds the sharded engine's worker goroutines
 	// (0 = GOMAXPROCS); ignored when Tiles ≤ 1.
 	ShardWorkers int
+
+	// Telemetry collects the execution engine's introspection counters
+	// (per-tile events, window/barrier statistics, steal and cross-tile
+	// traffic tallies — schema lme/telemetry/v1) and attaches them to
+	// progress heartbeats as the "engine" section. Out-of-band: enabling
+	// it changes no trace, hash or result.
+	Telemetry bool
 }
 
 // AutoTiles suggests a tile-grid side for an n-node world (roughly 64
@@ -376,6 +383,7 @@ func NewSimulation(cfg Config) (*Simulation, error) {
 		PostmortemPath: cfg.PostmortemPath,
 		Tiles:          cfg.Tiles,
 		ShardWorkers:   cfg.ShardWorkers,
+		Telemetry:      cfg.Telemetry,
 	}
 	if cfg.MaxMessageDelay > 0 {
 		spec.MaxDelay = sim.FromDuration(cfg.MaxMessageDelay)
