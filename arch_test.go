@@ -3,7 +3,8 @@ package lme
 // Architecture test: the algorithm cores are pure reactive automata and
 // must stay runtime-agnostic — no algorithm package may import the live
 // runtime (internal/livenet) or the simulator (internal/manet). The
-// Transport seam and the gob wire registration keep both runtimes able
+// Transport seam and the wire codec registration (each core's wire.go,
+// with gob kept as the differential oracle) keep both runtimes able
 // to move algorithm messages without the algorithms knowing either
 // exists; this test pins that boundary.
 

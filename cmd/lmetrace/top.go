@@ -155,6 +155,11 @@ func renderTopFrame(rec progress.Record, prev *progress.Record) string {
 		fmt.Fprintf(&b, "wire    %s  links=%d  frames=%d/%d  retx=%d dup=%d reorder_hw=%d overflow=%d\n",
 			ts.Kind, ts.Links, ts.FramesSent, ts.FramesDelivered,
 			ts.Retransmits, ts.DupDrops, ts.ReorderDepthHW, ts.ReorderOverflow)
+		if ts.DatagramsSent > 0 {
+			fmt.Fprintf(&b, "        dgrams=%d (acks %d standalone, %d piggybacked)  frames/dgram=%.1f  bytes=%d\n",
+				ts.DatagramsSent, ts.AckDatagrams, ts.AcksPiggybacked,
+				ts.FramesPerDatagram, ts.WireBytes)
+		}
 		if ts.AckRTTUS.Count > 0 {
 			fmt.Fprintf(&b, "        ack rtt p50=%sµs p99=%sµs\n",
 				sketchQ(ts.AckRTTUS, 0.50), sketchQ(ts.AckRTTUS, 0.99))

@@ -118,6 +118,21 @@ func TestRenderTopFrameTransport(t *testing.T) {
 	if !strings.Contains(frame, "ack rtt p50=") {
 		t.Errorf("frame missing rtt line:\n%s", frame)
 	}
+	// No datagram telemetry (a pre-coalescing record): no dgrams line.
+	if strings.Contains(frame, "dgrams=") {
+		t.Errorf("dgrams line rendered without datagram counters:\n%s", frame)
+	}
+
+	// Datagram counters present: the coalescing line joins the block.
+	rec.Transport.DatagramsSent = 180
+	rec.Transport.AckDatagrams = 30
+	rec.Transport.AcksPiggybacked = 140
+	rec.Transport.FramesPerDatagram = 6.7
+	rec.Transport.WireBytes = 52_000
+	frame = renderTopFrame(rec, nil)
+	if !strings.Contains(frame, "dgrams=180 (acks 30 standalone, 140 piggybacked)  frames/dgram=6.7  bytes=52000") {
+		t.Errorf("frame missing datagram coalescing line:\n%s", frame)
+	}
 }
 
 // TestTopRunMixedStream feeds topRun a pipe-mode stream that interleaves

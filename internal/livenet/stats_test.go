@@ -7,7 +7,7 @@ package livenet
 // and the link must recover to full FIFO delivery afterwards.
 
 import (
-	"encoding/binary"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -45,8 +45,10 @@ func TestTransportStatsCounters(t *testing.T) {
 			if st.Schema != telemetry.Schema {
 				t.Errorf("schema %q, want %q", st.Schema, telemetry.Schema)
 			}
-			if st.Kind != name {
-				t.Errorf("kind %q, want %q", st.Kind, name)
+			// The maker name may carry a wire-mode suffix ("udp-gob");
+			// Kind names the implementation, not the payload encoding.
+			if want := strings.TrimSuffix(name, "-gob"); st.Kind != want {
+				t.Errorf("kind %q, want %q", st.Kind, want)
 			}
 			if st.FramesSent < msgs {
 				t.Errorf("frames_sent %d, want >= %d", st.FramesSent, msgs)
@@ -76,15 +78,17 @@ func TestUDPReorderOverflowCounted(t *testing.T) {
 	}
 	var releaseGap atomic.Bool
 	tr.mangle = func(pkt []byte) [][]byte {
-		// Suppress every transmission of seq 1 until the test opens the
+		// Suppress every datagram carrying seq 1 until the test opens the
 		// gap; all later seqs sail through and pile up in the reorder
-		// buffer on the receive side.
-		if binary.BigEndian.Uint64(pkt[10:18]) == 1 && !releaseGap.Load() {
+		// buffer on the receive side. (Coalescing means the suppressed
+		// datagram takes its companion frames down with it — they are
+		// retransmitted like any other loss.)
+		if !releaseGap.Load() && dgramCarriesSeq(t, pkt, 1) {
 			return nil
 		}
 		// Pace the wire so the loopback reader keeps up: an unpaced
-		// retransmit blast of >1k datagrams overruns the kernel socket
-		// buffer and the reorder buffer plateaus below its cap.
+		// retransmit blast overruns the kernel socket buffer and the
+		// reorder buffer plateaus below its cap.
 		time.Sleep(20 * time.Microsecond)
 		return [][]byte{pkt}
 	}

@@ -8,26 +8,46 @@ package livenet
 
 import (
 	"encoding/gob"
-	"fmt"
+	"math/rand/v2"
 	"sync"
 	"testing"
 	"time"
 
 	"lme/internal/core"
 	"lme/internal/graph"
+	"lme/internal/wire"
 )
 
-// confMsg is the test payload; registered with gob so the UDP transport
-// can move it.
+// confMsg is the test payload; registered with both the codec registry
+// (test-range type ID) and gob so every UDP wire mode can move it.
 type confMsg struct {
 	N int
 }
 
-func init() { gob.Register(confMsg{}) }
+func init() {
+	gob.Register(confMsg{})
+	wire.Register(wire.Codec{
+		ID: 0x7F01, Name: "livenet_test.conf", Proto: confMsg{},
+		Append: func(b []byte, m core.Message) []byte {
+			return wire.AppendVarint(b, int64(m.(confMsg).N))
+		},
+		Decode: func(b []byte) (core.Message, error) {
+			r := wire.NewReader(b)
+			v := confMsg{N: int(r.Varint())}
+			return v, r.Done()
+		},
+		Sample: func(rng *rand.Rand) core.Message {
+			return confMsg{N: rng.IntN(1 << 20)}
+		},
+	})
+}
 
 // transportMaker builds a fresh transport over g for each subtest.
 type transportMaker func(t *testing.T, g *graph.Graph) Transport
 
+// makers returns the conformance matrix: the channel transport, the UDP
+// transport on the codec fast path, and the UDP transport on the gob
+// oracle path — the shim semantics must be payload-encoding-agnostic.
 func makers() map[string]transportMaker {
 	return map[string]transportMaker{
 		"channel": func(t *testing.T, g *graph.Graph) Transport {
@@ -37,6 +57,13 @@ func makers() map[string]transportMaker {
 			tr, err := NewUDPTransport(g, 0)
 			if err != nil {
 				t.Fatalf("NewUDPTransport: %v", err)
+			}
+			return tr
+		},
+		"udp-gob": func(t *testing.T, g *graph.Graph) Transport {
+			tr, err := NewUDPTransportOpts(g, UDPOptions{Gob: true})
+			if err != nil {
+				t.Fatalf("NewUDPTransportOpts: %v", err)
 			}
 			return tr
 		},
@@ -276,9 +303,10 @@ func testClose(t *testing.T, mk transportMaker) {
 	tr.Send(Frame{From: 0, To: 1, Msg: confMsg{N: -1}, Mseq: 9999})
 }
 
-// TestUDPReorderRecovery drops every third data packet on first
-// transmission; the retransmit/reorder machinery must still deliver all
-// frames in FIFO order.
+// TestUDPReorderRecovery drops every third data datagram on first
+// transmission (keyed by its first frame's seq — stable across
+// retransmission repacking); the retransmit/reorder machinery must still
+// deliver all frames in FIFO order.
 func TestUDPReorderRecovery(t *testing.T) {
 	g := graph.Line(2)
 	tr, err := NewUDPTransport(g, 5*time.Millisecond)
@@ -286,16 +314,25 @@ func TestUDPReorderRecovery(t *testing.T) {
 		t.Fatalf("NewUDPTransport: %v", err)
 	}
 	var mu sync.Mutex
-	dropped := make(map[string]bool)
+	dropped := make(map[uint64]bool)
 	tr.mangle = func(pkt []byte) [][]byte {
-		key := fmt.Sprintf("%x", pkt[:udpHeaderLen])
+		_, body, err := wire.ParseDgram(pkt)
+		if err != nil {
+			t.Errorf("mangle: unparseable datagram: %v", err)
+			return [][]byte{pkt}
+		}
+		f, _, err := wire.NextFrame(body)
+		if err != nil {
+			t.Errorf("mangle: unparseable first frame: %v", err)
+			return [][]byte{pkt}
+		}
 		mu.Lock()
 		defer mu.Unlock()
-		if !dropped[key] && len(dropped)%3 == 0 {
-			dropped[key] = true
+		if !dropped[f.Seq] && len(dropped)%3 == 0 {
+			dropped[f.Seq] = true
 			return nil // lose this transmission; retransmit must recover
 		}
-		dropped[key] = true
+		dropped[f.Seq] = true
 		return [][]byte{pkt}
 	}
 

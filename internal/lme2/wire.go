@@ -1,12 +1,59 @@
 package lme2
 
-import "encoding/gob"
+import (
+	"encoding/gob"
+	"math/rand/v2"
 
-// Register the protocol's message types for the live runtime's
-// gob-encoded UDP payloads; see internal/lme1/wire.go for the rationale.
+	"lme/internal/core"
+	"lme/internal/wire"
+)
+
+// Register the protocol's message types for the live runtime: explicit
+// binary codecs (type IDs 0x0201–0x0204) on the hot path, gob retained
+// as the differential-test oracle; see internal/lme1/wire.go for the
+// layering rationale.
 func init() {
 	gob.Register(msgNotification{})
 	gob.Register(msgSwitch{})
 	gob.Register(msgReq{})
 	gob.Register(msgFork{})
+
+	wire.Register(wire.Codec{
+		ID: 0x0201, Name: "lme2.notification", Proto: msgNotification{},
+		Append: func(b []byte, _ core.Message) []byte { return b },
+		Decode: func(b []byte) (core.Message, error) {
+			return msgNotification{}, wire.NewReader(b).Done()
+		},
+		Sample: func(*rand.Rand) core.Message { return msgNotification{} },
+	})
+	wire.Register(wire.Codec{
+		ID: 0x0202, Name: "lme2.switch", Proto: msgSwitch{},
+		Append: func(b []byte, _ core.Message) []byte { return b },
+		Decode: func(b []byte) (core.Message, error) {
+			return msgSwitch{}, wire.NewReader(b).Done()
+		},
+		Sample: func(*rand.Rand) core.Message { return msgSwitch{} },
+	})
+	wire.Register(wire.Codec{
+		ID: 0x0203, Name: "lme2.req", Proto: msgReq{},
+		Append: func(b []byte, _ core.Message) []byte { return b },
+		Decode: func(b []byte) (core.Message, error) {
+			return msgReq{}, wire.NewReader(b).Done()
+		},
+		Sample: func(*rand.Rand) core.Message { return msgReq{} },
+	})
+	wire.Register(wire.Codec{
+		ID: 0x0204, Name: "lme2.fork", Proto: msgFork{},
+		Append: func(b []byte, m core.Message) []byte {
+			return wire.AppendBool(b, m.(msgFork).Flag)
+		},
+		Decode: func(b []byte) (core.Message, error) {
+			r := wire.NewReader(b)
+			v := msgFork{Flag: r.Bool()}
+			return v, r.Done()
+		},
+		Sample: func(rng *rand.Rand) core.Message {
+			return msgFork{Flag: rng.IntN(2) == 0}
+		},
+	})
 }

@@ -123,9 +123,16 @@ type Result struct {
 	// NodesServed counts nodes granted at least one lease.
 	NodesServed int `json:"nodes_served"`
 
+	// BytesPerAcq and DatagramsPerAcq give the wire cost of the load —
+	// total datagram bytes and datagrams per granted lease. Zero when the
+	// transport has no datagram telemetry (channel transport).
+	BytesPerAcq     float64 `json:"bytes_per_acq"`
+	DatagramsPerAcq float64 `json:"datagrams_per_acq"`
+
 	// TransportStats carries the transport's lme/telemetry/v1 wire
-	// counters (retransmits, duplicate drops, reorder overflow, ACK RTT
-	// sketch); nil when the transport does not expose them.
+	// counters (retransmits, duplicate drops, reorder overflow, datagram
+	// coalescing, ACK RTT sketch); nil when the transport does not expose
+	// them.
 	TransportStats *telemetry.TransportStats `json:"transport_stats,omitempty"`
 }
 
@@ -149,6 +156,13 @@ func (r Result) String() string {
 			rtt := metrics.FromSnapshot(ts.AckRTTUS)
 			s += fmt.Sprintf(" ack_rtt p50=%dµs p99=%dµs",
 				int64(rtt.Quantile(0.50)), int64(rtt.Quantile(0.99)))
+		}
+		if ts.DatagramsSent > 0 {
+			s += fmt.Sprintf(
+				"\nwire dgrams=%d (acks %d standalone, %d piggybacked) frames/dgram=%.1f bytes=%d"+
+					" bytes/acq=%.0f dgrams/acq=%.1f",
+				ts.DatagramsSent, ts.AckDatagrams, ts.AcksPiggybacked,
+				ts.FramesPerDatagram, ts.WireBytes, r.BytesPerAcq, r.DatagramsPerAcq)
 		}
 	}
 	return s
@@ -229,6 +243,10 @@ func Run(cfg Config) (Result, error) {
 	}
 	if res.Acquisitions > 0 {
 		res.PerAcquisition = float64(res.MessagesSent) / float64(res.Acquisitions)
+		if ts := res.TransportStats; ts != nil {
+			res.BytesPerAcq = float64(ts.WireBytes) / float64(res.Acquisitions)
+			res.DatagramsPerAcq = float64(ts.DatagramsSent) / float64(res.Acquisitions)
+		}
 	}
 	return res, stopErr
 }

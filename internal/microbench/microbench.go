@@ -47,6 +47,13 @@ func All() []Benchmark {
 		{Name: "ShardBarrier", Fn: ShardBarrier},
 		{Name: "TelemetryFold", Fn: TelemetryFold},
 		{Name: "ShardedChurn", Fn: ShardedChurn},
+		{Name: "WireEncode", Fn: WireEncode},
+		{Name: "WireDecode", Fn: WireDecode},
+		{Name: "WireEncodeGob", Fn: WireEncodeGob},
+		{Name: "WireDecodeGob", Fn: WireDecodeGob},
+		{Name: "DatagramCoalesce", Fn: DatagramCoalesce},
+		{Name: "UDPAcquireRelease", Fn: UDPAcquireRelease},
+		{Name: "UDPAcquireReleaseGob", Fn: UDPAcquireReleaseGob},
 	}
 }
 

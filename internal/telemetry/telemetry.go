@@ -107,6 +107,25 @@ type TransportStats struct {
 	// reorder buffer was full (each is recovered by retransmission).
 	ReorderDepthHW  uint64 `json:"reorder_depth_hw"`
 	ReorderOverflow uint64 `json:"reorder_overflow"`
+	// Datagram-coalescing counters (PR 10's fast wire path; zero on the
+	// channel transport, which has no datagrams). DatagramsSent counts
+	// every datagram written, AckDatagrams the standalone cumulative-ACK
+	// datagrams among them, AcksPiggybacked the ACKs that rode on a data
+	// datagram instead of costing their own.
+	DatagramsSent   uint64 `json:"datagrams_sent"`
+	AckDatagrams    uint64 `json:"ack_datagrams"`
+	AcksPiggybacked uint64 `json:"acks_piggybacked"`
+	// FramesWire counts frames written to the wire (retransmissions
+	// included); WireBytes the total datagram bytes written; PayloadBytes
+	// the encoded payload bytes accepted at Send.
+	FramesWire   uint64 `json:"frames_wire"`
+	WireBytes    uint64 `json:"wire_bytes"`
+	PayloadBytes uint64 `json:"payload_bytes"`
+	// FramesPerDatagram is FramesWire over data datagrams (coalescing
+	// density; 1.0 means no coalescing); PayloadBytesPerFrame is
+	// PayloadBytes over FramesSent (codec compactness).
+	FramesPerDatagram    float64 `json:"frames_per_datagram"`
+	PayloadBytesPerFrame float64 `json:"payload_bytes_per_frame"`
 	// AckRTTUS sketches the send→cumulative-ACK round trip (µs),
 	// sampled only on frames acknowledged without an intervening
 	// retransmit (Karn's rule: a retransmitted frame's ACK is ambiguous).

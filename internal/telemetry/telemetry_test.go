@@ -61,16 +61,24 @@ type engineWire struct {
 
 // transportWire pins the TransportStats field set.
 type transportWire struct {
-	Schema          string     `json:"schema"`
-	Kind            string     `json:"kind"`
-	Links           int        `json:"links"`
-	FramesSent      uint64     `json:"frames_sent"`
-	FramesDelivered uint64     `json:"frames_delivered"`
-	Retransmits     uint64     `json:"retransmits"`
-	DupDrops        uint64     `json:"dup_drops"`
-	ReorderDepthHW  uint64     `json:"reorder_depth_hw"`
-	ReorderOverflow uint64     `json:"reorder_overflow"`
-	AckRTTUS        sketchWire `json:"ack_rtt_us"`
+	Schema               string     `json:"schema"`
+	Kind                 string     `json:"kind"`
+	Links                int        `json:"links"`
+	FramesSent           uint64     `json:"frames_sent"`
+	FramesDelivered      uint64     `json:"frames_delivered"`
+	Retransmits          uint64     `json:"retransmits"`
+	DupDrops             uint64     `json:"dup_drops"`
+	ReorderDepthHW       uint64     `json:"reorder_depth_hw"`
+	ReorderOverflow      uint64     `json:"reorder_overflow"`
+	DatagramsSent        uint64     `json:"datagrams_sent"`
+	AckDatagrams         uint64     `json:"ack_datagrams"`
+	AcksPiggybacked      uint64     `json:"acks_piggybacked"`
+	FramesWire           uint64     `json:"frames_wire"`
+	WireBytes            uint64     `json:"wire_bytes"`
+	PayloadBytes         uint64     `json:"payload_bytes"`
+	FramesPerDatagram    float64    `json:"frames_per_datagram"`
+	PayloadBytesPerFrame float64    `json:"payload_bytes_per_frame"`
+	AckRTTUS             sketchWire `json:"ack_rtt_us"`
 }
 
 // fullSketch returns a snapshot with every field nonzero so omitempty
@@ -137,6 +145,9 @@ func TestTransportStatsSchemaPinned(t *testing.T) {
 		FramesSent: 1000, FramesDelivered: 998,
 		Retransmits: 40, DupDrops: 7,
 		ReorderDepthHW: 512, ReorderOverflow: 3,
+		DatagramsSent: 220, AckDatagrams: 35, AcksPiggybacked: 160,
+		FramesWire: 1040, WireBytes: 52_000, PayloadBytes: 9_000,
+		FramesPerDatagram: 5.62, PayloadBytesPerFrame: 9.0,
 		AckRTTUS: fullSketch(),
 	}
 	data, err := json.Marshal(rec)
@@ -147,7 +158,11 @@ func TestTransportStatsSchemaPinned(t *testing.T) {
 	strictDecode(t, data, &wire)
 	if wire.Schema != Schema || wire.Kind != "udp" || wire.Links != 14 ||
 		wire.FramesSent != 1000 || wire.Retransmits != 40 ||
-		wire.ReorderDepthHW != 512 || wire.ReorderOverflow != 3 {
+		wire.ReorderDepthHW != 512 || wire.ReorderOverflow != 3 ||
+		wire.DatagramsSent != 220 || wire.AckDatagrams != 35 ||
+		wire.AcksPiggybacked != 160 || wire.FramesWire != 1040 ||
+		wire.WireBytes != 52_000 || wire.PayloadBytes != 9_000 ||
+		wire.FramesPerDatagram != 5.62 || wire.PayloadBytesPerFrame != 9.0 {
 		t.Fatalf("mirror mismatch: %+v", wire)
 	}
 	if wire.AckRTTUS.Count != 3 {
